@@ -1,0 +1,321 @@
+//! The Falcon interactive-visualization application (§2, §6.4).
+//!
+//! Falcon shows six linked charts over the flights dataset.  When the user's
+//! mouse moves onto chart *A*, the backend computes one data-cube slice per
+//! other chart so that subsequent brushing on *A* updates the other charts
+//! instantly.  In the Khameleon port, one **request** is the group of five
+//! slice queries for one active chart, so the request space has six members;
+//! the combined query results are progressively encoded into 1, 2, or 4
+//! blocks (the x-axis of Figure 14) by round-robin row sampling, under the
+//! default linear utility.
+
+use std::sync::Arc;
+
+use khameleon_backend::columnar::RangeFilter;
+use khameleon_backend::cube::{falcon_query_group, CubeSliceQuery};
+use khameleon_backend::executor::CostModel;
+use khameleon_backend::flights::{dimension_range, generate_flights, FLIGHT_DIMENSIONS};
+use khameleon_core::block::{ResponseCatalog, ResponseLayout};
+use khameleon_core::predictor::kalman::{GaussianLayoutDecoder, KalmanMousePredictor};
+use khameleon_core::predictor::simple::PointPredictor;
+use khameleon_core::predictor::{ClientPredictor, RequestLayout, ServerPredictor};
+use khameleon_core::types::{Duration, RequestId};
+use khameleon_core::utility::{LinearUtility, UtilityModel};
+
+use crate::layout::ChartRowLayout;
+
+/// Which backend regime the Falcon experiment runs against (Figure 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FalconBackendKind {
+    /// PostgreSQL-like: real scans, ~15-query concurrency limit.
+    PostgresLike,
+    /// "ScalableSQL": answers from a pre-computed cache at the logged
+    /// isolated-execution latency, no concurrency limit.
+    Scalable,
+}
+
+impl FalconBackendKind {
+    /// Name used in experiment reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FalconBackendKind::PostgresLike => "postgresql",
+            FalconBackendKind::Scalable => "scalable-sql",
+        }
+    }
+}
+
+/// Which dataset size the experiment uses (Figure 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FalconDataset {
+    /// 1 M rows, ≈ 800 ms isolated query latency.
+    Small,
+    /// 7 M rows, 1.5–2.5 s isolated query latency.
+    Big,
+}
+
+impl FalconDataset {
+    /// Row count of the dataset (the bench harness uses these; tests scale
+    /// down).
+    pub fn rows(self) -> usize {
+        match self {
+            FalconDataset::Small => 1_000_000,
+            FalconDataset::Big => 7_000_000,
+        }
+    }
+
+    /// Name used in experiment reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FalconDataset::Small => "small",
+            FalconDataset::Big => "big",
+        }
+    }
+}
+
+/// The Falcon predictor ablation of Figure 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FalconPredictorKind {
+    /// Falcon's native behaviour: prefetch the chart the mouse hovers over.
+    OnHover,
+    /// The Kalman mouse predictor over the chart layout.
+    Kalman,
+}
+
+impl FalconPredictorKind {
+    /// Name used in experiment reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FalconPredictorKind::OnHover => "onhover",
+            FalconPredictorKind::Kalman => "kalman",
+        }
+    }
+}
+
+/// Configuration of the Falcon application model.
+#[derive(Debug, Clone)]
+pub struct FalconAppConfig {
+    /// Bins per chart axis (paper-faithful interfaces use pixel-resolution
+    /// bins; 25–200 is plenty to reproduce the cost shape).
+    pub bins: usize,
+    /// Number of progressive blocks each request's combined result is encoded
+    /// into (Figure 14 sweeps 1, 2, 4).
+    pub blocks_per_response: u32,
+    /// Rows in the flights table backing the charts.
+    pub table_rows: usize,
+    /// RNG seed for the dataset.
+    pub seed: u64,
+}
+
+impl Default for FalconAppConfig {
+    fn default() -> Self {
+        FalconAppConfig {
+            bins: 25,
+            blocks_per_response: 2,
+            table_rows: 100_000,
+            seed: 7,
+        }
+    }
+}
+
+/// The Falcon application bundle: layout, request space, query groups,
+/// catalog, utility, and backend cost models.
+pub struct FalconApp {
+    cfg: FalconAppConfig,
+    layout: Arc<ChartRowLayout>,
+    catalog: Arc<ResponseCatalog>,
+}
+
+impl FalconApp {
+    /// Creates the application model.
+    pub fn new(cfg: FalconAppConfig) -> Self {
+        assert!(cfg.bins > 0 && cfg.blocks_per_response > 0);
+        let layout = Arc::new(ChartRowLayout::falcon());
+        // Each request's response: 5 slices of bins × bins counts, 8 bytes
+        // each, split evenly across the configured number of blocks.
+        let response_bytes = (5 * cfg.bins * cfg.bins * 8) as u64;
+        let layouts = (0..layout.charts())
+            .map(|i| {
+                ResponseLayout::split_evenly(
+                    RequestId::from(i),
+                    response_bytes,
+                    cfg.blocks_per_response,
+                )
+            })
+            .collect();
+        FalconApp {
+            cfg,
+            layout,
+            catalog: Arc::new(ResponseCatalog::new(layouts)),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FalconAppConfig {
+        &self.cfg
+    }
+
+    /// The chart layout.
+    pub fn layout(&self) -> Arc<ChartRowLayout> {
+        self.layout.clone()
+    }
+
+    /// Number of possible requests (= number of charts).
+    pub fn num_requests(&self) -> usize {
+        self.layout.charts()
+    }
+
+    /// Response catalog (one progressive response per chart activation).
+    pub fn catalog(&self) -> Arc<ResponseCatalog> {
+        self.catalog.clone()
+    }
+
+    /// Falcon uses the conservative default linear utility (§6.1).
+    pub fn utility(&self) -> UtilityModel {
+        UtilityModel::homogeneous(&LinearUtility, self.cfg.blocks_per_response)
+    }
+
+    /// Generates the flights table for this configuration.
+    pub fn table(&self) -> khameleon_backend::columnar::Table {
+        generate_flights(self.cfg.table_rows, self.cfg.seed)
+    }
+
+    /// The slice-query group issued when `request` (a chart) is activated,
+    /// given the currently fixed selections on the other charts.
+    pub fn query_group(
+        &self,
+        request: RequestId,
+        selections: &[(String, RangeFilter)],
+    ) -> Vec<CubeSliceQuery> {
+        let dims: Vec<(&str, (f64, f64))> = FLIGHT_DIMENSIONS
+            .iter()
+            .map(|&d| (d, dimension_range(d)))
+            .collect();
+        falcon_query_group(&dims, request.index(), self.cfg.bins, selections)
+    }
+
+    /// The backend cost model for the requested regime and dataset.
+    pub fn cost_model(&self, backend: FalconBackendKind, dataset: FalconDataset) -> CostModel {
+        match backend {
+            FalconBackendKind::PostgresLike => CostModel::postgres_like(),
+            FalconBackendKind::Scalable => {
+                // The logged isolated-execution latency of the PostgreSQL
+                // backend for this dataset (§6.4 "Scalable Backend").
+                let isolated = CostModel::postgres_like().latency(dataset.rows(), 1);
+                CostModel::scalable(isolated)
+            }
+        }
+    }
+
+    /// Number of SQL queries one request fans out into (one per other chart).
+    pub fn queries_per_request(&self) -> usize {
+        self.num_requests() - 1
+    }
+
+    /// Duration to fully answer one request on `backend` with `concurrent`
+    /// queries in flight: the five slice queries run concurrently, so the
+    /// request latency is one (possibly degraded) query latency.
+    pub fn request_latency(
+        &self,
+        backend: FalconBackendKind,
+        dataset: FalconDataset,
+        concurrent: usize,
+    ) -> Duration {
+        self.cost_model(backend, dataset)
+            .latency(dataset.rows(), concurrent)
+    }
+
+    /// Client predictor for the requested ablation arm.
+    pub fn client_predictor(&self, kind: FalconPredictorKind) -> Box<dyn ClientPredictor> {
+        match kind {
+            FalconPredictorKind::OnHover => Box::new(PointPredictor::new()),
+            FalconPredictorKind::Kalman => Box::new(KalmanMousePredictor::with_defaults()),
+        }
+    }
+
+    /// Server predictor decoding mouse state over the chart layout.
+    pub fn server_predictor(&self) -> Box<dyn ServerPredictor> {
+        Box::new(GaussianLayoutDecoder::new(
+            self.layout.clone() as Arc<dyn RequestLayout>
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app(blocks: u32) -> FalconApp {
+        FalconApp::new(FalconAppConfig {
+            bins: 10,
+            blocks_per_response: blocks,
+            table_rows: 5_000,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn request_space_and_catalog() {
+        let a = app(4);
+        assert_eq!(a.num_requests(), 6);
+        assert_eq!(a.queries_per_request(), 5);
+        let catalog = a.catalog();
+        assert_eq!(catalog.num_requests(), 6);
+        assert_eq!(catalog.num_blocks(RequestId(0)), 4);
+        // Response bytes = 5 slices * 10*10 cells * 8 bytes.
+        assert_eq!(catalog.layout(RequestId(0)).total_size(), 4_000);
+        // Utility is linear over the block count.
+        assert!((a.utility().step(0, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_group_runs_against_generated_table() {
+        let a = app(2);
+        let table = a.table();
+        assert_eq!(table.num_rows(), 5_000);
+        let sels = vec![("distance".to_string(), RangeFilter::new(0.0, 1_000.0))];
+        let group = a.query_group(RequestId(1), &sels);
+        assert_eq!(group.len(), 5);
+        // The active dimension is the chart's dimension.
+        assert_eq!(group[0].active_dim, "arr_delay");
+        let mut total = 0;
+        for q in &group {
+            let slice = q.execute(&table);
+            total += slice.total();
+        }
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn cost_models_match_calibration() {
+        let a = app(1);
+        let pg_small = a.request_latency(FalconBackendKind::PostgresLike, FalconDataset::Small, 1);
+        assert!((pg_small.as_millis_f64() - 800.0).abs() < 100.0);
+        let pg_big = a.request_latency(FalconBackendKind::PostgresLike, FalconDataset::Big, 1);
+        assert!(pg_big.as_millis_f64() > 1_500.0);
+        // Scalable backend: same isolated latency, no degradation.
+        let sc = a.cost_model(FalconBackendKind::Scalable, FalconDataset::Big);
+        assert_eq!(sc.concurrency_limit, None);
+        assert_eq!(
+            a.request_latency(FalconBackendKind::Scalable, FalconDataset::Big, 100),
+            a.request_latency(FalconBackendKind::Scalable, FalconDataset::Big, 1)
+        );
+        // PostgreSQL degrades beyond its limit.
+        assert!(
+            a.request_latency(FalconBackendKind::PostgresLike, FalconDataset::Small, 40) > pg_small
+        );
+    }
+
+    #[test]
+    fn predictor_variants() {
+        let a = app(2);
+        for kind in [FalconPredictorKind::OnHover, FalconPredictorKind::Kalman] {
+            let mut p = a.client_predictor(kind);
+            let _ = p.state(khameleon_core::types::Time::ZERO);
+            assert!(!kind.name().is_empty());
+        }
+        let _ = a.server_predictor();
+        assert_eq!(FalconBackendKind::PostgresLike.name(), "postgresql");
+        assert_eq!(FalconDataset::Big.name(), "big");
+        assert_eq!(FalconDataset::Small.rows(), 1_000_000);
+    }
+}

@@ -1,0 +1,33 @@
+//! # khameleon-apps
+//!
+//! Application models and workloads for the Khameleon reproduction:
+//!
+//! * [`layout`] — static interface layouts (thumbnail grid, Falcon chart
+//!   row) implementing the core `RequestLayout` trait;
+//! * [`image_app`] — the large-scale image-exploration application
+//!   (10,000 thumbnails, 1.3–2 MB progressive images, SSIM utility);
+//! * [`falcon_app`] — the Falcon linked-visualization application (six
+//!   charts over the flights dataset, data-cube slice requests);
+//! * [`traces`] — synthetic interaction traces matching the paper's
+//!   think-time statistics (Figure 5), plus retiming for the think-time
+//!   sweep;
+//! * [`baselines`] — the idealized prefetching baselines
+//!   (Baseline, Progressive, ACC-\<acc\>-\<hor\>).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baselines;
+pub mod falcon_app;
+pub mod image_app;
+pub mod layout;
+pub mod traces;
+
+pub use baselines::{AccPrefetcher, FetchGranularity, NoPrefetch, PrefetchPolicy};
+pub use falcon_app::{FalconApp, FalconAppConfig, FalconBackendKind, FalconDataset, FalconPredictorKind};
+pub use image_app::{ImageExplorationApp, PredictorKind};
+pub use layout::{ChartRowLayout, GridLayout};
+pub use traces::{
+    generate_falcon_trace, generate_image_trace, image_trace_set, FalconTraceConfig,
+    ImageTraceConfig, InteractionTrace, MouseSample,
+};

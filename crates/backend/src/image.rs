@@ -1,0 +1,183 @@
+//! Synthetic image corpus for the image-exploration application (§2, §6.1).
+//!
+//! The paper's gallery holds 10,000 thumbnails whose full-resolution images
+//! are 1.3–2 MB each, progressively encoded (progressive JPEG) so that a
+//! prefix of blocks renders a lower-resolution image whose structural
+//! similarity (SSIM) to the full image follows the concave curve of Figure 3.
+//! We do not ship the images themselves; [`ImageCorpus`] generates per-image
+//! sizes and block layouts with the same distribution, and pairs them with
+//! the SSIM-shaped utility curve.  Every reported metric depends only on
+//! sizes, block counts, and the utility curve, all of which are preserved.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use khameleon_core::block::{ResponseCatalog, ResponseLayout};
+use khameleon_core::types::{Bytes, RequestId};
+use khameleon_core::utility::{PiecewiseUtility, UtilityModel};
+
+/// Configuration of the synthetic image corpus.
+#[derive(Debug, Clone)]
+pub struct ImageCorpusConfig {
+    /// Number of images (= number of possible requests).
+    pub num_images: usize,
+    /// Minimum full-resolution image size in bytes.
+    pub min_bytes: Bytes,
+    /// Maximum full-resolution image size in bytes.
+    pub max_bytes: Bytes,
+    /// Number of progressive blocks per image.
+    pub blocks_per_image: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ImageCorpusConfig {
+    fn default() -> Self {
+        ImageCorpusConfig {
+            num_images: 10_000,
+            min_bytes: 1_300_000,
+            max_bytes: 2_000_000,
+            blocks_per_image: 20,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The synthetic image corpus: per-image sizes, progressive layouts, and the
+/// SSIM utility curve.
+#[derive(Debug, Clone)]
+pub struct ImageCorpus {
+    cfg: ImageCorpusConfig,
+    sizes: Vec<Bytes>,
+    catalog: Arc<ResponseCatalog>,
+}
+
+impl ImageCorpus {
+    /// Generates a corpus from `cfg`.
+    pub fn new(cfg: ImageCorpusConfig) -> Self {
+        assert!(cfg.num_images > 0, "corpus must contain images");
+        assert!(cfg.max_bytes >= cfg.min_bytes, "size range inverted");
+        assert!(cfg.blocks_per_image > 0, "images need at least one block");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let sizes: Vec<Bytes> = (0..cfg.num_images)
+            .map(|_| rng.gen_range(cfg.min_bytes..=cfg.max_bytes))
+            .collect();
+        let layouts = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| ResponseLayout::split_evenly(RequestId::from(i), s, cfg.blocks_per_image))
+            .collect();
+        ImageCorpus {
+            catalog: Arc::new(ResponseCatalog::new(layouts)),
+            sizes,
+            cfg,
+        }
+    }
+
+    /// The paper's configuration: 10,000 images of 1.3–2 MB.
+    pub fn paper_scale(seed: u64) -> Self {
+        Self::new(ImageCorpusConfig {
+            seed,
+            ..Default::default()
+        })
+    }
+
+    /// A reduced corpus for tests and examples (`num_images` images with the
+    /// same per-image statistics).
+    pub fn small(num_images: usize, seed: u64) -> Self {
+        Self::new(ImageCorpusConfig {
+            num_images,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    /// The corpus configuration.
+    pub fn config(&self) -> &ImageCorpusConfig {
+        &self.cfg
+    }
+
+    /// Number of images.
+    pub fn num_images(&self) -> usize {
+        self.cfg.num_images
+    }
+
+    /// Full-resolution size of image `i`.
+    pub fn image_bytes(&self, i: usize) -> Bytes {
+        self.sizes[i]
+    }
+
+    /// Mean full-resolution image size.
+    pub fn mean_image_bytes(&self) -> f64 {
+        self.sizes.iter().sum::<u64>() as f64 / self.sizes.len() as f64
+    }
+
+    /// The response catalog (block layouts) for the corpus.
+    pub fn catalog(&self) -> Arc<ResponseCatalog> {
+        self.catalog.clone()
+    }
+
+    /// The SSIM-derived utility model for the corpus (Figure 3, red curve).
+    pub fn utility(&self) -> UtilityModel {
+        UtilityModel::homogeneous(&PiecewiseUtility::image_ssim(), self.cfg.blocks_per_image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_sizes_in_range() {
+        let c = ImageCorpus::small(200, 1);
+        assert_eq!(c.num_images(), 200);
+        for i in 0..200 {
+            let s = c.image_bytes(i);
+            assert!((1_300_000..=2_000_000).contains(&s), "image {i} size {s}");
+        }
+        let mean = c.mean_image_bytes();
+        assert!(mean > 1_400_000.0 && mean < 1_900_000.0);
+    }
+
+    #[test]
+    fn catalog_matches_sizes() {
+        let c = ImageCorpus::small(10, 2);
+        let catalog = c.catalog();
+        assert_eq!(catalog.num_requests(), 10);
+        for i in 0..10 {
+            let layout = catalog.layout(RequestId::from(i));
+            assert_eq!(layout.num_blocks(), c.config().blocks_per_image);
+            assert_eq!(layout.total_size(), c.image_bytes(i));
+        }
+    }
+
+    #[test]
+    fn utility_is_concave_ssim_like() {
+        let c = ImageCorpus::small(4, 3);
+        let u = c.utility();
+        let quarter = u.step(0, c.config().blocks_per_image / 4);
+        assert!(quarter > 0.6, "first 25% of blocks should carry most utility");
+        assert!((u.step(0, c.config().blocks_per_image) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ImageCorpus::small(50, 9);
+        let b = ImageCorpus::small(50, 9);
+        let c = ImageCorpus::small(50, 10);
+        assert_eq!(a.image_bytes(25), b.image_bytes(25));
+        assert_ne!(a.image_bytes(25), c.image_bytes(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "size range inverted")]
+    fn inverted_size_range_rejected() {
+        ImageCorpus::new(ImageCorpusConfig {
+            min_bytes: 10,
+            max_bytes: 5,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,38 @@
+//! # khameleon-backend
+//!
+//! Backend substrates for the Khameleon reproduction:
+//!
+//! * [`columnar`] — a small in-memory columnar engine (typed columns, range
+//!   filters, filtered histograms) that stands in for PostgreSQL in the
+//!   Falcon experiments;
+//! * [`cube`] — the data-cube slice queries Falcon issues when a chart is
+//!   activated;
+//! * [`flights`] — a synthetic flights dataset generator (Small = 1 M rows,
+//!   Big = 7 M rows);
+//! * [`executor`] — backend latency/concurrency cost models
+//!   (PostgreSQL-like, scalable, key-value) and a query executor;
+//! * [`encoder`] — progressive encoders (round-robin row sampling and
+//!   byte-range / progressive-JPEG-like);
+//! * [`blockstore`] — a pre-computed block store implementing the core
+//!   `Backend` trait (the "file system" of §3.2);
+//! * [`image`] — the synthetic image corpus for the image-exploration
+//!   application (10,000 images of 1.3–2 MB with an SSIM utility curve).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod blockstore;
+pub mod columnar;
+pub mod cube;
+pub mod encoder;
+pub mod executor;
+pub mod flights;
+pub mod image;
+
+pub use blockstore::BlockStore;
+pub use columnar::{Column, RangeFilter, Table};
+pub use cube::{falcon_query_group, CubeSlice, CubeSliceQuery};
+pub use encoder::{ByteRangeEncoder, EncodedBlock, RoundRobinEncoder};
+pub use executor::{CostModel, QueryExecutor};
+pub use flights::{generate_flights, FLIGHT_DIMENSIONS};
+pub use image::{ImageCorpus, ImageCorpusConfig};

@@ -1,0 +1,49 @@
+//! Criterion benchmark for a complete (reduced-scale) end-to-end simulation:
+//! one Khameleon run and one Baseline run over the same trace and condition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use khameleon_apps::image_app::{ImageExplorationApp, PredictorKind};
+use khameleon_apps::traces::{generate_image_trace, ImageTraceConfig};
+use khameleon_core::types::{Bandwidth, Duration};
+use khameleon_sim::config::ExperimentConfig;
+use khameleon_sim::harness::{run_image_system, SystemKind};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let app = ImageExplorationApp::reduced(15, 5);
+    let trace = generate_image_trace(
+        &app.layout(),
+        &ImageTraceConfig {
+            duration: Duration::from_secs(10),
+            seed: 5,
+            ..Default::default()
+        },
+    );
+    let cfg = ExperimentConfig::paper_default().with_bandwidth(Bandwidth::from_mbps(5.625));
+
+    let mut group = c.benchmark_group("end_to_end_10s_trace");
+    group.sample_size(10);
+    group.bench_function("khameleon_kalman", |b| {
+        b.iter(|| run_image_system(&app, SystemKind::Khameleon(PredictorKind::Kalman), &trace, &cfg));
+    });
+    group.bench_function("baseline", |b| {
+        b.iter(|| run_image_system(&app, SystemKind::Baseline, &trace, &cfg));
+    });
+    group.bench_function("acc_1_5", |b| {
+        b.iter(|| {
+            run_image_system(
+                &app,
+                SystemKind::Acc {
+                    accuracy: 1.0,
+                    horizon: 5,
+                },
+                &trace,
+                &cfg,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the prediction pipeline: Kalman-filter
+//! updates, Gaussian-to-request-distribution decoding over the 10,000-widget
+//! image grid, and horizon-model construction.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use khameleon_apps::layout::GridLayout;
+use khameleon_core::distribution::PredictionSummary;
+use khameleon_core::predictor::kalman::{GaussianLayoutDecoder, KalmanMousePredictor};
+use khameleon_core::predictor::{ClientPredictor, InteractionEvent, RequestLayout, ServerPredictor};
+use khameleon_core::scheduler::HorizonModel;
+use khameleon_core::types::{Duration, RequestId, Time};
+
+fn bench_kalman_update(c: &mut Criterion) {
+    c.bench_function("kalman_observe_and_state", |b| {
+        b.iter_batched(
+            KalmanMousePredictor::with_defaults,
+            |mut p| {
+                for i in 0..50u64 {
+                    p.observe(&InteractionEvent::MouseMove {
+                        x: i as f64 * 7.0,
+                        y: 500.0 - i as f64,
+                        at: Time::from_millis(i * 20),
+                    });
+                }
+                p.state(Time::from_millis(1_000))
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_gaussian_decode(c: &mut Criterion) {
+    let layout: Arc<dyn RequestLayout> = Arc::new(GridLayout::image_gallery());
+    let mut decoder = GaussianLayoutDecoder::new(layout);
+    let mut predictor = KalmanMousePredictor::with_defaults();
+    for i in 0..50u64 {
+        predictor.observe(&InteractionEvent::MouseMove {
+            x: 500.0 + i as f64,
+            y: 500.0,
+            at: Time::from_millis(i * 20),
+        });
+    }
+    let state = predictor.state(Time::from_millis(1_000));
+    c.bench_function("gaussian_decode_10k_grid", |b| {
+        b.iter(|| decoder.decode(&state, Time::from_millis(1_000)));
+    });
+}
+
+fn bench_horizon_model(c: &mut Criterion) {
+    let summary = PredictionSummary::point(10_000, RequestId(42), Time::ZERO);
+    c.bench_function("horizon_model_build_1000_slots", |b| {
+        b.iter(|| HorizonModel::build(&summary, 1_000, Duration::from_millis(5), 1.0));
+    });
+}
+
+criterion_group!(benches, bench_kalman_update, bench_gaussian_decode, bench_horizon_model);
+criterion_main!(benches);

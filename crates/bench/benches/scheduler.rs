@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks for the schedulers (Figures 15/16 companions):
+//! greedy schedule generation across request-space sizes, the meta-request
+//! ablation, prediction updates, and the optimal scheduler on small
+//! instances.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use khameleon_core::block::ResponseCatalog;
+use khameleon_core::distribution::{HorizonSlice, PredictionSummary, SparseDistribution};
+use khameleon_core::scheduler::{GreedyScheduler, GreedySchedulerConfig, HorizonModel, OptimalScheduler};
+use khameleon_core::types::{Duration, RequestId, Time};
+use khameleon_core::utility::{PowerUtility, UtilityModel};
+
+fn prediction(n: usize, materialized: usize) -> PredictionSummary {
+    let entries: Vec<(RequestId, f64)> = (0..materialized.min(n))
+        .map(|i| (RequestId::from(i), 1.0 / (i + 1) as f64))
+        .collect();
+    let dist = SparseDistribution::from_entries(n, entries, 0.5);
+    let slices = PredictionSummary::default_deltas()
+        .into_iter()
+        .map(|delta| HorizonSlice {
+            delta,
+            dist: dist.clone(),
+        })
+        .collect();
+    PredictionSummary::new(n, slices, Time::ZERO)
+}
+
+fn greedy(n: usize, cache: usize, blocks: u32, meta: bool) -> GreedyScheduler {
+    let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 10_000));
+    GreedyScheduler::new(
+        GreedySchedulerConfig {
+            cache_blocks: cache,
+            slot_duration: Duration::from_millis(1),
+            use_meta_request: meta,
+            ..Default::default()
+        },
+        UtilityModel::homogeneous(&PowerUtility::new(0.5), blocks),
+        catalog,
+    )
+}
+
+fn bench_greedy_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_full_schedule");
+    group.sample_size(10);
+    for &n in &[100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut s = greedy(n, 500, 50, true);
+                    s.update_prediction(&prediction(n, n / 100 + 1), 0);
+                    s
+                },
+                |mut s| s.next_batch(500),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_meta_request_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_meta_request");
+    group.sample_size(10);
+    for (label, meta) in [("with_meta", true), ("without_meta", false)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut s = greedy(2_000, 500, 50, meta);
+                    s.update_prediction(&prediction(2_000, 20), 0);
+                    s
+                },
+                |mut s| s.next_batch(500),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prediction_update");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut s = greedy(n, 1_000, 50, true);
+            let p = prediction(n, 50);
+            b.iter(|| s.update_prediction(&p, 0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_schedule");
+    group.sample_size(10);
+    for &(n, cache, blocks) in &[(5usize, 10usize, 5u32), (15, 30, 15)] {
+        let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 10_000));
+        let utility = UtilityModel::homogeneous(&PowerUtility::new(0.5), blocks);
+        let sched = OptimalScheduler::new(utility, catalog);
+        let model = HorizonModel::build(
+            &prediction(n, 2),
+            cache,
+            Duration::from_millis(5),
+            1.0,
+        );
+        group.bench_function(format!("n{n}_c{cache}_b{blocks}"), |b| {
+            b.iter(|| sched.schedule(&model));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_greedy_schedule,
+    bench_meta_request_ablation,
+    bench_prediction_update,
+    bench_optimal
+);
+criterion_main!(benches);

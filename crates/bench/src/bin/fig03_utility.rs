@@ -1,0 +1,23 @@
+//! Figure 3: utility curves for the image (SSIM) and visualization (linear)
+//! applications, as a function of the fraction of blocks received.
+
+use khameleon_bench::{print_csv, print_preamble, Scale};
+use khameleon_core::utility::{LinearUtility, PiecewiseUtility, UtilityFunction};
+
+fn main() {
+    let scale = Scale::from_args();
+    print_preamble("Figure 3", scale, "utility vs fraction of blocks");
+    let image = PiecewiseUtility::image_ssim();
+    let vis = LinearUtility;
+    let mut rows = Vec::new();
+    for i in 0..=20 {
+        let frac = i as f64 / 20.0;
+        rows.push(format!(
+            "{:.2},{:.4},{:.4}",
+            frac,
+            image.utility(frac),
+            vis.utility(frac)
+        ));
+    }
+    print_csv("fraction_of_blocks,image_ssim_utility,vis_linear_utility", &rows);
+}

@@ -1,0 +1,54 @@
+//! Figure 5: CDF of think times (time between consecutive requests) for the
+//! image-exploration and Falcon interaction traces.
+
+use khameleon_apps::layout::ChartRowLayout;
+use khameleon_apps::traces::{generate_falcon_trace, FalconTraceConfig};
+use khameleon_bench::{image_app, image_traces, print_csv, print_preamble, Scale};
+use khameleon_core::metrics::cdf;
+use khameleon_core::types::Duration;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_preamble("Figure 5", scale, "think-time CDFs of the interaction traces");
+
+    // Image-application traces.
+    let app = image_app(scale);
+    let mut image_tt: Vec<f64> = Vec::new();
+    for t in image_traces(&app, scale) {
+        image_tt.extend(t.think_times_ms());
+    }
+
+    // Falcon traces.
+    let falcon_duration = if scale.is_full() {
+        Duration::from_secs(600)
+    } else {
+        Duration::from_secs(120)
+    };
+    let falcon_count = if scale.is_full() { 70 } else { 4 };
+    let mut falcon_tt: Vec<f64> = Vec::new();
+    for seed in 0..falcon_count {
+        let t = generate_falcon_trace(
+            &ChartRowLayout::falcon(),
+            &FalconTraceConfig {
+                duration: falcon_duration,
+                seed,
+                ..Default::default()
+            },
+        );
+        falcon_tt.extend(t.think_times_ms());
+    }
+
+    let mut rows = Vec::new();
+    for (app_name, tts) in [("image", &image_tt), ("falcon", &falcon_tt)] {
+        for (value_ms, fraction) in cdf(tts) {
+            rows.push(format!("{app_name},{value_ms:.3},{fraction:.4}"));
+        }
+    }
+    print_csv("application,think_time_ms,cdf", &rows);
+    eprintln!(
+        "# image: {} gaps (mean {:.1} ms); falcon: {} gaps",
+        image_tt.len(),
+        image_tt.iter().sum::<f64>() / image_tt.len().max(1) as f64,
+        falcon_tt.len()
+    );
+}

@@ -1,0 +1,75 @@
+//! Figure 6: cache hits, preempted requests, response latency, and utility
+//! for Khameleon and the idealized prefetching baselines across the
+//! bandwidth (1.5–15 MB/s) × cache size (10–100 MB) grid, with request
+//! latency fixed at 100 ms.
+//!
+//! Also prints the §6.2 headline ratios (cache-hit and latency improvements
+//! of Khameleon over Baseline and the best ACC variant).
+
+use khameleon_bench::{
+    bandwidth_sweep, cache_sweep, image_app, image_trace, print_csv, print_preamble, Scale,
+};
+use khameleon_sim::config::ExperimentConfig;
+use khameleon_sim::harness::run_image_comparison;
+use khameleon_sim::result::RunResult;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_preamble(
+        "Figure 6",
+        scale,
+        "system comparison across bandwidth x cache grid",
+    );
+    let app = image_app(scale);
+    let trace = image_trace(&app, scale);
+
+    let mut rows = Vec::new();
+    let mut kham_latency = Vec::new();
+    let mut base_latency = Vec::new();
+    let mut kham_hits = Vec::new();
+    let mut acc_hits = Vec::new();
+
+    for cache in cache_sweep() {
+        for bw in bandwidth_sweep() {
+            let cfg = ExperimentConfig::paper_default()
+                .with_bandwidth(bw)
+                .with_cache_bytes(cache);
+            let results = run_image_comparison(&app, &trace, &cfg);
+            for r in &results {
+                rows.push(format!(
+                    "{},{:.0},{:.2},{}",
+                    cache / 1_000_000,
+                    bw.as_mbps() * 100.0 / 100.0,
+                    bw.as_mbps(),
+                    r.to_csv_row()
+                ));
+                if r.label.starts_with("Khameleon") {
+                    kham_latency.push(r.summary.mean_latency_ms.max(0.001));
+                    kham_hits.push(r.summary.cache_hit_rate);
+                } else if r.label == "Baseline" {
+                    base_latency.push(r.summary.mean_latency_ms.max(0.001));
+                } else if r.label.starts_with("ACC") {
+                    acc_hits.push(r.summary.cache_hit_rate);
+                }
+            }
+        }
+    }
+
+    print_csv(
+        &format!("cache_mb,bw_bucket,bandwidth_mbps,{}", RunResult::csv_header()),
+        &rows,
+    );
+
+    // Headline ratios (§6.2).
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    eprintln!(
+        "# headline: khameleon mean latency {:.1} ms vs baseline {:.1} ms ({}x); \
+         khameleon cache-hit {:.2} vs ACC mean {:.2} ({:.1}x)",
+        mean(&kham_latency),
+        mean(&base_latency),
+        (mean(&base_latency) / mean(&kham_latency)).round(),
+        mean(&kham_hits),
+        mean(&acc_hits),
+        mean(&kham_hits) / mean(&acc_hits).max(1e-6),
+    );
+}

@@ -1,0 +1,47 @@
+//! Figure 7: response-latency vs response-utility scatter for every system,
+//! bandwidth, and cache-size combination (upper-left is better).
+
+use khameleon_bench::{
+    bandwidth_sweep, cache_sweep, image_app, image_trace, print_csv, print_preamble, Scale,
+};
+use khameleon_sim::config::ExperimentConfig;
+use khameleon_sim::harness::{run_image_system, SystemKind};
+use khameleon_apps::image_app::PredictorKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_preamble("Figure 7", scale, "latency vs utility scatter");
+    let app = image_app(scale);
+    let trace = image_trace(&app, scale);
+
+    // The figure plots Khameleon, ACC-1-5, and Baseline.
+    let systems = [
+        SystemKind::Khameleon(PredictorKind::Kalman),
+        SystemKind::Acc {
+            accuracy: 1.0,
+            horizon: 5,
+        },
+        SystemKind::Baseline,
+    ];
+
+    let mut rows = Vec::new();
+    for cache in cache_sweep() {
+        for bw in bandwidth_sweep() {
+            let cfg = ExperimentConfig::paper_default()
+                .with_bandwidth(bw)
+                .with_cache_bytes(cache);
+            for system in systems {
+                let r = run_image_system(&app, system, &trace, &cfg);
+                rows.push(format!(
+                    "{},{},{:.2},{:.3},{:.4}",
+                    r.label,
+                    cache / 1_000_000,
+                    bw.as_mbps(),
+                    r.summary.mean_latency_ms,
+                    r.summary.mean_utility
+                ));
+            }
+        }
+    }
+    print_csv("system,cache_mb,bandwidth_mbps,mean_latency_ms,mean_utility", &rows);
+}

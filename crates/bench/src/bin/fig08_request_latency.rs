@@ -1,0 +1,58 @@
+//! Figure 8: metrics as the request latency grows from 20 to 400 ms, with
+//! bandwidth fixed at 15 MB/s and cache at 50 MB.  Also prints the §6.2
+//! headline speedup at 400 ms (Khameleon vs Baseline / ACC).
+
+use khameleon_bench::{image_app, image_trace, print_csv, print_preamble, request_latency_sweep, Scale};
+use khameleon_core::types::Bandwidth;
+use khameleon_sim::config::ExperimentConfig;
+use khameleon_sim::harness::{run_image_system, SystemKind};
+use khameleon_sim::result::RunResult;
+use khameleon_apps::image_app::PredictorKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_preamble("Figure 8", scale, "metrics vs request latency (20-400 ms)");
+    let app = image_app(scale);
+    let trace = image_trace(&app, scale);
+
+    let systems = [
+        SystemKind::Khameleon(PredictorKind::Kalman),
+        SystemKind::Acc {
+            accuracy: 1.0,
+            horizon: 1,
+        },
+        SystemKind::Acc {
+            accuracy: 1.0,
+            horizon: 5,
+        },
+        SystemKind::Baseline,
+    ];
+
+    let mut rows = Vec::new();
+    let mut at_400 = Vec::new();
+    for latency in request_latency_sweep() {
+        let cfg = ExperimentConfig::paper_default()
+            .with_bandwidth(Bandwidth::from_mbps(15.0))
+            .with_cache_bytes(50_000_000)
+            .with_request_latency(latency);
+        for system in systems {
+            let r = run_image_system(&app, system, &trace, &cfg);
+            rows.push(format!("{:.0},{}", latency.as_millis_f64(), r.to_csv_row()));
+            if (latency.as_millis_f64() - 400.0).abs() < 1.0 {
+                at_400.push((r.label.clone(), r.summary.mean_latency_ms));
+            }
+        }
+    }
+    print_csv(&format!("request_latency_ms,{}", RunResult::csv_header()), &rows);
+
+    if let Some(kham) = at_400.iter().find(|(l, _)| l.starts_with("Khameleon")) {
+        for (label, lat) in &at_400 {
+            if label != &kham.0 {
+                eprintln!(
+                    "# at 400 ms request latency: Khameleon is {:.0}x faster than {label}",
+                    lat / kham.1.max(0.001)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 9: metrics as the (synthetically retimed) think time varies from
+//! 10 to 200 ms, across the low / medium / high resource settings, comparing
+//! Khameleon with the Kalman and Oracle predictors against ACC-1-1, ACC-1-5,
+//! and Baseline.
+
+use khameleon_bench::{image_app, image_trace, print_csv, print_preamble, resource_levels, think_time_sweep, Scale};
+use khameleon_sim::harness::{run_image_system, SystemKind};
+use khameleon_sim::result::RunResult;
+use khameleon_apps::image_app::PredictorKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_preamble(
+        "Figure 9",
+        scale,
+        "metrics vs think time (10-200 ms) x resource level",
+    );
+    let app = image_app(scale);
+    let base_trace = image_trace(&app, scale);
+
+    let systems = [
+        SystemKind::Khameleon(PredictorKind::Kalman),
+        SystemKind::Khameleon(PredictorKind::Oracle),
+        SystemKind::Acc {
+            accuracy: 1.0,
+            horizon: 1,
+        },
+        SystemKind::Acc {
+            accuracy: 1.0,
+            horizon: 5,
+        },
+        SystemKind::Baseline,
+    ];
+
+    let mut rows = Vec::new();
+    for (level, cfg) in resource_levels() {
+        for tt in think_time_sweep() {
+            let trace = base_trace.with_think_time(tt);
+            for system in systems {
+                let r = run_image_system(&app, system, &trace, &cfg);
+                rows.push(format!(
+                    "{level},{:.0},{}",
+                    tt.as_millis_f64(),
+                    r.to_csv_row()
+                ));
+            }
+        }
+    }
+    print_csv(
+        &format!("resource,think_time_ms,{}", RunResult::csv_header()),
+        &rows,
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 11: ablation study.  Starting from the non-prefetching Baseline,
+//! add the Kalman predictor + joint scheduler without progressive encoding
+//! ("Predictor"), add progressive encoding without prefetching
+//! ("Progressive"), and compare against full Khameleon and ACC-1-5, across
+//! request latencies at 15 MB/s and a 50 MB cache.
+
+use khameleon_bench::{image_app, image_trace, print_csv, print_preamble, request_latency_sweep, Scale};
+use khameleon_core::types::Bandwidth;
+use khameleon_sim::config::ExperimentConfig;
+use khameleon_sim::harness::{run_image_system, SystemKind};
+use khameleon_sim::result::RunResult;
+use khameleon_apps::image_app::PredictorKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_preamble("Figure 11", scale, "ablation study across request latencies");
+    let app = image_app(scale);
+    let trace = image_trace(&app, scale);
+
+    let systems = [
+        SystemKind::Khameleon(PredictorKind::Kalman),
+        SystemKind::Acc {
+            accuracy: 1.0,
+            horizon: 5,
+        },
+        SystemKind::Baseline,
+        SystemKind::Progressive,
+        SystemKind::KhameleonNoProgressive(PredictorKind::Kalman),
+    ];
+
+    let mut rows = Vec::new();
+    for latency in request_latency_sweep() {
+        let cfg = ExperimentConfig::paper_default()
+            .with_bandwidth(Bandwidth::from_mbps(15.0))
+            .with_cache_bytes(50_000_000)
+            .with_request_latency(latency);
+        for system in systems {
+            let r = run_image_system(&app, system, &trace, &cfg);
+            rows.push(format!("{:.0},{}", latency.as_millis_f64(), r.to_csv_row()));
+        }
+    }
+    print_csv(&format!("request_latency_ms,{}", RunResult::csv_header()), &rows);
+}

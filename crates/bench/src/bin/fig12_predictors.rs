@@ -1,0 +1,38 @@
+//! Figure 12: sensitivity to the predictor — Khameleon with Uniform, Kalman,
+//! and Oracle predictors, vs ACC-1-5, across bandwidths at 100 ms request
+//! latency.
+
+use khameleon_bench::{bandwidth_sweep, image_app, image_trace, print_csv, print_preamble, Scale};
+use khameleon_sim::config::ExperimentConfig;
+use khameleon_sim::harness::{run_image_system, SystemKind};
+use khameleon_sim::result::RunResult;
+use khameleon_apps::image_app::PredictorKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_preamble("Figure 12", scale, "predictor sensitivity vs bandwidth");
+    let app = image_app(scale);
+    let trace = image_trace(&app, scale);
+
+    let systems = [
+        SystemKind::Khameleon(PredictorKind::Uniform),
+        SystemKind::Khameleon(PredictorKind::Kalman),
+        SystemKind::Khameleon(PredictorKind::Oracle),
+        SystemKind::Acc {
+            accuracy: 1.0,
+            horizon: 5,
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for bw in bandwidth_sweep() {
+        let cfg = ExperimentConfig::paper_default()
+            .with_bandwidth(bw)
+            .with_cache_bytes(50_000_000);
+        for system in systems {
+            let r = run_image_system(&app, system, &trace, &cfg);
+            rows.push(format!("{:.2},{}", bw.as_mbps(), r.to_csv_row()));
+        }
+    }
+    print_csv(&format!("bandwidth_mbps,{}", RunResult::csv_header()), &rows);
+}

@@ -1,0 +1,44 @@
+//! Figure 13: Khameleon vs ACC-1-5 on time-varying cellular links
+//! (synthetic Verizon and AT&T LTE profiles), with 100 ms request latency
+//! and a 50 MB cache.
+
+use khameleon_bench::{image_app, image_trace, print_csv, print_preamble, Scale};
+use khameleon_net::cellular::RateTrace;
+use khameleon_sim::config::{BandwidthSpec, ExperimentConfig};
+use khameleon_sim::harness::{run_image_system, SystemKind};
+use khameleon_sim::result::RunResult;
+use khameleon_apps::image_app::PredictorKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_preamble("Figure 13", scale, "cellular (LTE) network traces");
+    let app = image_app(scale);
+    let trace = image_trace(&app, scale);
+
+    let networks = [
+        ("verizon", RateTrace::verizon_lte(11)),
+        ("att", RateTrace::att_lte(11)),
+    ];
+    let systems = [
+        SystemKind::Khameleon(PredictorKind::Kalman),
+        SystemKind::Acc {
+            accuracy: 1.0,
+            horizon: 5,
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for (name, net) in networks {
+        let mut cfg = ExperimentConfig::paper_default().with_cache_bytes(50_000_000);
+        cfg.bandwidth = BandwidthSpec::Cellular(net.clone());
+        for system in systems {
+            let r = run_image_system(&app, system, &trace, &cfg);
+            rows.push(format!(
+                "{name},{:.2},{}",
+                net.mean_rate().as_mbps(),
+                r.to_csv_row()
+            ));
+        }
+    }
+    print_csv(&format!("network,mean_rate_mbps,{}", RunResult::csv_header()), &rows);
+}

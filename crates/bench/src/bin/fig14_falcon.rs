@@ -1,0 +1,76 @@
+//! Figure 14: the ported Falcon system on the Big (7 M) and Small (1 M)
+//! flights datasets, sweeping the number of blocks per response (1, 2, 4),
+//! the predictor (Kalman vs Falcon's native OnHover), and the backend
+//! (PostgreSQL-like vs a simulated scalable backend).
+
+use khameleon_apps::falcon_app::{
+    FalconApp, FalconAppConfig, FalconBackendKind, FalconDataset, FalconPredictorKind,
+};
+use khameleon_apps::layout::ChartRowLayout;
+use khameleon_apps::traces::{generate_falcon_trace, FalconTraceConfig};
+use khameleon_bench::{print_csv, print_preamble, Scale};
+use khameleon_core::types::Duration;
+use khameleon_sim::config::ExperimentConfig;
+use khameleon_sim::harness::run_falcon;
+use khameleon_sim::result::RunResult;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_preamble(
+        "Figure 14",
+        scale,
+        "ported Falcon: blocks/response x predictor x backend x dataset",
+    );
+
+    // The query *results* are computed over a generated flights table; the
+    // latency model is calibrated separately to the dataset's nominal row
+    // count, so the in-memory table can stay small at quick scale.
+    let table_rows = if scale.is_full() { 1_000_000 } else { 20_000 };
+    let trace_duration = if scale.is_full() {
+        Duration::from_secs(300)
+    } else {
+        Duration::from_secs(90)
+    };
+    let trace = generate_falcon_trace(
+        &ChartRowLayout::falcon(),
+        &FalconTraceConfig {
+            duration: trace_duration,
+            dwell_range_ms: (150.0, 20_000.0),
+            seed: 21,
+            ..Default::default()
+        },
+    );
+    let cfg = ExperimentConfig::paper_default().with_request_latency(Duration::from_millis(50));
+
+    let mut rows = Vec::new();
+    for dataset in [FalconDataset::Big, FalconDataset::Small] {
+        for blocks in [1u32, 2, 4] {
+            let app = FalconApp::new(FalconAppConfig {
+                bins: 25,
+                blocks_per_response: blocks,
+                table_rows,
+                seed: 7,
+            });
+            for backend in [FalconBackendKind::PostgresLike, FalconBackendKind::Scalable] {
+                for predictor in [FalconPredictorKind::Kalman, FalconPredictorKind::OnHover] {
+                    let r = run_falcon(&app, predictor, backend, dataset, &trace, &cfg);
+                    rows.push(format!(
+                        "{},{},{},{},{}",
+                        dataset.name(),
+                        blocks,
+                        backend.name(),
+                        predictor.name(),
+                        r.to_csv_row()
+                    ));
+                }
+            }
+        }
+    }
+    print_csv(
+        &format!(
+            "dataset,blocks_per_response,backend,predictor,{}",
+            RunResult::csv_header()
+        ),
+        &rows,
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 15 (§A.1): runtime of the optimal ("ILP") scheduler as the number
+//! of possible requests (5–15), the cache size (10–30 blocks), and the number
+//! of blocks per request (5–15) vary.
+//!
+//! The paper solves the linearized objective with Gurobi; this reproduction
+//! solves the same objective exactly with a maximum-weight assignment (see
+//! DESIGN.md §2), so absolute runtimes differ but the scaling trend — cost
+//! grows rapidly with every dimension, far slower than the greedy scheduler —
+//! is preserved.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use khameleon_bench::{print_csv, print_preamble, Scale};
+use khameleon_core::block::ResponseCatalog;
+use khameleon_core::distribution::PredictionSummary;
+use khameleon_core::scheduler::{HorizonModel, OptimalScheduler};
+use khameleon_core::types::{Duration, RequestId, Time};
+use khameleon_core::utility::{PowerUtility, UtilityModel};
+
+fn main() {
+    let scale = Scale::from_args();
+    print_preamble("Figure 15 (A.1)", scale, "optimal scheduler runtime");
+
+    let requests = [5usize, 10, 15];
+    let caches = [10usize, 20, 30];
+    let blocks = [5u32, 10, 15];
+
+    let mut rows = Vec::new();
+    for &n in &requests {
+        for &cache in &caches {
+            for &nb in &blocks {
+                let catalog = Arc::new(ResponseCatalog::uniform(n, nb, 10_000));
+                let utility = UtilityModel::homogeneous(&PowerUtility::new(0.5), nb);
+                let sched = OptimalScheduler::new(utility, catalog);
+                let summary = PredictionSummary::point(n, RequestId(0), Time::ZERO);
+                let model = HorizonModel::build(&summary, cache, Duration::from_millis(5), 1.0);
+                let reps = if scale.is_full() { 20 } else { 5 };
+                let start = Instant::now();
+                for _ in 0..reps {
+                    let s = sched.schedule(&model);
+                    std::hint::black_box(s);
+                }
+                let per_run_us = start.elapsed().as_micros() as f64 / reps as f64;
+                rows.push(format!("{n},{cache},{nb},{per_run_us:.1}"));
+            }
+        }
+    }
+    print_csv("num_requests,cache_blocks,blocks_per_request,runtime_us", &rows);
+}

@@ -1,0 +1,44 @@
+//! Figure 19 / §B.2: overpush rate — the fraction of pushed blocks that were
+//! never used by an application upcall — for Khameleon and ACC-1-5, collected
+//! over the think-time experiments at each resource level.
+
+use khameleon_bench::{image_app, image_trace, print_csv, print_preamble, resource_levels, think_time_sweep, Scale};
+use khameleon_sim::harness::{run_image_system, SystemKind};
+use khameleon_apps::image_app::PredictorKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_preamble("Figure 19 (B.2)", scale, "overpush rate");
+    let app = image_app(scale);
+    let base_trace = image_trace(&app, scale);
+
+    let systems = [
+        SystemKind::Khameleon(PredictorKind::Kalman),
+        SystemKind::Acc {
+            accuracy: 1.0,
+            horizon: 5,
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for (level, cfg) in resource_levels() {
+        for tt in think_time_sweep() {
+            let trace = base_trace.with_think_time(tt);
+            for system in systems {
+                let r = run_image_system(&app, system, &trace, &cfg);
+                rows.push(format!(
+                    "{level},{:.0},{},{:.4},{},{}",
+                    tt.as_millis_f64(),
+                    r.label,
+                    r.summary.overpush_rate,
+                    r.summary.blocks_pushed,
+                    r.summary.bytes_pushed
+                ));
+            }
+        }
+    }
+    print_csv(
+        "resource,think_time_ms,system,overpush_rate,blocks_pushed,bytes_pushed",
+        &rows,
+    );
+}

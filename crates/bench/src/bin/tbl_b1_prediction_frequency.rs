@@ -1,0 +1,34 @@
+//! §B.1: sensitivity to the prediction send frequency (50–350 ms), across the
+//! low / medium / high resource settings.
+
+use khameleon_bench::{image_app, image_trace, print_csv, print_preamble, resource_levels, Scale};
+use khameleon_core::types::Duration;
+use khameleon_sim::harness::{run_image_system, SystemKind};
+use khameleon_sim::result::RunResult;
+use khameleon_apps::image_app::PredictorKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_preamble("Table B.1", scale, "prediction send-frequency sensitivity");
+    let app = image_app(scale);
+    let trace = image_trace(&app, scale);
+
+    let frequencies = [50u64, 150, 250, 350];
+    let mut rows = Vec::new();
+    for (level, cfg) in resource_levels() {
+        for freq in frequencies {
+            let cfg = cfg.clone().with_prediction_interval(Duration::from_millis(freq));
+            let r = run_image_system(
+                &app,
+                SystemKind::Khameleon(PredictorKind::Kalman),
+                &trace,
+                &cfg,
+            );
+            rows.push(format!("{level},{freq},{}", r.to_csv_row()));
+        }
+    }
+    print_csv(
+        &format!("resource,prediction_interval_ms,{}", RunResult::csv_header()),
+        &rows,
+    );
+}

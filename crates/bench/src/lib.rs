@@ -1,0 +1,185 @@
+//! # khameleon-bench
+//!
+//! Benchmark harness: every table and figure of the paper's evaluation maps
+//! to one binary in `src/bin/` (see `DESIGN.md` §4 for the index) plus
+//! Criterion micro-benchmarks in `benches/` for the scheduler, cache, and
+//! predictor hot paths.
+//!
+//! Binaries print CSV to stdout so results can be diffed/plotted directly;
+//! run them with `cargo run --release -p khameleon-bench --bin <name>`.
+//! Each binary accepts `--full` to run at paper scale (10,000 images,
+//! multi-minute traces, the full condition grid); the default "quick" scale
+//! exercises the identical code paths on a reduced corpus so a full pass of
+//! all binaries finishes in minutes on a laptop.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use khameleon_apps::image_app::ImageExplorationApp;
+use khameleon_apps::traces::{generate_image_trace, ImageTraceConfig, InteractionTrace};
+use khameleon_core::types::{Bandwidth, Duration};
+use khameleon_sim::config::ExperimentConfig;
+
+/// Experiment scale selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced corpus / shorter traces; identical code paths, minutes to run.
+    Quick,
+    /// Paper-scale corpus and traces.
+    Full,
+}
+
+impl Scale {
+    /// Parses the scale from the process arguments (`--full` selects
+    /// [`Scale::Full`]).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Whether this is the full (paper) scale.
+    pub fn is_full(self) -> bool {
+        self == Scale::Full
+    }
+}
+
+/// The image-exploration application at the chosen scale.
+pub fn image_app(scale: Scale) -> ImageExplorationApp {
+    match scale {
+        Scale::Full => ImageExplorationApp::paper_scale(17),
+        // 30×30 = 900 images keeps every mechanism (hedging, eviction,
+        // meta-request) active while running in seconds.
+        Scale::Quick => ImageExplorationApp::reduced(30, 17),
+    }
+}
+
+/// The image-exploration trace set at the chosen scale (the paper replays 14
+/// three-minute traces; quick mode uses 2 shorter ones).
+pub fn image_traces(app: &ImageExplorationApp, scale: Scale) -> Vec<InteractionTrace> {
+    let (count, duration) = match scale {
+        Scale::Full => (14, Duration::from_secs(180)),
+        Scale::Quick => (2, Duration::from_secs(20)),
+    };
+    khameleon_apps::traces::image_trace_set(
+        &app.layout(),
+        count,
+        &ImageTraceConfig {
+            duration,
+            seed: 99,
+            ..Default::default()
+        },
+    )
+}
+
+/// A single representative image trace at the chosen scale.
+pub fn image_trace(app: &ImageExplorationApp, scale: Scale) -> InteractionTrace {
+    let duration = match scale {
+        Scale::Full => Duration::from_secs(180),
+        Scale::Quick => Duration::from_secs(20),
+    };
+    generate_image_trace(
+        &app.layout(),
+        &ImageTraceConfig {
+            duration,
+            seed: 99,
+            ..Default::default()
+        },
+    )
+}
+
+/// The bandwidth sweep of Figures 6/7/12 (1.5–15 MB/s).
+pub fn bandwidth_sweep() -> Vec<Bandwidth> {
+    vec![
+        Bandwidth::from_mbps(1.5),
+        Bandwidth::from_mbps(5.625),
+        Bandwidth::from_mbps(15.0),
+    ]
+}
+
+/// The cache-size sweep of Figure 6 (10/50/100 MB).
+pub fn cache_sweep() -> Vec<u64> {
+    vec![10_000_000, 50_000_000, 100_000_000]
+}
+
+/// The request-latency sweep of Figures 8/11 (20–400 ms).
+pub fn request_latency_sweep() -> Vec<Duration> {
+    vec![
+        Duration::from_millis(20),
+        Duration::from_millis(50),
+        Duration::from_millis(100),
+        Duration::from_millis(400),
+    ]
+}
+
+/// The think-time sweep of Figure 9 (10–200 ms).
+pub fn think_time_sweep() -> Vec<Duration> {
+    vec![
+        Duration::from_millis(10),
+        Duration::from_millis(50),
+        Duration::from_millis(100),
+        Duration::from_millis(200),
+    ]
+}
+
+/// The low / medium / high resource settings of §6.2.
+pub fn resource_levels() -> Vec<(&'static str, ExperimentConfig)> {
+    vec![
+        ("low", ExperimentConfig::low_resource()),
+        ("med", ExperimentConfig::medium_resource()),
+        ("high", ExperimentConfig::high_resource()),
+    ]
+}
+
+/// Prints a CSV header followed by rows.
+pub fn print_csv(header: &str, rows: &[String]) {
+    println!("{header}");
+    for r in rows {
+        println!("{r}");
+    }
+}
+
+/// Prints the standard figure preamble (figure id, scale, and how to rerun at
+/// paper scale).
+pub fn print_preamble(figure: &str, scale: Scale, description: &str) {
+    eprintln!("# {figure}: {description}");
+    eprintln!(
+        "# scale = {:?}{}",
+        scale,
+        if scale.is_full() { "" } else { " (pass --full for paper scale)" }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_objects_are_small_but_complete() {
+        let app = image_app(Scale::Quick);
+        assert_eq!(app.num_requests(), 900);
+        let traces = image_traces(&app, Scale::Quick);
+        assert_eq!(traces.len(), 2);
+        assert!(traces[0].num_requests() > 50);
+        let t = image_trace(&app, Scale::Quick);
+        assert!(t.duration().as_secs_f64() >= 19.0);
+    }
+
+    #[test]
+    fn sweeps_match_paper_grids() {
+        assert_eq!(bandwidth_sweep().len(), 3);
+        assert_eq!(cache_sweep(), vec![10_000_000, 50_000_000, 100_000_000]);
+        assert_eq!(request_latency_sweep().len(), 4);
+        assert_eq!(think_time_sweep().len(), 4);
+        assert_eq!(resource_levels().len(), 3);
+    }
+
+    #[test]
+    fn scale_parsing_defaults_to_quick() {
+        assert_eq!(Scale::from_args(), Scale::Quick);
+        assert!(!Scale::Quick.is_full());
+        assert!(Scale::Full.is_full());
+    }
+}

@@ -1,0 +1,484 @@
+//! Probability distributions over the request space.
+//!
+//! The client's predictor produces, for a small set of future offsets
+//! Δ ∈ {50, 150, 250, 500} ms, a probability distribution over all possible
+//! requests (§4).  Because the request space can be huge (10,000 images) while
+//! only a handful of requests have non-negligible probability, distributions
+//! are stored *sparsely*: explicit `(request, probability)` entries plus a
+//! residual mass spread uniformly over every other request.  This is exactly
+//! the representation that enables the greedy scheduler's "meta-request"
+//! optimization (§5.3.1).
+
+use crate::types::{Duration, RequestId};
+
+/// Sparse probability distribution over a request space of size `n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseDistribution {
+    n: usize,
+    /// Explicit entries, sorted by request id, probabilities >= 0.
+    explicit: Vec<(RequestId, f64)>,
+    /// Total probability mass spread uniformly over the `n - explicit.len()`
+    /// requests without an explicit entry.
+    residual: f64,
+}
+
+impl SparseDistribution {
+    /// The uniform distribution over `n` requests.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "request space must be non-empty");
+        SparseDistribution {
+            n,
+            explicit: Vec::new(),
+            residual: 1.0,
+        }
+    }
+
+    /// A point distribution: all mass on `request`.
+    pub fn point(n: usize, request: RequestId) -> Self {
+        Self::from_entries(n, vec![(request, 1.0)], 0.0)
+    }
+
+    /// Builds a distribution from explicit entries and a residual mass.
+    ///
+    /// Entries are sorted and de-duplicated (probabilities of duplicates are
+    /// summed); negative probabilities are clamped to zero; the result is
+    /// normalized so the total mass is 1 (a distribution with zero total mass
+    /// falls back to uniform).
+    pub fn from_entries(n: usize, mut entries: Vec<(RequestId, f64)>, residual: f64) -> Self {
+        assert!(n > 0, "request space must be non-empty");
+        entries.retain(|&(r, _)| r.index() < n);
+        entries.sort_by_key(|&(r, _)| r);
+        let mut merged: Vec<(RequestId, f64)> = Vec::with_capacity(entries.len());
+        for (r, p) in entries {
+            let p = p.max(0.0);
+            match merged.last_mut() {
+                Some((lr, lp)) if *lr == r => *lp += p,
+                _ => merged.push((r, p)),
+            }
+        }
+        let residual = residual.max(0.0);
+        let explicit_mass: f64 = merged.iter().map(|&(_, p)| p).sum();
+        let total = explicit_mass + if merged.len() < n { residual } else { 0.0 };
+        if total <= 0.0 {
+            return Self::uniform(n);
+        }
+        for (_, p) in &mut merged {
+            *p /= total;
+        }
+        let residual = if merged.len() < n { residual / total } else { 0.0 };
+        SparseDistribution {
+            n,
+            explicit: merged,
+            residual,
+        }
+    }
+
+    /// Builds a normalized distribution from unnormalized per-request weights,
+    /// treating requests absent from `weights` as zero-probability.
+    pub fn from_weights(n: usize, weights: Vec<(RequestId, f64)>) -> Self {
+        Self::from_entries(n, weights, 0.0)
+    }
+
+    /// Size of the request space.
+    pub fn num_requests(&self) -> usize {
+        self.n
+    }
+
+    /// The explicit (materialized) entries, sorted by request id.
+    pub fn explicit_entries(&self) -> &[(RequestId, f64)] {
+        &self.explicit
+    }
+
+    /// Total probability mass on requests without an explicit entry.
+    pub fn residual_mass(&self) -> f64 {
+        self.residual
+    }
+
+    /// Number of requests covered only by the residual mass.
+    pub fn residual_count(&self) -> usize {
+        self.n - self.explicit.len()
+    }
+
+    /// Per-request probability of a request covered by the residual mass.
+    pub fn residual_per_request(&self) -> f64 {
+        let cnt = self.residual_count();
+        if cnt == 0 {
+            0.0
+        } else {
+            self.residual / cnt as f64
+        }
+    }
+
+    /// Probability of `request`.
+    pub fn prob(&self, request: RequestId) -> f64 {
+        match self.explicit.binary_search_by_key(&request, |&(r, _)| r) {
+            Ok(i) => self.explicit[i].1,
+            Err(_) => self.residual_per_request(),
+        }
+    }
+
+    /// Total probability mass (should be ≈ 1); exposed for tests and debug
+    /// assertions.
+    pub fn total_mass(&self) -> f64 {
+        self.explicit.iter().map(|&(_, p)| p).sum::<f64>() + self.residual
+    }
+
+    /// The most probable request, breaking ties toward lower ids.  Returns
+    /// `None` only when the distribution is fully uniform (no explicit entry
+    /// beats the residual).
+    pub fn argmax(&self) -> Option<RequestId> {
+        let per_resid = self.residual_per_request();
+        self.explicit
+            .iter()
+            .copied()
+            .filter(|&(_, p)| p > per_resid)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite probabilities"))
+            .map(|(r, _)| r)
+    }
+
+    /// The `k` most probable requests in descending probability order
+    /// (explicit entries only; the uniform tail is never enumerated).
+    pub fn top_k(&self, k: usize) -> Vec<(RequestId, f64)> {
+        let mut v = self.explicit.clone();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probabilities"));
+        v.truncate(k);
+        v
+    }
+
+    /// Linear interpolation between two distributions over the same request
+    /// space: `(1 - w) * self + w * other`.
+    pub fn lerp(&self, other: &SparseDistribution, w: f64) -> SparseDistribution {
+        assert_eq!(self.n, other.n, "request spaces must match");
+        let w = w.clamp(0.0, 1.0);
+        let mut entries: Vec<(RequestId, f64)> = Vec::new();
+        for &(r, p) in &self.explicit {
+            entries.push((r, (1.0 - w) * p + w * other.prob(r)));
+        }
+        for &(r, p) in &other.explicit {
+            if self
+                .explicit
+                .binary_search_by_key(&r, |&(x, _)| x)
+                .is_err()
+            {
+                entries.push((r, (1.0 - w) * self.prob(r) + w * p));
+            }
+        }
+        // Residual mass interpolates linearly too; from_entries renormalizes,
+        // but the inputs are already normalized so this is exact up to fp
+        // error.
+        let explicit_mass: f64 = entries.iter().map(|&(_, p)| p).sum();
+        let residual = (1.0 - explicit_mass).max(0.0);
+        SparseDistribution::from_entries(self.n, entries, residual)
+    }
+}
+
+/// A prediction for one future offset: the distribution of requests Δ
+/// milliseconds from now.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HorizonSlice {
+    /// Offset into the future this slice predicts for.
+    pub delta: Duration,
+    /// Distribution over requests at that offset.
+    pub dist: SparseDistribution,
+}
+
+/// The prediction state a client sends to the server: distributions for a
+/// fixed set of future offsets (§4, §6.1 uses Δ ∈ {50, 150, 250, 500} ms).
+///
+/// The scheduler linearly interpolates between offsets and holds the last
+/// distribution constant beyond the final offset (the paper's 500 ms slice is
+/// itself uniform, so in practice long horizons decay toward uniform).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionSummary {
+    n: usize,
+    slices: Vec<HorizonSlice>,
+    /// Time at which the prediction was generated (client clock).
+    pub generated_at: crate::types::Time,
+}
+
+impl PredictionSummary {
+    /// The default future offsets used by the paper's experiments.
+    pub fn default_deltas() -> Vec<Duration> {
+        vec![
+            Duration::from_millis(50),
+            Duration::from_millis(150),
+            Duration::from_millis(250),
+            Duration::from_millis(500),
+        ]
+    }
+
+    /// Builds a summary from per-offset slices (sorted by offset).
+    pub fn new(n: usize, mut slices: Vec<HorizonSlice>, generated_at: crate::types::Time) -> Self {
+        assert!(!slices.is_empty(), "a prediction needs at least one slice");
+        for s in &slices {
+            assert_eq!(s.dist.num_requests(), n, "slice request-space mismatch");
+        }
+        slices.sort_by_key(|s| s.delta);
+        PredictionSummary {
+            n,
+            slices,
+            generated_at,
+        }
+    }
+
+    /// A summary that is uniform at every offset — the scheduler's default
+    /// when the application registers no predictor (§3.2).
+    pub fn uniform(n: usize, generated_at: crate::types::Time) -> Self {
+        let slices = Self::default_deltas()
+            .into_iter()
+            .map(|delta| HorizonSlice {
+                delta,
+                dist: SparseDistribution::uniform(n),
+            })
+            .collect();
+        Self::new(n, slices, generated_at)
+    }
+
+    /// A summary that predicts `request` with probability 1 at every offset —
+    /// the "generic default" point predictor of §3.4.
+    pub fn point(n: usize, request: RequestId, generated_at: crate::types::Time) -> Self {
+        let slices = Self::default_deltas()
+            .into_iter()
+            .map(|delta| HorizonSlice {
+                delta,
+                dist: SparseDistribution::point(n, request),
+            })
+            .collect();
+        Self::new(n, slices, generated_at)
+    }
+
+    /// Size of the request space.
+    pub fn num_requests(&self) -> usize {
+        self.n
+    }
+
+    /// The per-offset slices, sorted by offset.
+    pub fn slices(&self) -> &[HorizonSlice] {
+        &self.slices
+    }
+
+    /// Approximate number of floating-point values needed to transmit this
+    /// summary (used to account for uplink overhead in the simulator).
+    pub fn wire_size_bytes(&self) -> u64 {
+        let values: usize = self
+            .slices
+            .iter()
+            .map(|s| 2 * s.dist.explicit_entries().len() + 2)
+            .sum();
+        (values * 8) as u64
+    }
+
+    /// Distribution at an arbitrary offset, linearly interpolating between the
+    /// available slices and clamping beyond the ends.
+    pub fn at(&self, delta: Duration) -> SparseDistribution {
+        let first = &self.slices[0];
+        if delta <= first.delta {
+            return first.dist.clone();
+        }
+        for w in self.slices.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if delta <= b.delta {
+                let span = (b.delta.as_micros() - a.delta.as_micros()) as f64;
+                let frac = if span <= 0.0 {
+                    1.0
+                } else {
+                    (delta.as_micros() - a.delta.as_micros()) as f64 / span
+                };
+                return a.dist.lerp(&b.dist, frac);
+            }
+        }
+        self.slices.last().expect("non-empty").dist.clone()
+    }
+
+    /// Probability of `request` at offset `delta` (interpolated).
+    pub fn prob_at(&self, request: RequestId, delta: Duration) -> f64 {
+        // Fast path: interpolate the scalar probability directly instead of
+        // materializing a full distribution.
+        let first = &self.slices[0];
+        if delta <= first.delta {
+            return first.dist.prob(request);
+        }
+        for w in self.slices.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if delta <= b.delta {
+                let span = (b.delta.as_micros() - a.delta.as_micros()) as f64;
+                let frac = if span <= 0.0 {
+                    1.0
+                } else {
+                    (delta.as_micros() - a.delta.as_micros()) as f64 / span
+                };
+                return (1.0 - frac) * a.dist.prob(request) + frac * b.dist.prob(request);
+            }
+        }
+        self.slices.last().expect("non-empty").dist.prob(request)
+    }
+
+    /// The set of requests with an explicit entry in *any* slice — the
+    /// requests the scheduler must materialize (everything else is covered by
+    /// the uniform meta-request).
+    pub fn materialized_requests(&self) -> Vec<RequestId> {
+        let mut ids: Vec<RequestId> = self
+            .slices
+            .iter()
+            .flat_map(|s| s.dist.explicit_entries().iter().map(|&(r, _)| r))
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Time;
+
+    #[test]
+    fn uniform_distribution() {
+        let d = SparseDistribution::uniform(4);
+        assert!((d.prob(RequestId(0)) - 0.25).abs() < 1e-12);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+        assert_eq!(d.argmax(), None);
+        assert_eq!(d.residual_count(), 4);
+    }
+
+    #[test]
+    fn point_distribution() {
+        let d = SparseDistribution::point(10, RequestId(3));
+        assert!((d.prob(RequestId(3)) - 1.0).abs() < 1e-12);
+        assert_eq!(d.prob(RequestId(0)), 0.0);
+        assert_eq!(d.argmax(), Some(RequestId(3)));
+    }
+
+    #[test]
+    fn from_entries_normalizes_and_merges() {
+        let d = SparseDistribution::from_entries(
+            8,
+            vec![(RequestId(1), 2.0), (RequestId(1), 2.0), (RequestId(5), 4.0)],
+            2.0,
+        );
+        assert!((d.prob(RequestId(1)) - 0.4).abs() < 1e-12);
+        assert!((d.prob(RequestId(5)) - 0.4).abs() < 1e-12);
+        assert!((d.residual_mass() - 0.2).abs() < 1e-12);
+        assert!((d.prob(RequestId(0)) - 0.2 / 6.0).abs() < 1e-12);
+        assert!((d.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_entries_handles_degenerate_input() {
+        // All-zero weights fall back to uniform.
+        let d = SparseDistribution::from_entries(5, vec![(RequestId(1), 0.0)], 0.0);
+        assert!((d.prob(RequestId(4)) - 0.2).abs() < 1e-12);
+        // Out-of-range requests are dropped.
+        let d = SparseDistribution::from_entries(3, vec![(RequestId(7), 1.0)], 1.0);
+        assert!((d.prob(RequestId(0)) - 1.0 / 3.0).abs() < 1e-12);
+        // Negative probabilities are clamped.
+        let d = SparseDistribution::from_entries(3, vec![(RequestId(0), -5.0), (RequestId(1), 1.0)], 0.0);
+        assert_eq!(d.prob(RequestId(0)), 0.0);
+        assert!((d.prob(RequestId(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_orders_by_probability() {
+        let d = SparseDistribution::from_weights(
+            10,
+            vec![(RequestId(2), 0.1), (RequestId(7), 0.5), (RequestId(4), 0.4)],
+        );
+        let top = d.top_k(2);
+        assert_eq!(top[0].0, RequestId(7));
+        assert_eq!(top[1].0, RequestId(4));
+        assert_eq!(d.top_k(100).len(), 3);
+    }
+
+    #[test]
+    fn lerp_blends_probabilities() {
+        let a = SparseDistribution::point(4, RequestId(0));
+        let b = SparseDistribution::point(4, RequestId(1));
+        let mid = a.lerp(&b, 0.5);
+        assert!((mid.prob(RequestId(0)) - 0.5).abs() < 1e-9);
+        assert!((mid.prob(RequestId(1)) - 0.5).abs() < 1e-9);
+        assert!((mid.total_mass() - 1.0).abs() < 1e-9);
+        // Endpoints.
+        assert!((a.lerp(&b, 0.0).prob(RequestId(0)) - 1.0).abs() < 1e-9);
+        assert!((a.lerp(&b, 1.0).prob(RequestId(1)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_interpolates_over_time() {
+        let n = 4;
+        let slices = vec![
+            HorizonSlice {
+                delta: Duration::from_millis(50),
+                dist: SparseDistribution::point(n, RequestId(0)),
+            },
+            HorizonSlice {
+                delta: Duration::from_millis(150),
+                dist: SparseDistribution::point(n, RequestId(1)),
+            },
+        ];
+        let s = PredictionSummary::new(n, slices, Time::ZERO);
+        // Before the first slice: first distribution.
+        assert!((s.prob_at(RequestId(0), Duration::from_millis(10)) - 1.0).abs() < 1e-9);
+        // Midway: blend.
+        let p = s.prob_at(RequestId(0), Duration::from_millis(100));
+        assert!((p - 0.5).abs() < 1e-9);
+        // Past the last slice: last distribution.
+        assert!((s.prob_at(RequestId(1), Duration::from_millis(400)) - 1.0).abs() < 1e-9);
+        // `at` agrees with `prob_at`.
+        let d = s.at(Duration::from_millis(100));
+        assert!((d.prob(RequestId(0)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_defaults() {
+        let u = PredictionSummary::uniform(100, Time::ZERO);
+        assert_eq!(u.slices().len(), 4);
+        assert!((u.prob_at(RequestId(42), Duration::from_millis(75)) - 0.01).abs() < 1e-9);
+        assert!(u.materialized_requests().is_empty());
+
+        let p = PredictionSummary::point(100, RequestId(3), Time::ZERO);
+        assert_eq!(p.materialized_requests(), vec![RequestId(3)]);
+        assert!(p.wire_size_bytes() > 0);
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Any distribution built from arbitrary weights is a valid
+            /// probability distribution (mass 1, all probabilities in [0,1]).
+            #[test]
+            fn normalized(
+                n in 1usize..64,
+                entries in proptest::collection::vec((0u32..64, 0.0f64..10.0), 0..20),
+                residual in 0.0f64..10.0
+            ) {
+                let d = SparseDistribution::from_entries(
+                    n,
+                    entries.into_iter().map(|(r, p)| (RequestId(r), p)).collect(),
+                    residual,
+                );
+                prop_assert!((d.total_mass() - 1.0).abs() < 1e-6);
+                for i in 0..n {
+                    let p = d.prob(RequestId::from(i));
+                    prop_assert!((-1e-9..=1.0 + 1e-9).contains(&p));
+                }
+            }
+
+            /// Interpolation between two valid distributions stays valid.
+            #[test]
+            fn lerp_valid(
+                n in 1usize..32,
+                a_req in 0u32..32,
+                b_req in 0u32..32,
+                w in 0.0f64..1.0
+            ) {
+                let a = SparseDistribution::point(n, RequestId(a_req % n as u32));
+                let b = SparseDistribution::point(n, RequestId(b_req % n as u32));
+                let m = a.lerp(&b, w);
+                prop_assert!((m.total_mass() - 1.0).abs() < 1e-6);
+            }
+        }
+    }
+}

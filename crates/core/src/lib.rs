@@ -1,0 +1,95 @@
+//! # khameleon-core
+//!
+//! Core library of the Khameleon reproduction: *Continuous Prefetch for
+//! Interactive Data Applications* (VLDB 2020).
+//!
+//! Khameleon is a prefetching framework for interactive data visualization
+//! and exploration (DVE) applications that are bottlenecked by request
+//! latency and network transfer.  Instead of predicting a handful of future
+//! requests and fetching their full responses, it:
+//!
+//! 1. **progressively encodes** every response into an ordered list of blocks
+//!    where any prefix renders a lower-quality result ([`block`],
+//!    [`utility`]);
+//! 2. replaces client pull-requests with a **push** model: the client
+//!    registers requests locally ([`client::CacheManager`]) and periodically
+//!    ships a probability distribution over future requests
+//!    ([`predictor`], [`distribution`]);
+//! 3. runs a server-side **scheduler** that allocates network slots to blocks
+//!    so as to maximize expected user-perceived utility over the client
+//!    cache's horizon ([`scheduler::GreedyScheduler`],
+//!    [`scheduler::OptimalScheduler`]), paced by a bandwidth estimator
+//!    ([`bandwidth`]) and served from a pluggable [`server::Backend`].
+//!
+//! The sibling crates build substrates on top of this core: network link
+//! models (`khameleon-net`), data backends and progressive encoders
+//! (`khameleon-backend`), application + trace models (`khameleon-apps`), a
+//! discrete-event simulator (`khameleon-sim`), and the benchmark harness that
+//! regenerates every figure of the paper (`khameleon-bench`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use khameleon_core::block::ResponseCatalog;
+//! use khameleon_core::client::CacheManager;
+//! use khameleon_core::predictor::simple::SimpleServerPredictor;
+//! use khameleon_core::predictor::PredictorState;
+//! use khameleon_core::server::{CatalogBackend, KhameleonServer, ServerConfig};
+//! use khameleon_core::types::{RequestId, Time};
+//! use khameleon_core::utility::{LinearUtility, UtilityModel};
+//!
+//! // 100 requests, each progressively encoded into 10 blocks of 10 KB.
+//! let catalog = Arc::new(ResponseCatalog::uniform(100, 10, 10_000));
+//! let utility = UtilityModel::homogeneous(&LinearUtility, 10);
+//!
+//! let mut server = KhameleonServer::new(
+//!     ServerConfig::default(),
+//!     utility.clone(),
+//!     catalog.clone(),
+//!     Box::new(SimpleServerPredictor::new(100)),
+//!     Box::new(CatalogBackend::new(catalog.clone())),
+//! );
+//! let mut client = CacheManager::new(64, catalog, utility);
+//!
+//! // The client registers a request; the server learns about it through the
+//! // predictor state and streams blocks; the first block triggers an upcall.
+//! let now = Time::ZERO;
+//! assert!(client.register(RequestId(7), now).is_none());
+//! server.on_predictor_state(&PredictorState::LastRequest(RequestId(7)), now);
+//! let block = server.next_block(now).expect("server has blocks to push");
+//! let upcalls = client.on_block(block.meta, Time::from_millis(5));
+//! assert_eq!(upcalls[0].request, RequestId(7));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bandwidth;
+pub mod block;
+pub mod cache;
+pub mod client;
+pub mod distribution;
+pub mod metrics;
+pub mod predictor;
+pub mod scheduler;
+pub mod server;
+pub mod types;
+pub mod utility;
+
+pub use bandwidth::BandwidthEstimator;
+pub use block::{Block, BlockMeta, ResponseCatalog, ResponseLayout};
+pub use cache::{LruCache, RingCache};
+pub use client::{CacheManager, Upcall};
+pub use distribution::{HorizonSlice, PredictionSummary, SparseDistribution};
+pub use metrics::{MetricsCollector, MetricsSummary};
+pub use predictor::{
+    ClientPredictor, InteractionEvent, PredictorManager, PredictorState, RequestLayout,
+    ServerPredictor,
+};
+pub use scheduler::{GreedyScheduler, GreedySchedulerConfig, HorizonModel, OptimalScheduler};
+pub use server::{Backend, CatalogBackend, KhameleonServer, ServerConfig};
+pub use types::{Bandwidth, BlockRef, Duration, RequestId, Time};
+pub use utility::{
+    GainTable, LinearUtility, PiecewiseUtility, PowerUtility, UtilityFunction, UtilityModel,
+};

@@ -1,0 +1,189 @@
+//! Predictor Manager: client-side policy for *when* to ship predictor state.
+//!
+//! The Predictor Manager "handles the frequency of communication" between the
+//! client and server predictor components (§4).  The paper's experiments send
+//! a fresh prediction every 150 ms by default and study sensitivity between
+//! 50–350 ms (§B.1).  The manager also tracks how much uplink bandwidth the
+//! predictions consume so experiments can account for it.
+
+use crate::predictor::{ClientPredictor, InteractionEvent, PredictorState};
+use crate::types::{Duration, Time};
+
+/// Configuration for [`PredictorManager`].
+#[derive(Debug, Clone, Copy)]
+pub struct PredictorManagerConfig {
+    /// Minimum interval between consecutive predictions sent to the server.
+    pub send_interval: Duration,
+    /// If true, an explicit request event forces the next poll to send even if
+    /// the interval has not elapsed (bursts refresh predictions sooner).
+    pub send_on_request: bool,
+}
+
+impl Default for PredictorManagerConfig {
+    fn default() -> Self {
+        PredictorManagerConfig {
+            send_interval: Duration::from_millis(150),
+            send_on_request: false,
+        }
+    }
+}
+
+/// Wraps a [`ClientPredictor`] with the send-frequency policy.
+pub struct PredictorManager {
+    predictor: Box<dyn ClientPredictor>,
+    cfg: PredictorManagerConfig,
+    last_sent: Option<Time>,
+    pending_request_trigger: bool,
+    sent_count: u64,
+    sent_bytes: u64,
+}
+
+impl PredictorManager {
+    /// Creates a manager around `predictor`.
+    pub fn new(predictor: Box<dyn ClientPredictor>, cfg: PredictorManagerConfig) -> Self {
+        PredictorManager {
+            predictor,
+            cfg,
+            last_sent: None,
+            pending_request_trigger: false,
+            sent_count: 0,
+            sent_bytes: 0,
+        }
+    }
+
+    /// Creates a manager with the default 150 ms cadence.
+    pub fn with_defaults(predictor: Box<dyn ClientPredictor>) -> Self {
+        Self::new(predictor, PredictorManagerConfig::default())
+    }
+
+    /// Name of the wrapped predictor.
+    pub fn predictor_name(&self) -> &str {
+        self.predictor.name()
+    }
+
+    /// Passes an interaction event to the wrapped predictor.
+    pub fn observe(&mut self, event: &InteractionEvent) {
+        if self.cfg.send_on_request {
+            if let InteractionEvent::Request { .. } = event {
+                self.pending_request_trigger = true;
+            }
+        }
+        self.predictor.observe(event);
+    }
+
+    /// Whether a prediction is due at `now`.
+    pub fn due(&self, now: Time) -> bool {
+        if self.pending_request_trigger {
+            return true;
+        }
+        match self.last_sent {
+            None => true,
+            Some(t) => now.saturating_sub(t) >= self.cfg.send_interval,
+        }
+    }
+
+    /// The next time a prediction will be due, assuming no request-triggered
+    /// sends.
+    pub fn next_due(&self, now: Time) -> Time {
+        match self.last_sent {
+            None => now,
+            Some(t) => t + self.cfg.send_interval,
+        }
+    }
+
+    /// Polls the manager: if a prediction is due, produce the state to ship
+    /// and record accounting; otherwise return `None`.
+    pub fn poll(&mut self, now: Time) -> Option<PredictorState> {
+        if !self.due(now) {
+            return None;
+        }
+        let state = self.predictor.state(now);
+        self.last_sent = Some(now);
+        self.pending_request_trigger = false;
+        self.sent_count += 1;
+        self.sent_bytes += state.wire_size_bytes();
+        Some(state)
+    }
+
+    /// Forces a prediction regardless of the cadence (used by tests and by
+    /// the live example on explicit user actions).
+    pub fn force(&mut self, now: Time) -> PredictorState {
+        let state = self.predictor.state(now);
+        self.last_sent = Some(now);
+        self.pending_request_trigger = false;
+        self.sent_count += 1;
+        self.sent_bytes += state.wire_size_bytes();
+        state
+    }
+
+    /// Number of predictions sent.
+    pub fn sent_count(&self) -> u64 {
+        self.sent_count
+    }
+
+    /// Total prediction bytes sent (uplink overhead).
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::simple::PointPredictor;
+    use crate::types::RequestId;
+
+    fn manager(interval_ms: u64, on_request: bool) -> PredictorManager {
+        PredictorManager::new(
+            Box::new(PointPredictor::new()),
+            PredictorManagerConfig {
+                send_interval: Duration::from_millis(interval_ms),
+                send_on_request: on_request,
+            },
+        )
+    }
+
+    #[test]
+    fn first_poll_is_always_due() {
+        let mut m = manager(150, false);
+        assert!(m.due(Time::ZERO));
+        assert!(m.poll(Time::ZERO).is_some());
+        assert_eq!(m.sent_count(), 1);
+    }
+
+    #[test]
+    fn respects_send_interval() {
+        let mut m = manager(150, false);
+        assert!(m.poll(Time::ZERO).is_some());
+        assert!(m.poll(Time::from_millis(100)).is_none());
+        assert!(!m.due(Time::from_millis(149)));
+        assert!(m.due(Time::from_millis(150)));
+        assert!(m.poll(Time::from_millis(150)).is_some());
+        assert_eq!(m.sent_count(), 2);
+        assert_eq!(m.next_due(Time::from_millis(151)), Time::from_millis(300));
+    }
+
+    #[test]
+    fn request_trigger_bypasses_interval() {
+        let mut m = manager(1_000, true);
+        assert!(m.poll(Time::ZERO).is_some());
+        m.observe(&InteractionEvent::Request {
+            request: RequestId(2),
+            at: Time::from_millis(5),
+        });
+        let s = m.poll(Time::from_millis(10));
+        assert_eq!(s, Some(PredictorState::LastRequest(RequestId(2))));
+        // Trigger consumed; next poll waits for the interval again.
+        assert!(m.poll(Time::from_millis(20)).is_none());
+    }
+
+    #[test]
+    fn force_sends_and_accounts() {
+        let mut m = manager(10_000, false);
+        let _ = m.force(Time::ZERO);
+        let _ = m.force(Time::from_millis(1));
+        assert_eq!(m.sent_count(), 2);
+        assert!(m.sent_bytes() >= 2);
+        assert_eq!(m.predictor_name(), "point");
+    }
+}

@@ -1,0 +1,334 @@
+//! Server-side scheduling: allocating network slots to response blocks.
+//!
+//! The scheduler takes a utility function and a probability distribution over
+//! future requests and decides the sequence of blocks to push to the client so
+//! that expected user-perceived utility is maximized over a finite horizon of
+//! `C` blocks (the client cache size), per §5 of the paper.
+//!
+//! * [`HorizonModel`] materializes the probability terms the schedulers need:
+//!   for each request, the (discounted) probability mass of it being requested
+//!   during the *remainder* of the current schedule — the `P_{i,t}` matrix of
+//!   Listing 1, stored sparsely so that a 10,000-request space only pays for
+//!   the handful of requests with non-uniform probability.
+//! * [`greedy::GreedyScheduler`] is the fast single-step sampler the paper
+//!   deploys (§5.3).
+//! * [`optimal::OptimalScheduler`] solves the linearized finite-horizon
+//!   objective exactly (the role Gurobi plays in §5.2/§A.1) via a
+//!   maximum-weight assignment.
+//! * [`backend_limit`] post-processes schedules for backends with limited
+//!   concurrency (§5.4).
+
+pub mod backend_limit;
+pub mod greedy;
+pub mod optimal;
+
+use std::collections::HashMap;
+
+use crate::distribution::PredictionSummary;
+use crate::types::{BlockRef, Duration, RequestId};
+use crate::utility::UtilityModel;
+
+pub use backend_limit::limit_distinct_requests;
+pub use greedy::{GreedyScheduler, GreedySchedulerConfig};
+pub use optimal::{BruteForceScheduler, OptimalScheduler};
+
+/// An ordered sequence of blocks for the sender to push, most urgent first.
+pub type Schedule = Vec<BlockRef>;
+
+/// Materialized probability model over a scheduling horizon of `horizon`
+/// network slots, each lasting `slot_duration`.
+///
+/// `tail(i, t)` is the probability-mass term the schedulers multiply against
+/// marginal utility gains: the (γ-discounted) probability that request `i`
+/// is what the user wants during slots `t..horizon`.  Requests without an
+/// explicit (materialized) entry all share the same tail, which is what makes
+/// the greedy scheduler's meta-request optimization possible (§5.3.1).
+#[derive(Debug, Clone)]
+pub struct HorizonModel {
+    n: usize,
+    horizon: usize,
+    slot_duration: Duration,
+    gamma: f64,
+    /// Materialized per-request tails: request -> tail vector of length
+    /// `horizon + 1` (index `horizon` is 0, simplifying loops).
+    explicit: HashMap<RequestId, Vec<f64>>,
+    /// Tail vector shared by every non-materialized request.
+    residual: Vec<f64>,
+}
+
+impl HorizonModel {
+    /// Builds the model from a prediction summary.
+    ///
+    /// `horizon` is the number of slots in a full schedule (the client cache
+    /// size in blocks), `slot_duration` the time to place one block on the
+    /// network at the current bandwidth estimate, and `gamma` the future
+    /// discount from Eq. 1 (`1.0` = all timesteps matter equally).
+    pub fn build(
+        summary: &PredictionSummary,
+        horizon: usize,
+        slot_duration: Duration,
+        gamma: f64,
+    ) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
+        let n = summary.num_requests();
+        let materialized = summary.materialized_requests();
+
+        // Per-slot probabilities for each materialized request and for the
+        // residual tail, evaluated at the midpoint of each slot.
+        let mut per_slot: Vec<Vec<f64>> = vec![Vec::with_capacity(horizon); materialized.len()];
+        let mut residual_slot: Vec<f64> = Vec::with_capacity(horizon);
+        for k in 0..horizon {
+            let delta = Duration::from_micros(
+                slot_duration.as_micros() * (k as u64) + slot_duration.as_micros() / 2,
+            );
+            let dist = summary.at(delta);
+            for (mi, &r) in materialized.iter().enumerate() {
+                per_slot[mi].push(dist.prob(r));
+            }
+            residual_slot.push(dist.residual_per_request());
+        }
+
+        // Suffix sums with discounting: tail[t] = sum_{k=t}^{horizon-1} gamma^k p[k].
+        let suffix = |p: &[f64]| -> Vec<f64> {
+            let mut tail = vec![0.0; horizon + 1];
+            for t in (0..horizon).rev() {
+                tail[t] = tail[t + 1] + gamma.powi(t as i32) * p[t];
+            }
+            tail
+        };
+
+        let mut explicit = HashMap::with_capacity(materialized.len());
+        for (mi, r) in materialized.into_iter().enumerate() {
+            explicit.insert(r, suffix(&per_slot[mi]));
+        }
+        let residual = suffix(&residual_slot);
+
+        HorizonModel {
+            n,
+            horizon,
+            slot_duration,
+            gamma,
+            explicit,
+            residual,
+        }
+    }
+
+    /// A model where every request is uniformly likely at every slot.
+    pub fn uniform(n: usize, horizon: usize, slot_duration: Duration, gamma: f64) -> Self {
+        let summary = PredictionSummary::uniform(n, crate::types::Time::ZERO);
+        Self::build(&summary, horizon, slot_duration, gamma)
+    }
+
+    /// Number of requests in the space.
+    pub fn num_requests(&self) -> usize {
+        self.n
+    }
+
+    /// Number of slots in the horizon.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Duration of one slot.
+    pub fn slot_duration(&self) -> Duration {
+        self.slot_duration
+    }
+
+    /// The discount factor.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The requests with materialized (non-residual) tails.
+    pub fn materialized(&self) -> impl Iterator<Item = RequestId> + '_ {
+        self.explicit.keys().copied()
+    }
+
+    /// Number of materialized requests.
+    pub fn materialized_count(&self) -> usize {
+        self.explicit.len()
+    }
+
+    /// Whether `request` has a materialized tail.
+    pub fn is_materialized(&self, request: RequestId) -> bool {
+        self.explicit.contains_key(&request)
+    }
+
+    /// Tail mass of `request` from slot `t` (clamped to the horizon) onward.
+    pub fn tail(&self, request: RequestId, t: usize) -> f64 {
+        let t = t.min(self.horizon);
+        match self.explicit.get(&request) {
+            Some(v) => v[t],
+            None => self.residual[t],
+        }
+    }
+
+    /// Tail mass of a single non-materialized (residual) request.
+    pub fn residual_tail(&self, t: usize) -> f64 {
+        self.residual[t.min(self.horizon)]
+    }
+
+    /// Per-slot probability of `request` at slot `k` (recovered from the
+    /// discounted suffix sums).
+    pub fn slot_prob(&self, request: RequestId, k: usize) -> f64 {
+        if k >= self.horizon {
+            return 0.0;
+        }
+        let d = self.gamma.powi(k as i32);
+        if d <= 0.0 {
+            return 0.0;
+        }
+        (self.tail(request, k) - self.tail(request, k + 1)) / d
+    }
+}
+
+/// Evaluates the expected utility of a schedule under a horizon model — the
+/// objective of Eq. 2 — assuming the client cache starts from the allocation
+/// `initial` (blocks already cached per request).
+///
+/// This is the yardstick used to compare the greedy and optimal schedulers
+/// (Figure 17).
+pub fn schedule_expected_utility(
+    schedule: &[BlockRef],
+    model: &HorizonModel,
+    utility: &UtilityModel,
+    initial: &HashMap<RequestId, u32>,
+) -> f64 {
+    let mut held: HashMap<RequestId, u32> = initial.clone();
+    let mut total = 0.0;
+    for (k, b) in schedule.iter().enumerate().take(model.horizon()) {
+        let have = held.entry(b.request).or_insert(0);
+        *have += 1;
+        let blocks_now = *have;
+        // The newly delivered block contributes its marginal gain for every
+        // remaining slot in the horizon, weighted by the probability the user
+        // asks for this request then — identical to the U^t_{i,j} coefficient
+        // of Eq. 3.
+        let gain = utility.table(b.request.index()).gain(blocks_now);
+        total += gain * model.tail(b.request, k);
+    }
+    // Blocks already cached at the start contribute over the whole horizon.
+    for (&r, &b) in initial {
+        total += utility.table(r.index()).step(b) * model.tail(r, 0);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{HorizonSlice, SparseDistribution};
+    use crate::types::Time;
+    use crate::utility::LinearUtility;
+
+    fn summary_point(n: usize, r: RequestId) -> PredictionSummary {
+        PredictionSummary::point(n, r, Time::ZERO)
+    }
+
+    #[test]
+    fn uniform_model_tails_decrease() {
+        let m = HorizonModel::uniform(10, 8, Duration::from_millis(10), 1.0);
+        assert_eq!(m.horizon(), 8);
+        assert_eq!(m.materialized_count(), 0);
+        let t0 = m.tail(RequestId(3), 0);
+        let t4 = m.tail(RequestId(3), 4);
+        assert!(t0 > t4);
+        assert_eq!(m.tail(RequestId(3), 8), 0.0);
+        // Uniform: every request has the same tail.
+        assert!((m.tail(RequestId(0), 2) - m.tail(RequestId(9), 2)).abs() < 1e-12);
+        // Tail at 0 is horizon * (1/n).
+        assert!((t0 - 8.0 * 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn point_model_concentrates_mass() {
+        let m = HorizonModel::build(
+            &summary_point(10, RequestId(2)),
+            5,
+            Duration::from_millis(20),
+            1.0,
+        );
+        assert!(m.is_materialized(RequestId(2)));
+        assert!(!m.is_materialized(RequestId(3)));
+        assert!((m.tail(RequestId(2), 0) - 5.0).abs() < 1e-9);
+        assert_eq!(m.tail(RequestId(3), 0), 0.0);
+        assert_eq!(m.materialized_count(), 1);
+    }
+
+    #[test]
+    fn gamma_discounts_future() {
+        let m = HorizonModel::build(
+            &summary_point(4, RequestId(0)),
+            4,
+            Duration::from_millis(10),
+            0.5,
+        );
+        // tail(0) = 1 + 0.5 + 0.25 + 0.125 = 1.875
+        assert!((m.tail(RequestId(0), 0) - 1.875).abs() < 1e-9);
+        // slot probabilities recover the undiscounted per-slot values.
+        assert!((m.slot_prob(RequestId(0), 3) - 1.0).abs() < 1e-9);
+        assert_eq!(m.slot_prob(RequestId(0), 4), 0.0);
+    }
+
+    #[test]
+    fn time_varying_prediction_shifts_mass() {
+        // Request 0 likely soon, request 1 likely later.
+        let slices = vec![
+            HorizonSlice {
+                delta: Duration::from_millis(10),
+                dist: SparseDistribution::point(4, RequestId(0)),
+            },
+            HorizonSlice {
+                delta: Duration::from_millis(400),
+                dist: SparseDistribution::point(4, RequestId(1)),
+            },
+        ];
+        let s = PredictionSummary::new(4, slices, Time::ZERO);
+        let m = HorizonModel::build(&s, 40, Duration::from_millis(10), 1.0);
+        // Early slots favor request 0; late slots favor request 1.
+        assert!(m.slot_prob(RequestId(0), 0) > m.slot_prob(RequestId(1), 0));
+        assert!(m.slot_prob(RequestId(1), 39) > m.slot_prob(RequestId(0), 39));
+    }
+
+    #[test]
+    fn expected_utility_prefers_probable_requests() {
+        let n = 4;
+        let m = HorizonModel::build(
+            &summary_point(n, RequestId(1)),
+            4,
+            Duration::from_millis(10),
+            1.0,
+        );
+        let u = UtilityModel::homogeneous(&LinearUtility, 4);
+        let empty = HashMap::new();
+        let good: Schedule = (0..4)
+            .map(|j| BlockRef::new(RequestId(1), j))
+            .collect();
+        let bad: Schedule = (0..4)
+            .map(|j| BlockRef::new(RequestId(0), j))
+            .collect();
+        let vg = schedule_expected_utility(&good, &m, &u, &empty);
+        let vb = schedule_expected_utility(&bad, &m, &u, &empty);
+        assert!(vg > vb);
+        assert!(vg > 0.0);
+        assert_eq!(vb, 0.0);
+    }
+
+    #[test]
+    fn expected_utility_counts_initial_cache() {
+        let n = 2;
+        let m = HorizonModel::uniform(n, 4, Duration::from_millis(10), 1.0);
+        let u = UtilityModel::homogeneous(&LinearUtility, 4);
+        let mut initial = HashMap::new();
+        initial.insert(RequestId(0), 2u32);
+        let v_empty_schedule = schedule_expected_utility(&[], &m, &u, &initial);
+        assert!(v_empty_schedule > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_rejected() {
+        HorizonModel::uniform(4, 0, Duration::from_millis(1), 1.0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Server-side library: scheduler + sender orchestration (§3.2, §5.3.2).
+//!
+//! [`KhameleonServer`] ties together the greedy scheduler, the server-side
+//! predictor component, the bandwidth estimator, and a [`Backend`] that
+//! resolves block references into actual blocks.  It exposes a *pull* API —
+//! `next_block(now)` returns the next block the sender should place on the
+//! network — so the same code drives both the discrete-event simulator and a
+//! live threaded deployment (see the `live_pipeline` example).
+//!
+//! Sender coordination follows §5.3.2: when a fresh prediction arrives, the
+//! blocks already handed to the network are immutable, the not-yet-sent tail
+//! of the current schedule is rolled back and re-planned, and the sender
+//! simply continues from its position.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use crate::bandwidth::BandwidthEstimator;
+use crate::block::{Block, ResponseCatalog};
+use crate::predictor::{PredictorState, ServerPredictor};
+use crate::scheduler::{limit_distinct_requests, GreedyScheduler, GreedySchedulerConfig};
+use crate::types::{Bandwidth, BlockRef, RequestId, Time};
+use crate::utility::UtilityModel;
+
+/// A data backend that can resolve block references (§3.3: file system,
+/// database engine, connection pool, ...).
+pub trait Backend: Send {
+    /// Fetches `block`.  Returns `None` if the backend cannot produce it
+    /// (out-of-range request or block index).
+    fn fetch(&mut self, block: BlockRef) -> Option<Block>;
+
+    /// The number of concurrent in-flight requests the backend can serve
+    /// without degradation, or `None` if it scales arbitrarily (§5.4).
+    fn concurrency_limit(&self) -> Option<usize> {
+        None
+    }
+
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &str {
+        "backend"
+    }
+}
+
+/// Configuration of [`KhameleonServer`].
+pub struct ServerConfig {
+    /// Scheduler configuration (cache size, batch size, γ, ...).
+    pub scheduler: GreedySchedulerConfig,
+    /// Initial bandwidth estimate used before the client reports rates.
+    pub initial_bandwidth: Bandwidth,
+    /// Optional user-configured bandwidth cap.
+    pub bandwidth_cap: Option<Bandwidth>,
+    /// How many blocks to keep queued between the scheduler and the sender.
+    pub sender_queue_target: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            scheduler: GreedySchedulerConfig::default(),
+            initial_bandwidth: Bandwidth::from_mbps(5.625),
+            bandwidth_cap: None,
+            sender_queue_target: 32,
+        }
+    }
+}
+
+/// The Khameleon server: scheduler, sender queue, predictor decoding,
+/// bandwidth estimation, and backend access.
+pub struct KhameleonServer {
+    scheduler: GreedyScheduler,
+    predictor: Box<dyn ServerPredictor>,
+    backend: Box<dyn Backend>,
+    catalog: Arc<ResponseCatalog>,
+    bandwidth: BandwidthEstimator,
+    queue: VecDeque<BlockRef>,
+    queue_target: usize,
+    /// Blocks of the current schedule already handed to the network.
+    sent_in_schedule: usize,
+    /// Total blocks sent per request (for backend-limit backfill bookkeeping).
+    sent_per_request: HashMap<RequestId, u32>,
+    blocks_sent: u64,
+    bytes_sent: u64,
+}
+
+impl KhameleonServer {
+    /// Creates a server.
+    pub fn new(
+        cfg: ServerConfig,
+        utility: UtilityModel,
+        catalog: Arc<ResponseCatalog>,
+        predictor: Box<dyn ServerPredictor>,
+        backend: Box<dyn Backend>,
+    ) -> Self {
+        let mut bandwidth = BandwidthEstimator::new(cfg.initial_bandwidth);
+        bandwidth.set_cap(cfg.bandwidth_cap);
+        let mut scheduler_cfg = cfg.scheduler;
+        scheduler_cfg.slot_duration = bandwidth.slot_duration(catalog.max_block_size().max(1));
+        let scheduler = GreedyScheduler::new(scheduler_cfg, utility, catalog.clone());
+        KhameleonServer {
+            scheduler,
+            predictor,
+            backend,
+            catalog,
+            bandwidth,
+            queue: VecDeque::new(),
+            queue_target: cfg.sender_queue_target.max(1),
+            sent_in_schedule: 0,
+            sent_per_request: HashMap::new(),
+            blocks_sent: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// The current bandwidth estimate.
+    pub fn bandwidth_estimate(&self) -> Bandwidth {
+        self.bandwidth.estimate()
+    }
+
+    /// Total blocks sent since creation.
+    pub fn blocks_sent(&self) -> u64 {
+        self.blocks_sent
+    }
+
+    /// Total bytes sent since creation.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Number of prediction updates the scheduler has applied.
+    pub fn prediction_updates(&self) -> u64 {
+        self.scheduler.prediction_updates()
+    }
+
+    /// Handles a receive-rate report from the client (§5.4).
+    pub fn on_rate_report(&mut self, rate: Bandwidth) {
+        self.bandwidth.report_rate(rate);
+        self.scheduler
+            .set_slot_duration(self.bandwidth.slot_duration(self.catalog.max_block_size().max(1)));
+    }
+
+    /// Handles a predictor-state message from the client: decodes it and
+    /// re-plans the unsent portion of the schedule (§5.3.2).
+    pub fn on_predictor_state(&mut self, state: &PredictorState, now: Time) {
+        let summary = self.predictor.decode(state, now);
+        // Discard the queued (scheduled but unsent) blocks; the scheduler
+        // rolls its state back to the sender position and re-plans them.
+        self.queue.clear();
+        self.scheduler
+            .update_prediction(&summary, self.sent_in_schedule);
+    }
+
+    /// Refills the sender queue from the scheduler, applying the backend
+    /// concurrency limit if the backend has one.
+    fn refill_queue(&mut self) {
+        if self.queue.len() >= self.queue_target {
+            return;
+        }
+        let want = self.queue_target - self.queue.len();
+        let mut batch = self.scheduler.next_batch(want);
+        if let Some(limit) = self.backend.concurrency_limit() {
+            let catalog = self.catalog.clone();
+            batch = limit_distinct_requests(
+                &batch,
+                limit,
+                |r| catalog.num_blocks(r),
+                &self.sent_per_request,
+            );
+        }
+        self.queue.extend(batch);
+    }
+
+    /// Returns the next block the sender should push, fetching it from the
+    /// backend, or `None` when no useful block remains (everything scheduled
+    /// and resident).
+    pub fn next_block(&mut self, _now: Time) -> Option<Block> {
+        if self.queue.is_empty() {
+            self.refill_queue();
+        }
+        let block_ref = self.queue.pop_front()?;
+        let block = self.backend.fetch(block_ref)?;
+        self.sent_in_schedule += 1;
+        if self.sent_in_schedule >= self.scheduler.config().cache_blocks {
+            // The schedule wrapped: the scheduler reset its own state when it
+            // crossed the boundary; realign the sender position.
+            self.sent_in_schedule = 0;
+        }
+        *self.sent_per_request.entry(block_ref.request).or_insert(0) += 1;
+        self.blocks_sent += 1;
+        self.bytes_sent += block.meta.size;
+        Some(block)
+    }
+
+    /// Time the sender should wait between consecutive blocks to pace at the
+    /// estimated bandwidth.
+    pub fn pacing_interval(&self) -> crate::types::Duration {
+        self.bandwidth
+            .slot_duration(self.catalog.max_block_size().max(1))
+    }
+
+    /// The scheduler's view of the client cache (for tests/diagnostics).
+    pub fn simulated_client_cache(&self) -> HashMap<RequestId, u32> {
+        self.scheduler.simulated_cache()
+    }
+}
+
+/// A trivial backend that serves metadata-only blocks straight from the
+/// catalog — the equivalent of a file system pre-loaded with progressively
+/// encoded responses (§3.2).  Useful for tests and as a default.
+pub struct CatalogBackend {
+    catalog: Arc<ResponseCatalog>,
+}
+
+impl CatalogBackend {
+    /// Creates a backend over `catalog`.
+    pub fn new(catalog: Arc<ResponseCatalog>) -> Self {
+        CatalogBackend { catalog }
+    }
+}
+
+impl Backend for CatalogBackend {
+    fn fetch(&mut self, block: BlockRef) -> Option<Block> {
+        let layout = self.catalog.get(block.request)?;
+        let meta = layout.block_meta(block.index)?;
+        Some(Block {
+            meta,
+            payload: None,
+        })
+    }
+
+    fn name(&self) -> &str {
+        "catalog"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::simple::SimpleServerPredictor;
+    use crate::utility::LinearUtility;
+
+    fn server(n: usize, blocks: u32, cache_blocks: usize) -> KhameleonServer {
+        let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 10_000));
+        let cfg = ServerConfig {
+            scheduler: GreedySchedulerConfig {
+                cache_blocks,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        KhameleonServer::new(
+            cfg,
+            UtilityModel::homogeneous(&LinearUtility, blocks),
+            catalog.clone(),
+            Box::new(SimpleServerPredictor::new(n)),
+            Box::new(CatalogBackend::new(catalog)),
+        )
+    }
+
+    #[test]
+    fn streams_blocks_without_any_prediction() {
+        let mut s = server(10, 4, 20);
+        let mut got = 0;
+        while let Some(b) = s.next_block(Time::ZERO) {
+            assert!(b.meta.block.request.index() < 10);
+            got += 1;
+            if got > 100 {
+                break;
+            }
+        }
+        // 10 requests * 4 blocks = 40 distinct blocks; with cache tracking the
+        // server stops once everything fits conceptually in flight.
+        assert!(got >= 20, "server pushed only {got} blocks");
+        assert_eq!(s.blocks_sent(), got as u64);
+        assert!(s.bytes_sent() > 0);
+    }
+
+    #[test]
+    fn prediction_steers_the_stream() {
+        let mut s = server(100, 5, 50);
+        s.on_predictor_state(&PredictorState::LastRequest(RequestId(42)), Time::ZERO);
+        assert_eq!(s.prediction_updates(), 1);
+        let mut first_blocks = Vec::new();
+        for _ in 0..5 {
+            if let Some(b) = s.next_block(Time::ZERO) {
+                first_blocks.push(b.meta.block);
+            }
+        }
+        let for_42 = first_blocks
+            .iter()
+            .filter(|b| b.request == RequestId(42))
+            .count();
+        assert!(for_42 >= 4, "only {for_42} of the first 5 blocks target the predicted request");
+    }
+
+    #[test]
+    fn new_prediction_replans_unsent_blocks() {
+        let mut s = server(50, 5, 40);
+        s.on_predictor_state(&PredictorState::LastRequest(RequestId(1)), Time::ZERO);
+        // Send a couple of blocks for request 1.
+        let _ = s.next_block(Time::ZERO);
+        let _ = s.next_block(Time::ZERO);
+        // Prediction changes to request 2: subsequent blocks switch over.
+        s.on_predictor_state(&PredictorState::LastRequest(RequestId(2)), Time::from_millis(10));
+        let b = s.next_block(Time::from_millis(10)).unwrap();
+        assert_eq!(b.meta.block.request, RequestId(2));
+        assert_eq!(b.meta.block.index, 0);
+    }
+
+    #[test]
+    fn rate_reports_update_pacing() {
+        let mut s = server(10, 2, 10);
+        let before = s.pacing_interval();
+        s.on_rate_report(Bandwidth::from_mbps(1.0));
+        let after = s.pacing_interval();
+        assert!(after > before, "pacing should slow down at lower bandwidth");
+        assert!((s.bandwidth_estimate().as_mbps() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn catalog_backend_bounds() {
+        let catalog = Arc::new(ResponseCatalog::uniform(2, 2, 100));
+        let mut b = CatalogBackend::new(catalog);
+        assert!(b.fetch(BlockRef::new(RequestId(1), 1)).is_some());
+        assert!(b.fetch(BlockRef::new(RequestId(1), 2)).is_none());
+        assert!(b.fetch(BlockRef::new(RequestId(9), 0)).is_none());
+        assert_eq!(b.concurrency_limit(), None);
+        assert_eq!(b.name(), "catalog");
+    }
+
+    struct LimitedBackend {
+        inner: CatalogBackend,
+        limit: usize,
+    }
+
+    impl Backend for LimitedBackend {
+        fn fetch(&mut self, block: BlockRef) -> Option<Block> {
+            self.inner.fetch(block)
+        }
+        fn concurrency_limit(&self) -> Option<usize> {
+            Some(self.limit)
+        }
+    }
+
+    #[test]
+    fn backend_limit_restricts_distinct_requests() {
+        let n = 50;
+        let blocks = 10u32;
+        let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 10_000));
+        let cfg = ServerConfig {
+            scheduler: GreedySchedulerConfig {
+                cache_blocks: 30,
+                ..Default::default()
+            },
+            sender_queue_target: 30,
+            ..Default::default()
+        };
+        let mut s = KhameleonServer::new(
+            cfg,
+            UtilityModel::homogeneous(&LinearUtility, blocks),
+            catalog.clone(),
+            Box::new(SimpleServerPredictor::new(n)),
+            Box::new(LimitedBackend {
+                inner: CatalogBackend::new(catalog),
+                limit: 3,
+            }),
+        );
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..30 {
+            if let Some(b) = s.next_block(Time::ZERO) {
+                seen.insert(b.meta.block.request);
+            }
+        }
+        assert!(
+            seen.len() <= 3,
+            "backend limit violated: {} distinct requests in one queue refill",
+            seen.len()
+        );
+    }
+}

@@ -1,0 +1,410 @@
+//! Utility functions: mapping a response prefix to user-perceived quality.
+//!
+//! The application may provide a monotonically increasing utility function
+//! `U : [0,1] -> [0,1]` mapping the fraction of available blocks to a quality
+//! score (§3.3, Figure 3).  Khameleon defaults to the conservative linear
+//! function.  For scheduling, `U` is discretized per request into a *step
+//! approximation* `~U` with marginal gains
+//! `g(i) = U(i / Nb) - U((i-1) / Nb)` (§5.2); the [`GainTable`] type
+//! precomputes these gains.
+
+use std::sync::Arc;
+
+/// A monotonically increasing utility function over the fraction of blocks
+/// received.
+///
+/// Implementations must satisfy `utility(0) == 0`, `utility(1) == 1` (up to
+/// floating point error) and be non-decreasing; [`GainTable::new`] checks the
+/// monotonicity it relies on in debug builds.
+pub trait UtilityFunction: Send + Sync {
+    /// Utility of receiving `fraction` of the response's blocks,
+    /// `fraction ∈ [0, 1]`.
+    fn utility(&self, fraction: f64) -> f64;
+
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &str {
+        "utility"
+    }
+}
+
+/// The system-default linear utility: every block contributes equally.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinearUtility;
+
+impl UtilityFunction for LinearUtility {
+    fn utility(&self, fraction: f64) -> f64 {
+        fraction.clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &str {
+        "linear"
+    }
+}
+
+/// A concave power-law utility `U(x) = x^alpha` with `alpha < 1`: early blocks
+/// contribute more than later ones.
+///
+/// This is the analytic stand-in for perceptual curves such as the structural
+/// similarity (SSIM) curve of progressive JPEG (Figure 3, red line), where
+/// ~25% of the blocks already yield ~70% of the full-quality utility.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerUtility {
+    alpha: f64,
+}
+
+impl PowerUtility {
+    /// Creates a power-law utility.  `alpha` must be in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        PowerUtility { alpha }
+    }
+}
+
+impl UtilityFunction for PowerUtility {
+    fn utility(&self, fraction: f64) -> f64 {
+        fraction.clamp(0.0, 1.0).powf(self.alpha)
+    }
+
+    fn name(&self) -> &str {
+        "power"
+    }
+}
+
+/// A piecewise-linear utility interpolated from measured `(fraction, utility)`
+/// sample points — e.g. SSIM measured over a sample of progressively encoded
+/// images (§3.4, "Improve the Utility Function").
+#[derive(Debug, Clone)]
+pub struct PiecewiseUtility {
+    /// Sample points sorted by fraction; always starts at (0,0) and ends at
+    /// (1,1).
+    points: Vec<(f64, f64)>,
+    name: String,
+}
+
+impl PiecewiseUtility {
+    /// Builds a piecewise-linear utility from sample points.
+    ///
+    /// Points are sorted by fraction; `(0,0)` and `(1,1)` anchors are added if
+    /// missing.  Panics if any utility value is outside `[0,1]` or if the
+    /// resulting curve is not monotonically non-decreasing.
+    pub fn from_points(mut points: Vec<(f64, f64)>, name: impl Into<String>) -> Self {
+        points.retain(|&(x, _)| (0.0..=1.0).contains(&x));
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fractions"));
+        if points.first().map(|p| p.0 > 0.0).unwrap_or(true) {
+            points.insert(0, (0.0, 0.0));
+        }
+        if points.last().map(|p| p.0 < 1.0).unwrap_or(true) {
+            points.push((1.0, 1.0));
+        }
+        let mut prev = -1.0_f64;
+        for &(_, u) in &points {
+            assert!((0.0..=1.0 + 1e-9).contains(&u), "utility values must lie in [0,1]");
+            assert!(u >= prev - 1e-9, "utility must be non-decreasing");
+            prev = u;
+        }
+        PiecewiseUtility {
+            points,
+            name: name.into(),
+        }
+    }
+
+    /// The utility curve used for the image-exploration application in the
+    /// paper (Figure 3, red): a steep concave SSIM-like curve where the first
+    /// 25% of the blocks already provide most of the perceived quality.
+    pub fn image_ssim() -> Self {
+        Self::from_points(
+            vec![
+                (0.0, 0.0),
+                (0.05, 0.38),
+                (0.10, 0.55),
+                (0.20, 0.72),
+                (0.30, 0.82),
+                (0.40, 0.88),
+                (0.50, 0.92),
+                (0.60, 0.95),
+                (0.75, 0.975),
+                (0.90, 0.99),
+                (1.0, 1.0),
+            ],
+            "image-ssim",
+        )
+    }
+}
+
+impl UtilityFunction for PiecewiseUtility {
+    fn utility(&self, fraction: f64) -> f64 {
+        let x = fraction.clamp(0.0, 1.0);
+        // Find the segment containing x and interpolate linearly.
+        let mut prev = self.points[0];
+        for &p in &self.points[1..] {
+            if x <= p.0 {
+                let (x0, y0) = prev;
+                let (x1, y1) = p;
+                if (x1 - x0).abs() < 1e-12 {
+                    return y1;
+                }
+                return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+            }
+            prev = p;
+        }
+        self.points.last().map(|p| p.1).unwrap_or(1.0)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A shareable, dynamically dispatched utility function.
+pub type SharedUtility = Arc<dyn UtilityFunction>;
+
+/// Precomputed per-request discretization of a utility function: the step
+/// approximation `~U` and its marginal gains `g(i)` from §5.2.
+///
+/// `gain(i)` (1-based `i`) is the additional utility from receiving the `i`-th
+/// block given the first `i-1` blocks; `step(b)` is the utility of holding the
+/// first `b` blocks.  Because `U` is evaluated only at block boundaries, the
+/// approximation is exact for scheduling purposes (§5.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GainTable {
+    gains: Vec<f64>,
+    cumulative: Vec<f64>,
+}
+
+impl GainTable {
+    /// Discretizes `u` for a response with `num_blocks` blocks.
+    pub fn new(u: &dyn UtilityFunction, num_blocks: u32) -> Self {
+        assert!(num_blocks > 0, "a response must have at least one block");
+        let nb = num_blocks as usize;
+        let mut gains = Vec::with_capacity(nb);
+        let mut cumulative = Vec::with_capacity(nb + 1);
+        cumulative.push(0.0);
+        let mut prev = 0.0;
+        for i in 1..=nb {
+            let cur = u.utility(i as f64 / nb as f64);
+            debug_assert!(
+                cur + 1e-9 >= prev,
+                "utility function must be non-decreasing (U({}/{nb}) < U({}/{nb}))",
+                i,
+                i - 1
+            );
+            let g = (cur - prev).max(0.0);
+            gains.push(g);
+            cumulative.push(cumulative[i - 1] + g);
+            prev = cur;
+        }
+        GainTable { gains, cumulative }
+    }
+
+    /// Number of blocks the table was built for.
+    pub fn num_blocks(&self) -> u32 {
+        self.gains.len() as u32
+    }
+
+    /// Marginal gain `g(i)` of the `i`-th block (1-based).  Returns `0` when
+    /// `i` is zero or exceeds the number of blocks (no more quality to gain).
+    pub fn gain(&self, i: u32) -> f64 {
+        if i == 0 {
+            return 0.0;
+        }
+        self.gains.get((i - 1) as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Step utility `~U(b)`: utility of holding the first `b` blocks.
+    pub fn step(&self, b: u32) -> f64 {
+        let idx = (b as usize).min(self.gains.len());
+        self.cumulative[idx]
+    }
+
+    /// The marginal gain of the *next* block given `held` blocks are already
+    /// available, i.e. `g(held + 1)`.
+    pub fn next_gain(&self, held: u32) -> f64 {
+        self.gain(held + 1)
+    }
+
+    /// The raw gains slice (`g(1)..g(Nb)`).
+    pub fn gains(&self) -> &[f64] {
+        &self.gains
+    }
+}
+
+/// Per-request gain tables for a whole request space.
+///
+/// Most applications use a single utility curve and block count for all
+/// requests, which [`UtilityModel::homogeneous`] captures with a single shared
+/// table; heterogeneous spaces can supply one table per request.
+#[derive(Debug, Clone)]
+pub enum UtilityModel {
+    /// All requests share the same gain table.
+    Homogeneous(Arc<GainTable>),
+    /// Request `i` uses table `i`.
+    PerRequest(Arc<Vec<GainTable>>),
+}
+
+impl UtilityModel {
+    /// A model where every request uses the same utility curve discretized at
+    /// `num_blocks` blocks.
+    pub fn homogeneous(u: &dyn UtilityFunction, num_blocks: u32) -> Self {
+        UtilityModel::Homogeneous(Arc::new(GainTable::new(u, num_blocks)))
+    }
+
+    /// A model with an explicit table per request.
+    pub fn per_request(tables: Vec<GainTable>) -> Self {
+        UtilityModel::PerRequest(Arc::new(tables))
+    }
+
+    /// The gain table for `request` (by dense index).
+    pub fn table(&self, request: usize) -> &GainTable {
+        match self {
+            UtilityModel::Homogeneous(t) => t,
+            UtilityModel::PerRequest(ts) => &ts[request],
+        }
+    }
+
+    /// Step utility for `request` holding `blocks` blocks.
+    pub fn step(&self, request: usize, blocks: u32) -> f64 {
+        self.table(request).step(blocks)
+    }
+
+    /// Marginal gain of the next block for `request` holding `held` blocks.
+    pub fn next_gain(&self, request: usize, held: u32) -> f64 {
+        self.table(request).next_gain(held)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_utility_is_identity() {
+        let u = LinearUtility;
+        assert_eq!(u.utility(0.0), 0.0);
+        assert_eq!(u.utility(0.25), 0.25);
+        assert_eq!(u.utility(1.0), 1.0);
+        assert_eq!(u.utility(2.0), 1.0);
+        assert_eq!(u.utility(-1.0), 0.0);
+    }
+
+    #[test]
+    fn power_utility_is_concave() {
+        let u = PowerUtility::new(0.3);
+        assert!(u.utility(0.25) > 0.25);
+        assert!(u.utility(1.0) <= 1.0 + 1e-12);
+        assert_eq!(u.utility(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn power_utility_rejects_bad_alpha() {
+        PowerUtility::new(0.0);
+    }
+
+    #[test]
+    fn piecewise_interpolates() {
+        let u = PiecewiseUtility::from_points(vec![(0.5, 0.9)], "half");
+        assert_eq!(u.utility(0.0), 0.0);
+        assert!((u.utility(0.25) - 0.45).abs() < 1e-12);
+        assert!((u.utility(0.5) - 0.9).abs() < 1e-12);
+        assert!((u.utility(0.75) - 0.95).abs() < 1e-12);
+        assert_eq!(u.utility(1.0), 1.0);
+    }
+
+    #[test]
+    fn image_ssim_curve_shape() {
+        let u = PiecewiseUtility::image_ssim();
+        // Steep start: a quarter of the blocks already gives most of the
+        // quality (Figure 3).
+        assert!(u.utility(0.25) > 0.7);
+        assert!(u.utility(0.5) > 0.9);
+        assert!((u.utility(1.0) - 1.0).abs() < 1e-12);
+        // Monotone.
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let v = u.utility(i as f64 / 100.0);
+            assert!(v + 1e-12 >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn gain_table_matches_utility_differences() {
+        let u = PowerUtility::new(0.5);
+        let t = GainTable::new(&u, 4);
+        assert_eq!(t.num_blocks(), 4);
+        // Sum of gains equals U(1) = 1.
+        let total: f64 = t.gains().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // step(b) equals U(b/Nb).
+        for b in 0..=4 {
+            assert!((t.step(b) - u.utility(b as f64 / 4.0)).abs() < 1e-12);
+        }
+        // Gains are decreasing for a concave utility.
+        for w in t.gains().windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        // Out-of-range queries are graceful.
+        assert_eq!(t.gain(0), 0.0);
+        assert_eq!(t.gain(10), 0.0);
+        assert_eq!(t.next_gain(4), 0.0);
+        assert_eq!(t.step(100), t.step(4));
+    }
+
+    #[test]
+    fn utility_model_homogeneous_and_per_request() {
+        let m = UtilityModel::homogeneous(&LinearUtility, 10);
+        assert!((m.step(3, 5) - 0.5).abs() < 1e-12);
+        assert!((m.next_gain(0, 0) - 0.1).abs() < 1e-12);
+
+        let tables = vec![
+            GainTable::new(&LinearUtility, 2),
+            GainTable::new(&PowerUtility::new(0.5), 4),
+        ];
+        let m = UtilityModel::per_request(tables);
+        assert!((m.step(0, 1) - 0.5).abs() < 1e-12);
+        assert!((m.step(1, 1) - 0.5).abs() < 1e-12); // sqrt(1/4) = 0.5
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// For any sampled concave utility and block count, the gain table's
+            /// cumulative steps reproduce the utility at block boundaries and the
+            /// gains are non-negative.
+            #[test]
+            fn gain_table_consistency(alpha in 0.05f64..1.0, nb in 1u32..64) {
+                let u = PowerUtility::new(alpha);
+                let t = GainTable::new(&u, nb);
+                for b in 0..=nb {
+                    let expected = u.utility(b as f64 / nb as f64);
+                    prop_assert!((t.step(b) - expected).abs() < 1e-9);
+                }
+                for i in 1..=nb {
+                    prop_assert!(t.gain(i) >= 0.0);
+                }
+            }
+
+            /// Piecewise utilities built from arbitrary monotone points stay in
+            /// [0,1] and remain monotone.
+            #[test]
+            fn piecewise_monotone(raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..8)) {
+                // Force monotonicity of the inputs by sorting both coordinates.
+                let mut xs: Vec<f64> = raw.iter().map(|p| p.0).collect();
+                let mut ys: Vec<f64> = raw.iter().map(|p| p.1).collect();
+                xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let pts: Vec<(f64, f64)> = xs.into_iter().zip(ys).collect();
+                let u = PiecewiseUtility::from_points(pts, "prop");
+                let mut prev = -1e-12;
+                for i in 0..=50 {
+                    let v = u.utility(i as f64 / 50.0);
+                    prop_assert!((0.0..=1.0 + 1e-9).contains(&v));
+                    prop_assert!(v >= prev - 1e-9);
+                    prev = v;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Client-side receive-rate measurement.
+//!
+//! The Khameleon client "periodically sends its data receive rate to the
+//! server" (§5.4); the server feeds those reports into its harmonic-mean
+//! [`khameleon_core::bandwidth::BandwidthEstimator`].  [`ReceiveRateMeter`]
+//! is the client half: it accumulates received bytes and emits a rate sample
+//! once per reporting interval.
+
+use khameleon_core::types::{Bandwidth, Bytes, Duration, Time};
+
+/// Sliding-interval receive-rate meter.
+#[derive(Debug, Clone)]
+pub struct ReceiveRateMeter {
+    interval: Duration,
+    window_start: Time,
+    bytes_in_window: Bytes,
+    last_rate: Option<Bandwidth>,
+    total_bytes: Bytes,
+}
+
+impl ReceiveRateMeter {
+    /// Creates a meter that produces one rate sample per `interval`.
+    pub fn new(interval: Duration) -> Self {
+        assert!(interval.as_micros() > 0, "interval must be positive");
+        ReceiveRateMeter {
+            interval,
+            window_start: Time::ZERO,
+            bytes_in_window: 0,
+            last_rate: None,
+            total_bytes: 0,
+        }
+    }
+
+    /// Records `bytes` received at `now`.  Returns a rate sample if a full
+    /// reporting interval has elapsed since the window started.
+    pub fn on_receive(&mut self, bytes: Bytes, now: Time) -> Option<Bandwidth> {
+        self.bytes_in_window += bytes;
+        self.total_bytes += bytes;
+        let elapsed = now.saturating_sub(self.window_start);
+        if elapsed >= self.interval {
+            let rate = Bandwidth(self.bytes_in_window as f64 / elapsed.as_secs_f64().max(1e-9));
+            self.window_start = now;
+            self.bytes_in_window = 0;
+            self.last_rate = Some(rate);
+            Some(rate)
+        } else {
+            None
+        }
+    }
+
+    /// The most recent rate sample, if any.
+    pub fn last_rate(&self) -> Option<Bandwidth> {
+        self.last_rate
+    }
+
+    /// Total bytes observed since creation.
+    pub fn total_bytes(&self) -> Bytes {
+        self.total_bytes
+    }
+
+    /// The reporting interval.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_once_per_interval() {
+        let mut m = ReceiveRateMeter::new(Duration::from_millis(100));
+        assert!(m.on_receive(10_000, Time::from_millis(20)).is_none());
+        assert!(m.on_receive(10_000, Time::from_millis(60)).is_none());
+        // 100 ms elapsed: 30 KB over 0.1 s = 300 KB/s.
+        let r = m.on_receive(10_000, Time::from_millis(100)).unwrap();
+        assert!((r.bytes_per_sec() - 300_000.0).abs() < 1.0);
+        assert_eq!(m.last_rate().unwrap().bytes_per_sec(), r.bytes_per_sec());
+        assert_eq!(m.total_bytes(), 30_000);
+        // Window reset: the next small delivery does not report yet.
+        assert!(m.on_receive(1_000, Time::from_millis(150)).is_none());
+    }
+
+    #[test]
+    fn rate_accounts_for_actual_elapsed_time() {
+        let mut m = ReceiveRateMeter::new(Duration::from_millis(100));
+        // Nothing for 400 ms, then one burst.
+        let r = m.on_receive(400_000, Time::from_millis(400)).unwrap();
+        assert!((r.as_mbps() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        ReceiveRateMeter::new(Duration::ZERO);
+    }
+}

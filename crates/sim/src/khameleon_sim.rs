@@ -1,0 +1,414 @@
+//! End-to-end simulation of a Khameleon deployment.
+//!
+//! Wires the real library components — [`KhameleonServer`] (greedy scheduler,
+//! bandwidth estimator, backend), [`CacheManager`] (ring cache, upcalls,
+//! preemption), [`PredictorManager`] — to a simulated duplex network path and
+//! an interaction-trace replay, all driven by the deterministic event queue.
+//! The same code paths that a live deployment exercises produce the metrics
+//! reported in the paper's figures.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use khameleon_core::block::{BlockMeta, ResponseCatalog};
+use khameleon_core::client::CacheManager;
+use khameleon_core::predictor::{
+    ClientPredictor, InteractionEvent, PredictorManager, PredictorManagerConfig, PredictorState,
+    ServerPredictor,
+};
+use khameleon_core::scheduler::GreedySchedulerConfig;
+use khameleon_core::server::{KhameleonServer, ServerConfig};
+use khameleon_core::types::{Bandwidth, Duration, RequestId, Time};
+use khameleon_core::utility::UtilityModel;
+use khameleon_backend::blockstore::BlockStore;
+use khameleon_backend::executor::CostModel;
+use khameleon_apps::traces::InteractionTrace;
+use khameleon_net::link::{BandwidthModel, ConstantRate, Link};
+
+use crate::config::{BandwidthSpec, ExperimentConfig};
+use crate::engine::EventQueue;
+use crate::result::RunResult;
+
+/// How long the backend takes to materialize a request's response the first
+/// time any of its blocks is pushed.
+pub enum BackendLatency {
+    /// Fixed per-request processing cost (the image app's simulated backend,
+    /// §6.1).
+    PerRequest(Duration),
+    /// Cost-model-driven latency with concurrency effects (the Falcon
+    /// backends of §6.4); `rows` is the table size and `queries_per_request`
+    /// how many concurrent queries one request fans out into.
+    CostModel {
+        /// The latency/concurrency model.
+        model: CostModel,
+        /// Rows scanned per query.
+        rows: usize,
+        /// Queries issued per request.
+        queries_per_request: usize,
+    },
+}
+
+/// Options beyond the shared [`ExperimentConfig`].
+pub struct KhameleonOptions {
+    /// Backend latency model.
+    pub backend: BackendLatency,
+    /// Optional backend concurrency limit passed to the scheduler's
+    /// post-processing (§5.4).
+    pub backend_concurrency_limit: Option<usize>,
+    /// Extra simulated time after the last trace event (lets in-flight blocks
+    /// land).
+    pub drain: Duration,
+    /// If set, record the utility of this request over time after the final
+    /// trace request (the convergence probe of Figure 10).
+    pub convergence_probe: Option<RequestId>,
+}
+
+impl Default for KhameleonOptions {
+    fn default() -> Self {
+        KhameleonOptions {
+            backend: BackendLatency::PerRequest(Duration::from_millis(75)),
+            backend_concurrency_limit: None,
+            drain: Duration::from_millis(500),
+            convergence_probe: None,
+        }
+    }
+}
+
+enum Event {
+    UserRequest(usize),
+    PredictionPoll,
+    PredictionArrive(PredictorState),
+    RateReport(Bandwidth),
+    SenderWake,
+    BlockArrive(BlockMeta),
+}
+
+/// Runs one Khameleon simulation over `trace` and returns the collected
+/// metrics.
+#[allow(clippy::too_many_arguments)]
+pub fn run_khameleon(
+    catalog: Arc<ResponseCatalog>,
+    utility: UtilityModel,
+    client_predictor: Box<dyn ClientPredictor>,
+    server_predictor: Box<dyn ServerPredictor>,
+    trace: &InteractionTrace,
+    cfg: &ExperimentConfig,
+    options: KhameleonOptions,
+) -> RunResult {
+    let slot_bytes = catalog.max_block_size().max(1);
+    let cache_blocks = ((cfg.cache_bytes / slot_bytes).max(1)) as usize;
+
+    // --- server ---
+    let backend_store = match options.backend_concurrency_limit {
+        Some(limit) => BlockStore::new(catalog.clone()).with_concurrency_limit(limit),
+        None => BlockStore::new(catalog.clone()),
+    };
+    let server_cfg = ServerConfig {
+        scheduler: GreedySchedulerConfig {
+            cache_blocks,
+            gamma: cfg.gamma,
+            seed: cfg.seed,
+            ..Default::default()
+        },
+        initial_bandwidth: cfg.bandwidth.nominal(),
+        bandwidth_cap: None,
+        sender_queue_target: 32,
+    };
+    let mut server = KhameleonServer::new(
+        server_cfg,
+        utility.clone(),
+        catalog.clone(),
+        server_predictor,
+        Box::new(backend_store),
+    );
+
+    // --- client ---
+    let mut client = CacheManager::new(cache_blocks, catalog.clone(), utility);
+    let mut predictor = PredictorManager::new(
+        client_predictor,
+        PredictorManagerConfig {
+            send_interval: cfg.prediction_interval,
+            send_on_request: false,
+        },
+    );
+
+    // --- network ---
+    let propagation = cfg.network_propagation();
+    let downlink_model: Box<dyn BandwidthModel> = match &cfg.bandwidth {
+        BandwidthSpec::Fixed(b) => Box::new(ConstantRate(*b)),
+        BandwidthSpec::Cellular(t) => Box::new(t.clone()),
+    };
+    let mut downlink = Link::new(downlink_model, propagation);
+
+    // --- backend computation state ---
+    let mut computed: HashMap<RequestId, Time> = HashMap::new();
+    let mut inflight_queries: Vec<(Time, usize)> = Vec::new(); // (done_at, queries)
+
+    // --- bookkeeping ---
+    let mut bytes_since_report: u64 = 0;
+    let mut last_report_at = Time::ZERO;
+    let mut sample_idx = 0usize;
+    let mut convergence: Vec<(Duration, f64)> = Vec::new();
+    let pause_at = trace.requests.last().map(|r| r.0).unwrap_or(Time::ZERO);
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    for (i, &(at, _)) in trace.requests.iter().enumerate() {
+        queue.schedule(at, Event::UserRequest(i));
+    }
+    queue.schedule(Time::ZERO, Event::PredictionPoll);
+    queue.schedule(Time::ZERO, Event::SenderWake);
+
+    let end_of_run = Time::ZERO + trace.duration() + options.drain;
+    let idle_poll = Duration::from_millis(5);
+
+    while let Some((now, event)) = queue.pop() {
+        if now > end_of_run {
+            break;
+        }
+        match event {
+            Event::UserRequest(i) => {
+                let (at, request) = trace.requests[i];
+                predictor.observe(&InteractionEvent::Request { request, at });
+                let _ = client.register(request, now);
+            }
+            Event::PredictionPoll => {
+                // Feed mouse motion observed since the last poll.
+                while sample_idx < trace.samples.len() && trace.samples[sample_idx].at <= now {
+                    let s = trace.samples[sample_idx];
+                    predictor.observe(&InteractionEvent::MouseMove {
+                        x: s.x,
+                        y: s.y,
+                        at: s.at,
+                    });
+                    sample_idx += 1;
+                }
+                if let Some(state) = predictor.poll(now) {
+                    client.note_prediction_sent(state.wire_size_bytes());
+                    queue.schedule(now + propagation, Event::PredictionArrive(state));
+                }
+                // Receive-rate report (same uplink message cadence).
+                let window = now.saturating_sub(last_report_at);
+                if window > Duration::ZERO && bytes_since_report > 0 {
+                    let rate = Bandwidth(bytes_since_report as f64 / window.as_secs_f64());
+                    queue.schedule(now + propagation, Event::RateReport(rate));
+                    bytes_since_report = 0;
+                    last_report_at = now;
+                }
+                queue.schedule(now + cfg.prediction_interval, Event::PredictionPoll);
+            }
+            Event::PredictionArrive(state) => {
+                server.on_predictor_state(&state, now);
+            }
+            Event::RateReport(rate) => {
+                server.on_rate_report(rate);
+            }
+            Event::SenderWake => {
+                // Pace the sender by the link: only hand the link a new block
+                // once it has drained the previous one.
+                if !downlink.is_idle(now) {
+                    queue.schedule(downlink.busy_until(), Event::SenderWake);
+                    continue;
+                }
+                match server.next_block(now) {
+                    Some(block) => {
+                        let request = block.meta.block.request;
+                        // First touch of a request triggers backend
+                        // computation; later blocks reuse the materialized
+                        // response (§3.3's precomputed / scalable backends).
+                        let ready_at = *computed.entry(request).or_insert_with(|| {
+                            inflight_queries.retain(|&(done, _)| done > now);
+                            let concurrent: usize =
+                                inflight_queries.iter().map(|&(_, q)| q).sum::<usize>();
+                            let (latency, queries) = match &options.backend {
+                                BackendLatency::PerRequest(d) => (*d, 1),
+                                BackendLatency::CostModel {
+                                    model,
+                                    rows,
+                                    queries_per_request,
+                                } => (
+                                    model.latency(*rows, concurrent + queries_per_request),
+                                    *queries_per_request,
+                                ),
+                            };
+                            let done = now + latency;
+                            inflight_queries.push((done, queries));
+                            done
+                        });
+                        let link_arrival = downlink.send(block.meta.size, now);
+                        // The block cannot arrive before the backend finished
+                        // computing it and the result crossed the network.
+                        let arrival = link_arrival.max(ready_at + propagation);
+                        queue.schedule(arrival, Event::BlockArrive(block.meta));
+                        queue.schedule(downlink.busy_until(), Event::SenderWake);
+                    }
+                    None => {
+                        queue.schedule(now + idle_poll, Event::SenderWake);
+                    }
+                }
+            }
+            Event::BlockArrive(meta) => {
+                bytes_since_report += meta.size;
+                let request = meta.block.request;
+                let _ = client.on_block(meta, now);
+                if let Some(probe) = options.convergence_probe {
+                    if request == probe && now >= pause_at {
+                        convergence.push((now.saturating_sub(pause_at), client.current_utility(probe)));
+                    }
+                }
+            }
+        }
+    }
+
+    client.finalize();
+    RunResult {
+        label: format!("khameleon({})", predictor.predictor_name()),
+        summary: client.metrics().summary(),
+        convergence,
+        blocks_sent: server.blocks_sent(),
+        bytes_sent: server.bytes_sent(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use khameleon_apps::image_app::{ImageExplorationApp, PredictorKind};
+    use khameleon_apps::traces::{generate_image_trace, ImageTraceConfig};
+    use khameleon_core::types::Bandwidth;
+
+    fn small_setup() -> (ImageExplorationApp, InteractionTrace) {
+        let app = ImageExplorationApp::reduced(10, 1);
+        let trace = generate_image_trace(
+            &app.layout(),
+            &ImageTraceConfig {
+                duration: Duration::from_secs(8),
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        (app, trace)
+    }
+
+    fn run(
+        app: &ImageExplorationApp,
+        trace: &InteractionTrace,
+        cfg: &ExperimentConfig,
+        kind: PredictorKind,
+    ) -> RunResult {
+        run_khameleon(
+            app.catalog(),
+            app.utility(),
+            app.client_predictor(kind, Some(trace)),
+            app.server_predictor(),
+            trace,
+            cfg,
+            KhameleonOptions {
+                backend: BackendLatency::PerRequest(cfg.backend_processing()),
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn khameleon_answers_most_requests_quickly() {
+        let (app, trace) = small_setup();
+        // Generous resources for a tiny corpus: everything should be cached
+        // ahead of time.
+        let cfg = ExperimentConfig::paper_default()
+            .with_bandwidth(Bandwidth::from_mbps(15.0))
+            .with_cache_bytes(100_000_000);
+        let r = run(&app, &trace, &cfg, PredictorKind::Kalman);
+        assert!(r.summary.requests > 20);
+        assert!(
+            r.summary.cache_hit_rate > 0.5,
+            "cache hit rate {}",
+            r.summary.cache_hit_rate
+        );
+        assert!(
+            r.summary.mean_latency_ms < 100.0,
+            "mean latency {}",
+            r.summary.mean_latency_ms
+        );
+        assert!(r.summary.mean_utility > 0.2);
+        assert!(r.blocks_sent > 0);
+        assert!(r.bytes_sent > 0);
+    }
+
+    #[test]
+    fn lower_bandwidth_lowers_coverage_not_latency() {
+        let (app, trace) = small_setup();
+        let high = run(
+            &app,
+            &trace,
+            &ExperimentConfig::paper_default().with_bandwidth(Bandwidth::from_mbps(15.0)),
+            PredictorKind::Kalman,
+        );
+        let low = run(
+            &app,
+            &trace,
+            &ExperimentConfig::paper_default().with_bandwidth(Bandwidth::from_mbps(0.5)),
+            PredictorKind::Kalman,
+        );
+        // Khameleon degrades how much it can push (hedging coverage) under
+        // scarcity rather than letting median latency explode (the central
+        // claim of §6.2).
+        assert!(low.bytes_sent < high.bytes_sent);
+        assert!(low.summary.p50_latency_ms < 1_000.0);
+        assert!(high.summary.cache_hit_rate > 0.0);
+    }
+
+    #[test]
+    fn oracle_predictor_at_least_matches_uniform() {
+        let (app, trace) = small_setup();
+        let cfg = ExperimentConfig::paper_default().with_bandwidth(Bandwidth::from_mbps(2.0));
+        let uniform = run(&app, &trace, &cfg, PredictorKind::Uniform);
+        let oracle = run(&app, &trace, &cfg, PredictorKind::Oracle);
+        assert!(
+            oracle.summary.cache_hit_rate >= uniform.summary.cache_hit_rate - 0.1,
+            "oracle {} vs uniform {}",
+            oracle.summary.cache_hit_rate,
+            uniform.summary.cache_hit_rate
+        );
+    }
+
+    #[test]
+    fn convergence_probe_reaches_full_utility() {
+        let (app, trace) = small_setup();
+        let probe = trace.requests.last().unwrap().1;
+        // Cache large enough to hold the whole (reduced) corpus so the probe's
+        // prefix is never evicted while we watch it converge.
+        let cfg = ExperimentConfig::paper_default()
+            .with_bandwidth(Bandwidth::from_mbps(15.0))
+            .with_cache_bytes(250_000_000);
+        let r = run_khameleon(
+            app.catalog(),
+            app.utility(),
+            app.client_predictor(PredictorKind::Kalman, Some(&trace)),
+            app.server_predictor(),
+            &trace,
+            &cfg,
+            KhameleonOptions {
+                backend: BackendLatency::PerRequest(cfg.backend_processing()),
+                drain: Duration::from_secs(20),
+                convergence_probe: Some(probe),
+                ..Default::default()
+            },
+        );
+        assert!(!r.convergence.is_empty(), "no convergence samples recorded");
+        let final_utility = r.convergence.last().unwrap().1;
+        assert!(final_utility > 0.9, "final utility {final_utility}");
+        // Utility is non-decreasing over the probe.
+        for w in r.convergence.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn overpush_is_reported() {
+        let (app, trace) = small_setup();
+        let cfg = ExperimentConfig::paper_default();
+        let r = run(&app, &trace, &cfg, PredictorKind::Kalman);
+        assert!(r.summary.overpush_rate >= 0.0 && r.summary.overpush_rate <= 1.0);
+        assert!(r.summary.predictions_sent > 10);
+    }
+}

@@ -1,0 +1,54 @@
+//! Results of a simulated run.
+
+use khameleon_core::metrics::MetricsSummary;
+use khameleon_core::types::Duration;
+
+/// Outcome of one simulated system run over one trace and condition.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Human-readable system label (e.g. `khameleon(kalman)`, `ACC-1-5`).
+    pub label: String,
+    /// Aggregated client-side metrics (§6.1's reporting set).
+    pub summary: MetricsSummary,
+    /// Utility-over-time samples for the convergence probe (Figure 10);
+    /// empty unless a probe was configured.
+    pub convergence: Vec<(Duration, f64)>,
+    /// Blocks the server pushed.
+    pub blocks_sent: u64,
+    /// Bytes the server pushed.
+    pub bytes_sent: u64,
+}
+
+impl RunResult {
+    /// One CSV row: `label,<metrics row>`.
+    pub fn to_csv_row(&self) -> String {
+        format!("{},{}", self.label, self.summary.to_csv_row())
+    }
+
+    /// CSV header matching [`RunResult::to_csv_row`].
+    pub fn csv_header() -> String {
+        format!("system,{}", MetricsSummary::csv_header())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use khameleon_core::metrics::MetricsCollector;
+
+    #[test]
+    fn csv_row_field_count_matches_header() {
+        let r = RunResult {
+            label: "toy".into(),
+            summary: MetricsCollector::new().summary(),
+            convergence: vec![],
+            blocks_sent: 0,
+            bytes_sent: 0,
+        };
+        assert_eq!(
+            r.to_csv_row().split(',').count(),
+            RunResult::csv_header().split(',').count()
+        );
+        assert!(r.to_csv_row().starts_with("toy,"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Image-exploration walkthrough: replay a synthetic mouse trace over the
+//! thumbnail-grid application and compare Khameleon against the classic
+//! prefetching baselines under a constrained network.
+//!
+//! Run with: `cargo run --release --example image_exploration`
+
+use khameleon::prelude::*;
+use khameleon::sim::result::RunResult;
+
+fn main() {
+    // A reduced gallery (900 thumbnails) so the example runs in seconds; the
+    // benchmark binaries use the paper-scale 10,000-image gallery.
+    let app = ImageExplorationApp::reduced(30, 42);
+    let trace = generate_image_trace(
+        &app.layout(),
+        &ImageTraceConfig {
+            duration: Duration::from_secs(20),
+            seed: 42,
+            ..Default::default()
+        },
+    );
+    println!(
+        "trace: {} requests over {:.0}s (mean think time {:.0} ms)",
+        trace.num_requests(),
+        trace.duration().as_secs_f64(),
+        trace.mean_think_time().as_millis_f64()
+    );
+
+    // The paper's default condition: 5.625 MB/s, 50 MB cache, 100 ms request
+    // latency.
+    let cfg = ExperimentConfig::paper_default();
+    println!("condition: {}\n", cfg.label());
+
+    println!("{}", RunResult::csv_header());
+    for result in run_image_comparison(&app, &trace, &cfg) {
+        println!("{}", result.to_csv_row());
+    }
+
+    // Khameleon with the oracle predictor is the upper bound on prediction
+    // quality (Figure 12).
+    let oracle = run_image_system(
+        &app,
+        SystemKind::Khameleon(PredictorKind::Oracle),
+        &trace,
+        &cfg,
+    );
+    println!("{}", oracle.to_csv_row());
+}

@@ -1,0 +1,107 @@
+//! Live (threaded) pipeline: the server streams blocks to the client over a
+//! bounded channel that emulates a paced network link, while the client
+//! thread registers requests and ships predictor state back — the same
+//! library code the simulator drives, exercised with real threads and real
+//! payload bytes.
+//!
+//! Run with: `cargo run --release --example live_pipeline`
+
+use std::thread;
+use std::time::Duration as StdDuration;
+
+use crossbeam::channel;
+
+use khameleon::backend::blockstore::BlockStore;
+use khameleon::backend::image::ImageCorpus;
+use khameleon::core::client::CacheManager;
+use khameleon::core::predictor::simple::SimpleServerPredictor;
+use khameleon::core::predictor::PredictorState;
+use khameleon::core::server::{KhameleonServer, ServerConfig};
+use khameleon::core::types::{RequestId, Time};
+
+fn main() {
+    // A small corpus with real synthetic payloads so bytes actually flow.
+    let corpus = ImageCorpus::small(64, 9);
+    let catalog = corpus.catalog();
+    let utility = corpus.utility();
+    let n = corpus.num_images();
+
+    let (block_tx, block_rx) = channel::bounded(8);
+    let (pred_tx, pred_rx) = channel::unbounded::<PredictorState>();
+
+    // Server thread: apply predictions as they arrive and keep pushing blocks.
+    let server_catalog = catalog.clone();
+    let server_utility = utility.clone();
+    let server = thread::spawn(move || {
+        let mut server = KhameleonServer::new(
+            ServerConfig::default(),
+            server_utility,
+            server_catalog.clone(),
+            Box::new(SimpleServerPredictor::new(n)),
+            Box::new(BlockStore::with_synthetic_payloads(server_catalog)),
+        );
+        let mut pushed = 0u64;
+        let start = std::time::Instant::now();
+        while start.elapsed() < StdDuration::from_millis(500) {
+            while let Ok(state) = pred_rx.try_recv() {
+                server.on_predictor_state(&state, Time::from_millis(start.elapsed().as_millis() as u64));
+            }
+            match server.next_block(Time::from_millis(start.elapsed().as_millis() as u64)) {
+                Some(block) => {
+                    if block_tx.send(block).is_err() {
+                        break;
+                    }
+                    pushed += 1;
+                    // Pace roughly like a constrained link.
+                    thread::sleep(StdDuration::from_millis(2));
+                }
+                None => thread::sleep(StdDuration::from_millis(5)),
+            }
+        }
+        pushed
+    });
+
+    // Client thread: register a couple of requests and consume the stream.
+    let client = thread::spawn(move || {
+        let mut client = CacheManager::new(128, catalog, utility);
+        let start = std::time::Instant::now();
+        let mut upcalls = 0usize;
+        let mut payload_bytes = 0usize;
+
+        // The user asks for image 3, then image 11 shortly after.
+        let _ = client.register(RequestId(3), Time::ZERO);
+        let _ = pred_tx.send(PredictorState::LastRequest(RequestId(3)));
+        let mut switched = false;
+
+        while let Ok(block) = block_rx.recv_timeout(StdDuration::from_millis(200)) {
+            let now = Time::from_millis(start.elapsed().as_millis() as u64);
+            payload_bytes += block.payload.as_ref().map(Vec::len).unwrap_or(0);
+            for up in client.on_block(block.meta, now) {
+                upcalls += 1;
+                println!(
+                    "upcall: {} with {} block(s), utility {:.2}",
+                    up.request, up.blocks, up.utility
+                );
+            }
+            if !switched && start.elapsed() > StdDuration::from_millis(100) {
+                switched = true;
+                let _ = client.register(RequestId(11), now);
+                let _ = pred_tx.send(PredictorState::LastRequest(RequestId(11)));
+            }
+            if start.elapsed() > StdDuration::from_millis(450) {
+                break;
+            }
+        }
+        client.finalize();
+        (upcalls, payload_bytes, client.metrics().summary())
+    });
+
+    let pushed = server.join().expect("server thread panicked");
+    let (upcalls, payload_bytes, summary) = client.join().expect("client thread panicked");
+    println!("\nserver pushed {pushed} blocks; client saw {upcalls} upcalls and {payload_bytes} payload bytes");
+    println!(
+        "client metrics: {} requests, cache-hit rate {:.2}, mean latency {:.1} ms",
+        summary.requests, summary.cache_hit_rate, summary.mean_latency_ms
+    );
+    assert!(upcalls >= 1, "expected at least one upcall in the live run");
+}
