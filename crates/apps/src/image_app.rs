@@ -125,9 +125,7 @@ impl ImageExplorationApp {
             PredictorKind::Point => Box::new(PointPredictor::new()),
             PredictorKind::Kalman => Box::new(KalmanMousePredictor::with_defaults()),
             PredictorKind::Oracle => {
-                let schedule = trace
-                    .map(|t| t.requests.clone())
-                    .unwrap_or_default();
+                let schedule = trace.map(|t| t.requests.clone()).unwrap_or_default();
                 Box::new(OraclePredictor::new(self.num_requests(), schedule))
             }
         }
@@ -137,7 +135,9 @@ impl ImageExplorationApp {
     /// state over this layout; falls back gracefully for the other state
     /// kinds).
     pub fn server_predictor(&self) -> Box<dyn ServerPredictor> {
-        Box::new(GaussianLayoutDecoder::new(self.layout.clone() as Arc<dyn RequestLayout>))
+        Box::new(GaussianLayoutDecoder::new(
+            self.layout.clone() as Arc<dyn RequestLayout>
+        ))
     }
 }
 
@@ -221,7 +221,10 @@ mod tests {
         match p.state(Time::from_millis(90)) {
             PredictorState::Summary(s) => {
                 assert!(
-                    s.prob_at(RequestId(9), khameleon_core::types::Duration::from_millis(50)) > 0.99
+                    s.prob_at(
+                        RequestId(9),
+                        khameleon_core::types::Duration::from_millis(50)
+                    ) > 0.99
                 );
             }
             other => panic!("unexpected state {other:?}"),

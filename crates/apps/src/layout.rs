@@ -23,7 +23,10 @@ impl GridLayout {
     /// Creates a grid layout.
     pub fn new(rows: usize, cols: usize, cell_width: f64, cell_height: f64) -> Self {
         assert!(rows > 0 && cols > 0, "grid must have at least one cell");
-        assert!(cell_width > 0.0 && cell_height > 0.0, "cells must have positive size");
+        assert!(
+            cell_width > 0.0 && cell_height > 0.0,
+            "cells must have positive size"
+        );
         GridLayout {
             rows,
             cols,

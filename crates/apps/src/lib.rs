@@ -24,7 +24,9 @@ pub mod layout;
 pub mod traces;
 
 pub use baselines::{AccPrefetcher, FetchGranularity, NoPrefetch, PrefetchPolicy};
-pub use falcon_app::{FalconApp, FalconAppConfig, FalconBackendKind, FalconDataset, FalconPredictorKind};
+pub use falcon_app::{
+    FalconApp, FalconAppConfig, FalconBackendKind, FalconDataset, FalconPredictorKind,
+};
 pub use image_app::{ImageExplorationApp, PredictorKind};
 pub use layout::{ChartRowLayout, GridLayout};
 pub use traces::{

@@ -99,7 +99,10 @@ impl InteractionTrace {
         // fixed spacing.
         let first = self.requests[0].0;
         for (i, &(_, r)) in self.requests.iter().enumerate() {
-            new_requests.push((first + Duration::from_micros(think_time.as_micros() * i as u64), r));
+            new_requests.push((
+                first + Duration::from_micros(think_time.as_micros() * i as u64),
+                r,
+            ));
         }
 
         // Map each sample's time through the piecewise-linear retiming defined
@@ -108,7 +111,11 @@ impl InteractionTrace {
         let new_times: Vec<Time> = new_requests.iter().map(|r| r.0).collect();
         for s in &self.samples {
             let t = remap_time(s.at, &old_times, &new_times);
-            new_samples.push(MouseSample { at: t, x: s.x, y: s.y });
+            new_samples.push(MouseSample {
+                at: t,
+                x: s.x,
+                y: s.y,
+            });
         }
         new_samples.sort_by_key(|s| s.at);
 
@@ -123,7 +130,12 @@ impl InteractionTrace {
     pub fn truncate(&self, duration: Duration) -> InteractionTrace {
         let cutoff = Time::ZERO + duration;
         InteractionTrace {
-            samples: self.samples.iter().copied().filter(|s| s.at <= cutoff).collect(),
+            samples: self
+                .samples
+                .iter()
+                .copied()
+                .filter(|s| s.at <= cutoff)
+                .collect(),
             requests: self
                 .requests
                 .iter()
@@ -298,13 +310,13 @@ pub fn generate_falcon_trace(layout: &ChartRowLayout, cfg: &FalconTraceConfig) -
                 x: rng.gen_range(x0..x1),
                 y: rng.gen_range(y0..y1),
             });
-            t = t + cfg.sample_interval;
+            t += cfg.sample_interval;
         }
         now = dwell_end;
         // Move to a different chart (brief travel).
         let next = (current + rng.gen_range(1..charts)) % charts;
         current = next;
-        now = now + Duration::from_millis(rng.gen_range(30..200));
+        now += Duration::from_millis(rng.gen_range(30..200));
     }
 
     InteractionTrace {
@@ -315,7 +327,11 @@ pub fn generate_falcon_trace(layout: &ChartRowLayout, cfg: &FalconTraceConfig) -
 }
 
 /// Generates a set of image traces with distinct seeds (the paper uses 14).
-pub fn image_trace_set(layout: &GridLayout, count: usize, base_cfg: &ImageTraceConfig) -> Vec<InteractionTrace> {
+pub fn image_trace_set(
+    layout: &GridLayout,
+    count: usize,
+    base_cfg: &ImageTraceConfig,
+) -> Vec<InteractionTrace> {
     (0..count)
         .map(|i| {
             let cfg = ImageTraceConfig {
@@ -347,7 +363,7 @@ mod tests {
         // Mean think time is tens of milliseconds (paper: ~20 ms average, with
         // pauses pulling the mean up).
         let mean = t.mean_think_time().as_millis_f64();
-        assert!(mean >= 15.0 && mean <= 250.0, "mean think time {mean} ms");
+        assert!((15.0..=250.0).contains(&mean), "mean think time {mean} ms");
         // Burstiness: a majority of gaps are at the 20 ms sampling floor.
         let tts = t.think_times_ms();
         let fast = tts.iter().filter(|&&x| x <= 25.0).count();

@@ -106,7 +106,7 @@ impl Backend for BlockStore {
         self.concurrency_limit
     }
 
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "block-store"
     }
 }
@@ -150,6 +150,10 @@ mod tests {
         assert_eq!(s.concurrency_limit(), Some(5));
         let b = s.fetch(BlockRef::new(RequestId(0), 0)).unwrap();
         assert_eq!(b.payload.unwrap(), vec![7; 10]);
-        assert!(s.fetch(BlockRef::new(RequestId(1), 0)).unwrap().payload.is_none());
+        assert!(s
+            .fetch(BlockRef::new(RequestId(1), 0))
+            .unwrap()
+            .payload
+            .is_none());
     }
 }

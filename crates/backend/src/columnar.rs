@@ -191,8 +191,8 @@ impl Table {
         let mask = self.filter_mask(filters);
         let width = (hi - lo) / bins as f64;
         let mut counts = vec![0u64; bins];
-        for row in 0..self.rows {
-            if !mask[row] {
+        for (row, &keep) in mask.iter().enumerate() {
+            if !keep {
                 continue;
             }
             let v = col.value(row);

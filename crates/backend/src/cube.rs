@@ -57,8 +57,8 @@ impl CubeSliceQuery {
         let tw = (thi - tlo) / self.target_bins as f64;
 
         let mut counts = vec![0u64; self.result_cells()];
-        for row in 0..table.num_rows() {
-            if !mask[row] {
+        for (row, &keep) in mask.iter().enumerate() {
+            if !keep {
                 continue;
             }
             let av = active.value(row);
@@ -108,8 +108,8 @@ impl CubeSlice {
         let to = to.min(self.active_bins);
         let mut out = vec![0u64; self.target_bins];
         for a in from..to {
-            for t in 0..self.target_bins {
-                out[t] += self.at(a, t);
+            for (t, cell) in out.iter_mut().enumerate() {
+                *cell += self.at(a, t);
             }
         }
         out
@@ -164,9 +164,18 @@ mod tests {
     fn table() -> Table {
         let mut t = Table::new();
         // 8 rows on a 2x2 grid of (x, y) quadrants.
-        t.add_column("x", Column::Float(vec![0.1, 0.2, 0.3, 0.4, 0.6, 0.7, 0.8, 0.9]));
-        t.add_column("y", Column::Float(vec![0.1, 0.6, 0.2, 0.7, 0.1, 0.6, 0.2, 0.7]));
-        t.add_column("z", Column::Float(vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0]));
+        t.add_column(
+            "x",
+            Column::Float(vec![0.1, 0.2, 0.3, 0.4, 0.6, 0.7, 0.8, 0.9]),
+        );
+        t.add_column(
+            "y",
+            Column::Float(vec![0.1, 0.6, 0.2, 0.7, 0.1, 0.6, 0.2, 0.7]),
+        );
+        t.add_column(
+            "z",
+            Column::Float(vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0]),
+        );
         t
     }
 
@@ -219,11 +228,7 @@ mod tests {
 
     #[test]
     fn falcon_group_covers_other_charts() {
-        let dims = [
-            ("x", (0.0, 1.0)),
-            ("y", (0.0, 1.0)),
-            ("z", (0.0, 2.0)),
-        ];
+        let dims = [("x", (0.0, 1.0)), ("y", (0.0, 1.0)), ("z", (0.0, 2.0))];
         let sels = vec![("z".to_string(), RangeFilter::new(0.0, 1.0))];
         let group = falcon_query_group(&dims, 0, 4, &sels);
         assert_eq!(group.len(), 2);

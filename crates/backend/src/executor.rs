@@ -76,8 +76,7 @@ impl CostModel {
     /// Latency of one query that scans `rows` rows while `concurrent` queries
     /// (including this one) are in flight.
     pub fn latency(&self, rows: usize, concurrent: usize) -> Duration {
-        let scan =
-            Duration::from_secs_f64(self.latency_per_mrow.as_secs_f64() * rows as f64 / 1e6);
+        let scan = Duration::from_secs_f64(self.latency_per_mrow.as_secs_f64() * rows as f64 / 1e6);
         let base = self.base_latency + scan;
         match self.concurrency_limit {
             Some(limit) if concurrent > limit => {
@@ -153,7 +152,10 @@ mod tests {
         assert!((small.as_millis_f64() - 800.0).abs() < 100.0, "{small}");
         // Big dataset (7M rows), uncontended: 1.5–2.5 s.
         let big = m.latency(7_000_000, 1);
-        assert!(big.as_millis_f64() > 1_500.0 && big.as_millis_f64() < 2_500.0, "{big}");
+        assert!(
+            big.as_millis_f64() > 1_500.0 && big.as_millis_f64() < 2_500.0,
+            "{big}"
+        );
         // Within the limit there is no penalty; beyond it latency grows.
         assert_eq!(m.latency(1_000_000, 15), small);
         assert!(m.latency(1_000_000, 30) > small.mul(2));

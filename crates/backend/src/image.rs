@@ -67,7 +67,9 @@ impl ImageCorpus {
         let layouts = sizes
             .iter()
             .enumerate()
-            .map(|(i, &s)| ResponseLayout::split_evenly(RequestId::from(i), s, cfg.blocks_per_image))
+            .map(|(i, &s)| {
+                ResponseLayout::split_evenly(RequestId::from(i), s, cfg.blocks_per_image)
+            })
             .collect();
         ImageCorpus {
             catalog: Arc::new(ResponseCatalog::new(layouts)),
@@ -158,7 +160,10 @@ mod tests {
         let c = ImageCorpus::small(4, 3);
         let u = c.utility();
         let quarter = u.step(0, c.config().blocks_per_image / 4);
-        assert!(quarter > 0.6, "first 25% of blocks should carry most utility");
+        assert!(
+            quarter > 0.6,
+            "first 25% of blocks should carry most utility"
+        );
         assert!((u.step(0, c.config().blocks_per_image) - 1.0).abs() < 1e-9);
     }
 

@@ -24,7 +24,14 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_10s_trace");
     group.sample_size(10);
     group.bench_function("khameleon_kalman", |b| {
-        b.iter(|| run_image_system(&app, SystemKind::Khameleon(PredictorKind::Kalman), &trace, &cfg));
+        b.iter(|| {
+            run_image_system(
+                &app,
+                SystemKind::Khameleon(PredictorKind::Kalman),
+                &trace,
+                &cfg,
+            )
+        });
     });
     group.bench_function("baseline", |b| {
         b.iter(|| run_image_system(&app, SystemKind::Baseline, &trace, &cfg));

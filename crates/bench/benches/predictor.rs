@@ -9,7 +9,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use khameleon_apps::layout::GridLayout;
 use khameleon_core::distribution::PredictionSummary;
 use khameleon_core::predictor::kalman::{GaussianLayoutDecoder, KalmanMousePredictor};
-use khameleon_core::predictor::{ClientPredictor, InteractionEvent, RequestLayout, ServerPredictor};
+use khameleon_core::predictor::{
+    ClientPredictor, InteractionEvent, RequestLayout, ServerPredictor,
+};
 use khameleon_core::scheduler::HorizonModel;
 use khameleon_core::types::{Duration, RequestId, Time};
 
@@ -56,5 +58,10 @@ fn bench_horizon_model(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_kalman_update, bench_gaussian_decode, bench_horizon_model);
+criterion_group!(
+    benches,
+    bench_kalman_update,
+    bench_gaussian_decode,
+    bench_horizon_model
+);
 criterion_main!(benches);

@@ -9,7 +9,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use khameleon_core::block::ResponseCatalog;
 use khameleon_core::distribution::{HorizonSlice, PredictionSummary, SparseDistribution};
-use khameleon_core::scheduler::{GreedyScheduler, GreedySchedulerConfig, HorizonModel, OptimalScheduler};
+use khameleon_core::scheduler::{
+    GreedyScheduler, GreedySchedulerConfig, HorizonModel, OptimalScheduler,
+};
 use khameleon_core::types::{Duration, RequestId, Time};
 use khameleon_core::utility::{PowerUtility, UtilityModel};
 
@@ -100,12 +102,7 @@ fn bench_optimal(c: &mut Criterion) {
         let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 10_000));
         let utility = UtilityModel::homogeneous(&PowerUtility::new(0.5), blocks);
         let sched = OptimalScheduler::new(utility, catalog);
-        let model = HorizonModel::build(
-            &prediction(n, 2),
-            cache,
-            Duration::from_millis(5),
-            1.0,
-        );
+        let model = HorizonModel::build(&prediction(n, 2), cache, Duration::from_millis(5), 1.0);
         group.bench_function(format!("n{n}_c{cache}_b{blocks}"), |b| {
             b.iter(|| sched.schedule(&model));
         });

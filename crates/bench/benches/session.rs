@@ -1,0 +1,99 @@
+//! Multi-client scheduler benchmarks: throughput of
+//! [`SessionManager::next_event`] as the number of concurrent sessions
+//! grows, under both arbitration policies, plus the cost of routing
+//! prediction updates to one session among many.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use khameleon_core::block::ResponseCatalog;
+use khameleon_core::predictor::PredictorState;
+use khameleon_core::protocol::ClientMessage;
+use khameleon_core::scheduler::GreedySchedulerConfig;
+use khameleon_core::server::{CatalogBackend, ServerConfig};
+use khameleon_core::session::{RoundRobin, Session, SessionManager, SharePolicy, WeightedFair};
+use khameleon_core::types::{RequestId, Time};
+use khameleon_core::utility::{PowerUtility, UtilityModel};
+
+fn manager(sessions: usize, policy: Box<dyn SharePolicy>) -> SessionManager {
+    let n = 500;
+    let blocks = 10u32;
+    let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 10_000));
+    let utility = UtilityModel::homogeneous(&PowerUtility::new(0.5), blocks);
+    let mut mgr = SessionManager::new(Box::new(CatalogBackend::new(catalog.clone())), policy);
+    for i in 0..sessions {
+        mgr.add_session(
+            Session::builder(utility.clone(), catalog.clone())
+                .config(ServerConfig {
+                    scheduler: GreedySchedulerConfig {
+                        cache_blocks: 512,
+                        seed: i as u64,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                })
+                .weight(1.0 + (i % 3) as f64),
+        );
+    }
+    mgr
+}
+
+fn bench_next_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_next_event");
+    group.sample_size(10);
+    for &sessions in &[1usize, 4, 16] {
+        for (label, weighted) in [("round_robin", false), ("weighted_fair", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, sessions),
+                &sessions,
+                |b, &sessions| {
+                    b.iter_batched(
+                        || {
+                            let policy: Box<dyn SharePolicy> = if weighted {
+                                Box::new(WeightedFair::new())
+                            } else {
+                                Box::new(RoundRobin::new())
+                            };
+                            manager(sessions, policy)
+                        },
+                        |mut mgr| {
+                            for _ in 0..256 {
+                                let _ = mgr.next_event(Time::ZERO);
+                            }
+                            mgr
+                        },
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_prediction_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_prediction_routing");
+    group.sample_size(10);
+    for &sessions in &[4usize, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sessions),
+            &sessions,
+            |b, &sessions| {
+                let mut mgr = manager(sessions, Box::new(RoundRobin::new()));
+                let ids = mgr.session_ids();
+                let msg = ClientMessage::Predictor(PredictorState::LastRequest(RequestId(7)));
+                let mut i = 0usize;
+                b.iter(|| {
+                    let id = ids[i % ids.len()];
+                    i += 1;
+                    mgr.on_message(id, &msg, Time::ZERO)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_next_event, bench_prediction_routing);
+criterion_main!(benches);

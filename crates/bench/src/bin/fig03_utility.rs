@@ -19,5 +19,8 @@ fn main() {
             vis.utility(frac)
         ));
     }
-    print_csv("fraction_of_blocks,image_ssim_utility,vis_linear_utility", &rows);
+    print_csv(
+        "fraction_of_blocks,image_ssim_utility,vis_linear_utility",
+        &rows,
+    );
 }

@@ -9,7 +9,11 @@ use khameleon_core::types::Duration;
 
 fn main() {
     let scale = Scale::from_args();
-    print_preamble("Figure 5", scale, "think-time CDFs of the interaction traces");
+    print_preamble(
+        "Figure 5",
+        scale,
+        "think-time CDFs of the interaction traces",
+    );
 
     // Image-application traces.
     let app = image_app(scale);

@@ -56,7 +56,10 @@ fn main() {
     }
 
     print_csv(
-        &format!("cache_mb,bw_bucket,bandwidth_mbps,{}", RunResult::csv_header()),
+        &format!(
+            "cache_mb,bw_bucket,bandwidth_mbps,{}",
+            RunResult::csv_header()
+        ),
         &rows,
     );
 

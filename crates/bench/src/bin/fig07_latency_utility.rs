@@ -1,12 +1,12 @@
 //! Figure 7: response-latency vs response-utility scatter for every system,
 //! bandwidth, and cache-size combination (upper-left is better).
 
+use khameleon_apps::image_app::PredictorKind;
 use khameleon_bench::{
     bandwidth_sweep, cache_sweep, image_app, image_trace, print_csv, print_preamble, Scale,
 };
 use khameleon_sim::config::ExperimentConfig;
 use khameleon_sim::harness::{run_image_system, SystemKind};
-use khameleon_apps::image_app::PredictorKind;
 
 fn main() {
     let scale = Scale::from_args();
@@ -43,5 +43,8 @@ fn main() {
             }
         }
     }
-    print_csv("system,cache_mb,bandwidth_mbps,mean_latency_ms,mean_utility", &rows);
+    print_csv(
+        "system,cache_mb,bandwidth_mbps,mean_latency_ms,mean_utility",
+        &rows,
+    );
 }

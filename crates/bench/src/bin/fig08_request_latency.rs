@@ -2,12 +2,14 @@
 //! bandwidth fixed at 15 MB/s and cache at 50 MB.  Also prints the §6.2
 //! headline speedup at 400 ms (Khameleon vs Baseline / ACC).
 
-use khameleon_bench::{image_app, image_trace, print_csv, print_preamble, request_latency_sweep, Scale};
+use khameleon_apps::image_app::PredictorKind;
+use khameleon_bench::{
+    image_app, image_trace, print_csv, print_preamble, request_latency_sweep, Scale,
+};
 use khameleon_core::types::Bandwidth;
 use khameleon_sim::config::ExperimentConfig;
 use khameleon_sim::harness::{run_image_system, SystemKind};
 use khameleon_sim::result::RunResult;
-use khameleon_apps::image_app::PredictorKind;
 
 fn main() {
     let scale = Scale::from_args();
@@ -43,7 +45,10 @@ fn main() {
             }
         }
     }
-    print_csv(&format!("request_latency_ms,{}", RunResult::csv_header()), &rows);
+    print_csv(
+        &format!("request_latency_ms,{}", RunResult::csv_header()),
+        &rows,
+    );
 
     if let Some(kham) = at_400.iter().find(|(l, _)| l.starts_with("Khameleon")) {
         for (label, lat) in &at_400 {

@@ -3,10 +3,12 @@
 //! Khameleon with the Kalman and Oracle predictors against ACC-1-1, ACC-1-5,
 //! and Baseline.
 
-use khameleon_bench::{image_app, image_trace, print_csv, print_preamble, resource_levels, think_time_sweep, Scale};
+use khameleon_apps::image_app::PredictorKind;
+use khameleon_bench::{
+    image_app, image_trace, print_csv, print_preamble, resource_levels, think_time_sweep, Scale,
+};
 use khameleon_sim::harness::{run_image_system, SystemKind};
 use khameleon_sim::result::RunResult;
-use khameleon_apps::image_app::PredictorKind;
 
 fn main() {
     let scale = Scale::from_args();

@@ -4,10 +4,10 @@
 //! Khameleon's utility rises progressively as blocks stream in; the
 //! baselines are all-or-nothing (utility 0 until the full response lands).
 
+use khameleon_apps::image_app::PredictorKind;
 use khameleon_bench::{image_app, image_trace, print_csv, print_preamble, resource_levels, Scale};
 use khameleon_core::types::Duration;
 use khameleon_sim::harness::{run_baseline_convergence, run_convergence, SystemKind};
-use khameleon_apps::image_app::PredictorKind;
 
 fn main() {
     let scale = Scale::from_args();
@@ -22,7 +22,9 @@ fn main() {
 
     let mut rows = Vec::new();
     for (level, cfg) in resource_levels() {
-        for (elapsed, utility) in run_convergence(&app, PredictorKind::Kalman, &trace, &cfg, observe) {
+        for (elapsed, utility) in
+            run_convergence(&app, PredictorKind::Kalman, &trace, &cfg, observe)
+        {
             rows.push(format!(
                 "{level},Khameleon,{:.1},{:.4}",
                 elapsed.as_millis_f64(),

@@ -4,16 +4,22 @@
 //! ("Progressive"), and compare against full Khameleon and ACC-1-5, across
 //! request latencies at 15 MB/s and a 50 MB cache.
 
-use khameleon_bench::{image_app, image_trace, print_csv, print_preamble, request_latency_sweep, Scale};
+use khameleon_apps::image_app::PredictorKind;
+use khameleon_bench::{
+    image_app, image_trace, print_csv, print_preamble, request_latency_sweep, Scale,
+};
 use khameleon_core::types::Bandwidth;
 use khameleon_sim::config::ExperimentConfig;
 use khameleon_sim::harness::{run_image_system, SystemKind};
 use khameleon_sim::result::RunResult;
-use khameleon_apps::image_app::PredictorKind;
 
 fn main() {
     let scale = Scale::from_args();
-    print_preamble("Figure 11", scale, "ablation study across request latencies");
+    print_preamble(
+        "Figure 11",
+        scale,
+        "ablation study across request latencies",
+    );
     let app = image_app(scale);
     let trace = image_trace(&app, scale);
 
@@ -39,5 +45,8 @@ fn main() {
             rows.push(format!("{:.0},{}", latency.as_millis_f64(), r.to_csv_row()));
         }
     }
-    print_csv(&format!("request_latency_ms,{}", RunResult::csv_header()), &rows);
+    print_csv(
+        &format!("request_latency_ms,{}", RunResult::csv_header()),
+        &rows,
+    );
 }

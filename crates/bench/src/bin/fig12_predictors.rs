@@ -2,11 +2,11 @@
 //! and Oracle predictors, vs ACC-1-5, across bandwidths at 100 ms request
 //! latency.
 
+use khameleon_apps::image_app::PredictorKind;
 use khameleon_bench::{bandwidth_sweep, image_app, image_trace, print_csv, print_preamble, Scale};
 use khameleon_sim::config::ExperimentConfig;
 use khameleon_sim::harness::{run_image_system, SystemKind};
 use khameleon_sim::result::RunResult;
-use khameleon_apps::image_app::PredictorKind;
 
 fn main() {
     let scale = Scale::from_args();
@@ -34,5 +34,8 @@ fn main() {
             rows.push(format!("{:.2},{}", bw.as_mbps(), r.to_csv_row()));
         }
     }
-    print_csv(&format!("bandwidth_mbps,{}", RunResult::csv_header()), &rows);
+    print_csv(
+        &format!("bandwidth_mbps,{}", RunResult::csv_header()),
+        &rows,
+    );
 }

@@ -2,12 +2,12 @@
 //! (synthetic Verizon and AT&T LTE profiles), with 100 ms request latency
 //! and a 50 MB cache.
 
+use khameleon_apps::image_app::PredictorKind;
 use khameleon_bench::{image_app, image_trace, print_csv, print_preamble, Scale};
 use khameleon_net::cellular::RateTrace;
 use khameleon_sim::config::{BandwidthSpec, ExperimentConfig};
 use khameleon_sim::harness::{run_image_system, SystemKind};
 use khameleon_sim::result::RunResult;
-use khameleon_apps::image_app::PredictorKind;
 
 fn main() {
     let scale = Scale::from_args();
@@ -40,5 +40,8 @@ fn main() {
             ));
         }
     }
-    print_csv(&format!("network,mean_rate_mbps,{}", RunResult::csv_header()), &rows);
+    print_csv(
+        &format!("network,mean_rate_mbps,{}", RunResult::csv_header()),
+        &rows,
+    );
 }

@@ -46,5 +46,8 @@ fn main() {
             }
         }
     }
-    print_csv("num_requests,cache_blocks,blocks_per_request,runtime_us", &rows);
+    print_csv(
+        "num_requests,cache_blocks,blocks_per_request,runtime_us",
+        &rows,
+    );
 }

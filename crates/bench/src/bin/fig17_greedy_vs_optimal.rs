@@ -33,7 +33,11 @@ fn prediction(n: usize, seedish: usize) -> PredictionSummary {
 
 fn main() {
     let scale = Scale::from_args();
-    print_preamble("Figure 17 (A.1)", scale, "greedy vs optimal schedule utility");
+    print_preamble(
+        "Figure 17 (A.1)",
+        scale,
+        "greedy vs optimal schedule utility",
+    );
 
     let configs = [(5usize, 10usize, 5u32), (10, 20, 10), (15, 30, 15)];
     let mut rows = Vec::new();

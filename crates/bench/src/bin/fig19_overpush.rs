@@ -2,9 +2,11 @@
 //! never used by an application upcall — for Khameleon and ACC-1-5, collected
 //! over the think-time experiments at each resource level.
 
-use khameleon_bench::{image_app, image_trace, print_csv, print_preamble, resource_levels, think_time_sweep, Scale};
-use khameleon_sim::harness::{run_image_system, SystemKind};
 use khameleon_apps::image_app::PredictorKind;
+use khameleon_bench::{
+    image_app, image_trace, print_csv, print_preamble, resource_levels, think_time_sweep, Scale,
+};
+use khameleon_sim::harness::{run_image_system, SystemKind};
 
 fn main() {
     let scale = Scale::from_args();

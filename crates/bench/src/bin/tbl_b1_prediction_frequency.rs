@@ -1,11 +1,11 @@
 //! §B.1: sensitivity to the prediction send frequency (50–350 ms), across the
 //! low / medium / high resource settings.
 
+use khameleon_apps::image_app::PredictorKind;
 use khameleon_bench::{image_app, image_trace, print_csv, print_preamble, resource_levels, Scale};
 use khameleon_core::types::Duration;
 use khameleon_sim::harness::{run_image_system, SystemKind};
 use khameleon_sim::result::RunResult;
-use khameleon_apps::image_app::PredictorKind;
 
 fn main() {
     let scale = Scale::from_args();
@@ -17,7 +17,9 @@ fn main() {
     let mut rows = Vec::new();
     for (level, cfg) in resource_levels() {
         for freq in frequencies {
-            let cfg = cfg.clone().with_prediction_interval(Duration::from_millis(freq));
+            let cfg = cfg
+                .clone()
+                .with_prediction_interval(Duration::from_millis(freq));
             let r = run_image_system(
                 &app,
                 SystemKind::Khameleon(PredictorKind::Kalman),
@@ -28,7 +30,10 @@ fn main() {
         }
     }
     print_csv(
-        &format!("resource,prediction_interval_ms,{}", RunResult::csv_header()),
+        &format!(
+            "resource,prediction_interval_ms,{}",
+            RunResult::csv_header()
+        ),
         &rows,
     );
 }

@@ -148,7 +148,11 @@ pub fn print_preamble(figure: &str, scale: Scale, description: &str) {
     eprintln!(
         "# scale = {:?}{}",
         scale,
-        if scale.is_full() { "" } else { " (pass --full for paper scale)" }
+        if scale.is_full() {
+            ""
+        } else {
+            " (pass --full for paper scale)"
+        }
     );
 }
 

@@ -231,7 +231,11 @@ impl ResponseCatalog {
 
     /// Maximum number of blocks over all requests.
     pub fn max_blocks(&self) -> u32 {
-        self.layouts.iter().map(|l| l.num_blocks()).max().unwrap_or(0)
+        self.layouts
+            .iter()
+            .map(|l| l.num_blocks())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum padded block size over all requests — a safe fixed slot size

@@ -267,7 +267,11 @@ mod tests {
 
     fn manager(n: usize, blocks: u32, cache: usize) -> CacheManager {
         let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 1000));
-        CacheManager::new(cache, catalog, UtilityModel::homogeneous(&LinearUtility, blocks))
+        CacheManager::new(
+            cache,
+            catalog,
+            UtilityModel::homogeneous(&LinearUtility, blocks),
+        )
     }
 
     fn meta(catalog: &ResponseCatalog, req: u32, idx: u32) -> BlockMeta {
@@ -296,7 +300,9 @@ mod tests {
     fn cache_hit_answers_immediately() {
         let mut m = manager(4, 2, 8);
         let cat = m.catalog().clone();
-        assert!(m.on_block(meta(&cat, 2, 0), Time::from_millis(5)).is_empty());
+        assert!(m
+            .on_block(meta(&cat, 2, 0), Time::from_millis(5))
+            .is_empty());
         let u = m.register(RequestId(2), Time::from_millis(10)).unwrap();
         assert!(u.cache_hit);
         assert_eq!(u.latency(), Duration::ZERO);
@@ -321,7 +327,9 @@ mod tests {
         assert_eq!(s.preempted, 2);
         assert_eq!(s.completed, 1);
         // A late block for a preempted request does nothing.
-        assert!(m.on_block(meta(&cat, 0, 0), Time::from_millis(30)).is_empty());
+        assert!(m
+            .on_block(meta(&cat, 0, 0), Time::from_millis(30))
+            .is_empty());
     }
 
     #[test]

@@ -65,7 +65,11 @@ impl SparseDistribution {
         for (_, p) in &mut merged {
             *p /= total;
         }
-        let residual = if merged.len() < n { residual / total } else { 0.0 };
+        let residual = if merged.len() < n {
+            residual / total
+        } else {
+            0.0
+        };
         SparseDistribution {
             n,
             explicit: merged,
@@ -155,11 +159,7 @@ impl SparseDistribution {
             entries.push((r, (1.0 - w) * p + w * other.prob(r)));
         }
         for &(r, p) in &other.explicit {
-            if self
-                .explicit
-                .binary_search_by_key(&r, |&(x, _)| x)
-                .is_err()
-            {
+            if self.explicit.binary_search_by_key(&r, |&(x, _)| x).is_err() {
                 entries.push((r, (1.0 - w) * self.prob(r) + w * p));
             }
         }
@@ -354,7 +354,11 @@ mod tests {
     fn from_entries_normalizes_and_merges() {
         let d = SparseDistribution::from_entries(
             8,
-            vec![(RequestId(1), 2.0), (RequestId(1), 2.0), (RequestId(5), 4.0)],
+            vec![
+                (RequestId(1), 2.0),
+                (RequestId(1), 2.0),
+                (RequestId(5), 4.0),
+            ],
             2.0,
         );
         assert!((d.prob(RequestId(1)) - 0.4).abs() < 1e-12);
@@ -373,7 +377,11 @@ mod tests {
         let d = SparseDistribution::from_entries(3, vec![(RequestId(7), 1.0)], 1.0);
         assert!((d.prob(RequestId(0)) - 1.0 / 3.0).abs() < 1e-12);
         // Negative probabilities are clamped.
-        let d = SparseDistribution::from_entries(3, vec![(RequestId(0), -5.0), (RequestId(1), 1.0)], 0.0);
+        let d = SparseDistribution::from_entries(
+            3,
+            vec![(RequestId(0), -5.0), (RequestId(1), 1.0)],
+            0.0,
+        );
         assert_eq!(d.prob(RequestId(0)), 0.0);
         assert!((d.prob(RequestId(1)) - 1.0).abs() < 1e-12);
     }
@@ -382,7 +390,11 @@ mod tests {
     fn top_k_orders_by_probability() {
         let d = SparseDistribution::from_weights(
             10,
-            vec![(RequestId(2), 0.1), (RequestId(7), 0.5), (RequestId(4), 0.4)],
+            vec![
+                (RequestId(2), 0.1),
+                (RequestId(7), 0.5),
+                (RequestId(4), 0.4),
+            ],
         );
         let top = d.top_k(2);
         assert_eq!(top[0].0, RequestId(7));

@@ -1,7 +1,7 @@
 //! # khameleon-core
 //!
 //! Core library of the Khameleon reproduction: *Continuous Prefetch for
-//! Interactive Data Applications* (VLDB 2020).
+//! Interactive Data Applications* (SIGMOD 2020).
 //!
 //! Khameleon is a prefetching framework for interactive data visualization
 //! and exploration (DVE) applications that are bottlenecked by request
@@ -15,11 +15,16 @@
 //!    registers requests locally ([`client::CacheManager`]) and periodically
 //!    ships a probability distribution over future requests
 //!    ([`predictor`], [`distribution`]);
-//! 3. runs a server-side **scheduler** that allocates network slots to blocks
+//! 3. runs a server-side **scheduler** behind the pluggable
+//!    [`scheduler::Scheduler`] trait ([`scheduler::GreedyScheduler`],
+//!    [`scheduler::OptimalScheduler`]) that allocates network slots to blocks
 //!    so as to maximize expected user-perceived utility over the client
-//!    cache's horizon ([`scheduler::GreedyScheduler`],
-//!    [`scheduler::OptimalScheduler`]), paced by a bandwidth estimator
-//!    ([`bandwidth`]) and served from a pluggable [`server::Backend`].
+//!    cache's horizon, paced by a bandwidth estimator ([`bandwidth`]) and
+//!    served from a pluggable [`server::Backend`];
+//! 4. **multiplexes** many concurrent clients over one shared backend and
+//!    bandwidth budget ([`session::SessionManager`]), with a pluggable
+//!    [`session::SharePolicy`] dividing the wire between sessions, all
+//!    speaking the typed [`protocol`].
 //!
 //! The sibling crates build substrates on top of this core: network link
 //! models (`khameleon-net`), data backends and progressive encoders
@@ -27,15 +32,19 @@
 //! discrete-event simulator (`khameleon-sim`), and the benchmark harness that
 //! regenerates every figure of the paper (`khameleon-bench`).
 //!
-//! ## Quick start
+//! ## Quick start: one client
+//!
+//! Servers are assembled with [`server::ServerBuilder`]; every component
+//! (scheduler, predictor, backend) is swappable, and the defaults give the
+//! paper's deployment: greedy scheduler over a catalog-backed store.
 //!
 //! ```
 //! use std::sync::Arc;
 //! use khameleon_core::block::ResponseCatalog;
 //! use khameleon_core::client::CacheManager;
-//! use khameleon_core::predictor::simple::SimpleServerPredictor;
 //! use khameleon_core::predictor::PredictorState;
-//! use khameleon_core::server::{CatalogBackend, KhameleonServer, ServerConfig};
+//! use khameleon_core::protocol::{ClientMessage, ServerEvent};
+//! use khameleon_core::server::ServerBuilder;
 //! use khameleon_core::types::{RequestId, Time};
 //! use khameleon_core::utility::{LinearUtility, UtilityModel};
 //!
@@ -43,23 +52,54 @@
 //! let catalog = Arc::new(ResponseCatalog::uniform(100, 10, 10_000));
 //! let utility = UtilityModel::homogeneous(&LinearUtility, 10);
 //!
-//! let mut server = KhameleonServer::new(
-//!     ServerConfig::default(),
-//!     utility.clone(),
-//!     catalog.clone(),
-//!     Box::new(SimpleServerPredictor::new(100)),
-//!     Box::new(CatalogBackend::new(catalog.clone())),
-//! );
+//! let mut server = ServerBuilder::new(utility.clone(), catalog.clone()).build();
 //! let mut client = CacheManager::new(64, catalog, utility);
 //!
-//! // The client registers a request; the server learns about it through the
-//! // predictor state and streams blocks; the first block triggers an upcall.
+//! // The client registers a request locally; the server learns about it
+//! // through the typed protocol and streams blocks; the first block
+//! // triggers an upcall.
 //! let now = Time::ZERO;
 //! assert!(client.register(RequestId(7), now).is_none());
-//! server.on_predictor_state(&PredictorState::LastRequest(RequestId(7)), now);
-//! let block = server.next_block(now).expect("server has blocks to push");
+//! server.on_message(
+//!     &ClientMessage::Predictor(PredictorState::LastRequest(RequestId(7))),
+//!     now,
+//! );
+//! let ServerEvent::Block { block, .. } = server.poll(now) else {
+//!     panic!("server has blocks to push");
+//! };
 //! let upcalls = client.on_block(block.meta, Time::from_millis(5));
 //! assert_eq!(upcalls[0].request, RequestId(7));
+//! ```
+//!
+//! ## Quick start: many clients
+//!
+//! A [`session::SessionManager`] serves N sessions from one backend, with a
+//! [`session::SharePolicy`] deciding whose block goes on the wire next:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use khameleon_core::block::ResponseCatalog;
+//! use khameleon_core::protocol::ServerEvent;
+//! use khameleon_core::server::CatalogBackend;
+//! use khameleon_core::session::{Session, SessionManager};
+//! use khameleon_core::types::Time;
+//! use khameleon_core::utility::{LinearUtility, UtilityModel};
+//!
+//! let catalog = Arc::new(ResponseCatalog::uniform(50, 4, 10_000));
+//! let utility = UtilityModel::homogeneous(&LinearUtility, 4);
+//!
+//! let mut manager = SessionManager::round_robin(Box::new(CatalogBackend::new(catalog.clone())));
+//! let a = manager.add_session(Session::builder(utility.clone(), catalog.clone()));
+//! let b = manager.add_session(Session::builder(utility, catalog).weight(2.0));
+//!
+//! // The policy alternates between the two sessions' schedules.
+//! let mut served = std::collections::HashSet::new();
+//! for _ in 0..4 {
+//!     if let ServerEvent::Block { session, .. } = manager.next_event(Time::ZERO) {
+//!         served.insert(session);
+//!     }
+//! }
+//! assert!(served.contains(&a) && served.contains(&b));
 //! ```
 
 #![warn(missing_docs)]
@@ -72,8 +112,10 @@ pub mod client;
 pub mod distribution;
 pub mod metrics;
 pub mod predictor;
+pub mod protocol;
 pub mod scheduler;
 pub mod server;
+pub mod session;
 pub mod types;
 pub mod utility;
 
@@ -87,8 +129,15 @@ pub use predictor::{
     ClientPredictor, InteractionEvent, PredictorManager, PredictorState, RequestLayout,
     ServerPredictor,
 };
-pub use scheduler::{GreedyScheduler, GreedySchedulerConfig, HorizonModel, OptimalScheduler};
-pub use server::{Backend, CatalogBackend, KhameleonServer, ServerConfig};
+pub use protocol::{ClientMessage, ServerEvent, SessionId};
+pub use scheduler::{
+    BruteForceScheduler, GreedyScheduler, GreedySchedulerConfig, HorizonModel, OptimalScheduler,
+    Scheduler,
+};
+pub use server::{Backend, CatalogBackend, KhameleonServer, ServerBuilder, ServerConfig};
+pub use session::{
+    RoundRobin, Session, SessionBuilder, SessionManager, SessionShare, SharePolicy, WeightedFair,
+};
 pub use types::{Bandwidth, BlockRef, Duration, RequestId, Time};
 pub use utility::{
     GainTable, LinearUtility, PiecewiseUtility, PowerUtility, UtilityFunction, UtilityModel,

@@ -116,7 +116,11 @@ impl MetricsCollector {
             requests: self.requests,
             completed: self.responses.len() as u64,
             preempted: self.preempted,
-            cache_hit_rate: if completed > 0.0 { hits / completed } else { 0.0 },
+            cache_hit_rate: if completed > 0.0 {
+                hits / completed
+            } else {
+                0.0
+            },
             preempted_rate: self.preempted as f64 / requests,
             mean_latency_ms: mean(&latencies),
             p50_latency_ms: percentile(&latencies, 50.0),

@@ -11,7 +11,9 @@
 
 use crate::distribution::{HorizonSlice, PredictionSummary, SparseDistribution};
 use crate::predictor::gaussian::{Gaussian2d, Point2d};
-use crate::predictor::{ClientPredictor, InteractionEvent, PredictorState, RequestLayout, ServerPredictor};
+use crate::predictor::{
+    ClientPredictor, InteractionEvent, PredictorState, RequestLayout, ServerPredictor,
+};
 use crate::types::{Duration, Time};
 use std::sync::Arc;
 
@@ -262,10 +264,7 @@ impl ServerPredictor for GaussianLayoutDecoder {
                 let slices = gs
                     .iter()
                     .map(|&(delta, g)| {
-                        let uniform = self
-                            .uniform_beyond
-                            .map(|u| delta >= u)
-                            .unwrap_or(false);
+                        let uniform = self.uniform_beyond.map(|u| delta >= u).unwrap_or(false);
                         let dist = if uniform {
                             SparseDistribution::uniform(n)
                         } else {

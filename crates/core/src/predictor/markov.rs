@@ -147,7 +147,10 @@ mod tests {
         assert_eq!(m.state(Time::ZERO), PredictorState::Empty);
         m.observe(&req(4, 0));
         // No transitions recorded from 4 yet: falls back to last-request.
-        assert_eq!(m.state(Time::ZERO), PredictorState::LastRequest(RequestId(4)));
+        assert_eq!(
+            m.state(Time::ZERO),
+            PredictorState::LastRequest(RequestId(4))
+        );
         m.observe(&req(5, 10));
         m.observe(&req(4, 20));
         match m.state(Time::ZERO) {
@@ -161,7 +164,13 @@ mod tests {
     #[test]
     fn train_from_history() {
         let mut m = MarkovPredictor::new(6, 1);
-        m.train(&[RequestId(0), RequestId(1), RequestId(2), RequestId(1), RequestId(2)]);
+        m.train(&[
+            RequestId(0),
+            RequestId(1),
+            RequestId(2),
+            RequestId(1),
+            RequestId(2),
+        ]);
         assert_eq!(m.observed_transitions(), 4);
         let top = m.top_successors(RequestId(1));
         assert_eq!(top, vec![(RequestId(2), 1.0)]);

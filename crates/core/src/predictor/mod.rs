@@ -188,7 +188,15 @@ mod tests {
     #[test]
     fn event_time_accessor() {
         let t = Time::from_millis(7);
-        assert_eq!(InteractionEvent::MouseMove { x: 0.0, y: 0.0, at: t }.at(), t);
+        assert_eq!(
+            InteractionEvent::MouseMove {
+                x: 0.0,
+                y: 0.0,
+                at: t
+            }
+            .at(),
+            t
+        );
         assert_eq!(
             InteractionEvent::Request {
                 request: RequestId(1),

@@ -89,10 +89,8 @@ impl ServerPredictor for SimpleServerPredictor {
         match state {
             PredictorState::LastRequest(r) => PredictionSummary::point(self.n, *r, now),
             PredictorState::TopK(entries) => {
-                let dist = crate::distribution::SparseDistribution::from_weights(
-                    self.n,
-                    entries.clone(),
-                );
+                let dist =
+                    crate::distribution::SparseDistribution::from_weights(self.n, entries.clone());
                 let slices = PredictionSummary::default_deltas()
                     .into_iter()
                     .map(|delta| crate::distribution::HorizonSlice {
@@ -146,7 +144,10 @@ mod tests {
             at: Time::from_millis(2),
         });
         assert_eq!(p.last_request(), Some(RequestId(7)));
-        assert_eq!(p.state(Time::ZERO), PredictorState::LastRequest(RequestId(7)));
+        assert_eq!(
+            p.state(Time::ZERO),
+            PredictorState::LastRequest(RequestId(7))
+        );
     }
 
     #[test]
@@ -167,7 +168,10 @@ mod tests {
         assert!((topk.prob_at(RequestId(0), d50) - 0.5).abs() < 1e-9);
 
         let inner = PredictionSummary::point(20, RequestId(9), Time::ZERO);
-        assert_eq!(s.decode(&PredictorState::Summary(inner.clone()), Time::ZERO), inner);
+        assert_eq!(
+            s.decode(&PredictorState::Summary(inner.clone()), Time::ZERO),
+            inner
+        );
 
         let opaque = s.decode(&PredictorState::Opaque(vec![1, 2, 3]), Time::ZERO);
         assert!((opaque.prob_at(RequestId(0), d50) - 0.05).abs() < 1e-9);

@@ -35,6 +35,70 @@ pub use optimal::{BruteForceScheduler, OptimalScheduler};
 /// An ordered sequence of blocks for the sender to push, most urgent first.
 pub type Schedule = Vec<BlockRef>;
 
+/// The pluggable scheduling interface of the server (§5).
+///
+/// A scheduler turns a stream of prediction updates into an ordered stream of
+/// blocks for the sender.  [`KhameleonServer`](crate::server::KhameleonServer)
+/// and [`Session`](crate::session::Session) hold a `Box<dyn Scheduler>`, so
+/// the greedy sampler of §5.3, the assignment-based optimal solver of §5.2,
+/// the exhaustive [`BruteForceScheduler`], and user-supplied strategies are
+/// interchangeable without touching the server plumbing.
+///
+/// The contract mirrors the sender-coordination protocol of §5.3.2:
+///
+/// * [`update_prediction`](Scheduler::update_prediction) receives the decoded
+///   client prediction and the sender's position within the current schedule;
+///   blocks before that position are immutable, the rest may be re-planned.
+/// * [`next_batch`](Scheduler::next_batch) emits up to `count` more blocks of
+///   the current schedule in push order, never repeating a block the
+///   (simulated) client cache still holds.
+/// * [`set_slot_duration`](Scheduler::set_slot_duration) re-calibrates the
+///   slot length whenever the bandwidth estimate changes (§5.4).
+pub trait Scheduler: Send {
+    /// Applies a fresh decoded prediction.  `sender_position` is the number
+    /// of blocks of the current schedule already placed on the network.
+    fn update_prediction(&mut self, summary: &PredictionSummary, sender_position: usize);
+
+    /// Emits up to `count` blocks in push order.  An empty result means no
+    /// block currently has positive expected gain (everything useful is
+    /// scheduled or resident).
+    fn next_batch(&mut self, count: usize) -> Schedule;
+
+    /// Confirms that `block` (previously emitted by
+    /// [`next_batch`](Scheduler::next_batch)) was actually placed on the
+    /// wire.  Blocks are confirmed in emission order; emitted blocks that
+    /// are never confirmed were dropped by the sender and may be re-planned
+    /// on the next prediction update.  Schedulers that only need the
+    /// `sender_position` argument of
+    /// [`update_prediction`](Scheduler::update_prediction) (like the greedy
+    /// scheduler, whose sampling state is position-based) can ignore this.
+    fn note_sent(&mut self, block: BlockRef) {
+        let _ = block;
+    }
+
+    /// Updates the bandwidth-derived duration of one network slot.
+    fn set_slot_duration(&mut self, slot: Duration);
+
+    /// The scheduler's belief about the client's per-request resident block
+    /// counts (empty when the scheduler does not track the client cache).
+    fn simulated_cache(&self) -> HashMap<RequestId, u32>;
+
+    /// Expected utility (Eq. 2) of the not-yet-consumed portion of the
+    /// current schedule, starting from the cache allocation `initial`.
+    fn expected_utility(&self, initial: &HashMap<RequestId, u32>) -> f64;
+
+    /// The scheduling horizon `C` in blocks (the client cache size).
+    fn horizon(&self) -> usize;
+
+    /// Number of prediction updates applied so far.
+    fn prediction_updates(&self) -> u64;
+
+    /// Short name used in logs and experiment reports.
+    fn name(&self) -> &'static str {
+        "scheduler"
+    }
+}
+
 /// Materialized probability model over a scheduling horizon of `horizon`
 /// network slots, each lasting `slot_duration`.
 ///
@@ -302,12 +366,8 @@ mod tests {
         );
         let u = UtilityModel::homogeneous(&LinearUtility, 4);
         let empty = HashMap::new();
-        let good: Schedule = (0..4)
-            .map(|j| BlockRef::new(RequestId(1), j))
-            .collect();
-        let bad: Schedule = (0..4)
-            .map(|j| BlockRef::new(RequestId(0), j))
-            .collect();
+        let good: Schedule = (0..4).map(|j| BlockRef::new(RequestId(1), j)).collect();
+        let bad: Schedule = (0..4).map(|j| BlockRef::new(RequestId(0), j)).collect();
         let vg = schedule_expected_utility(&good, &m, &u, &empty);
         let vb = schedule_expected_utility(&bad, &m, &u, &empty);
         assert!(vg > vb);

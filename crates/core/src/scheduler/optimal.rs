@@ -13,24 +13,148 @@
 //! A [`BruteForceScheduler`] enumerates all schedules for tiny instances and
 //! is used by the tests to certify the assignment solver's optimality.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use crate::block::ResponseCatalog;
-use crate::scheduler::{schedule_expected_utility, HorizonModel, Schedule};
-use crate::types::{BlockRef, RequestId};
+use crate::distribution::PredictionSummary;
+use crate::scheduler::{schedule_expected_utility, HorizonModel, Schedule, Scheduler};
+use crate::types::{BlockRef, Duration, RequestId};
 use crate::utility::UtilityModel;
+
+/// Default horizon used when an exact scheduler is driven through the
+/// [`Scheduler`] trait without an explicit [`with_horizon`] call.  Exact
+/// solvers are only practical on small instances (§A.1 caps at 30 slots), so
+/// the default is deliberately modest.
+///
+/// [`with_horizon`]: OptimalScheduler::with_horizon
+const DEFAULT_EXACT_HORIZON: usize = 32;
+
+/// Re-planning state shared by the exact schedulers when they are driven
+/// incrementally through the [`Scheduler`] trait: the current probability
+/// model, the planned-but-unconsumed tail of the schedule, and the blocks
+/// already handed out (the simulated client cache).
+struct ReplanState {
+    horizon: usize,
+    slot_duration: Duration,
+    gamma: f64,
+    model: HorizonModel,
+    pending: VecDeque<BlockRef>,
+    planned: bool,
+    delivered: HashMap<RequestId, u32>,
+    /// Blocks handed to the sender since the last prediction update, in pop
+    /// order.  On the next update, the tail the sender did *not* actually
+    /// send is rolled back out of `delivered` so it can be re-planned
+    /// (§5.3.2 — the sender's queued-but-unsent blocks are discarded by the
+    /// session when a prediction arrives).
+    issued: Vec<BlockRef>,
+    /// How many of `issued` the sender has confirmed via
+    /// [`Scheduler::note_sent`].  Unlike the sender's schedule position
+    /// (which wraps at the horizon and is therefore ambiguous after a full
+    /// schedule drain), this count is exact.
+    confirmed: usize,
+    updates: u64,
+}
+
+impl ReplanState {
+    fn new(n: usize, horizon: usize) -> Self {
+        let slot_duration = Duration::from_millis(1);
+        let gamma = 1.0;
+        ReplanState {
+            horizon,
+            slot_duration,
+            gamma,
+            model: HorizonModel::uniform(n.max(1), horizon, slot_duration, gamma),
+            pending: VecDeque::new(),
+            planned: false,
+            delivered: HashMap::new(),
+            issued: Vec::new(),
+            confirmed: 0,
+            updates: 0,
+        }
+    }
+
+    /// Records a sender confirmation (see [`Scheduler::note_sent`]).
+    fn note_sent(&mut self) {
+        self.confirmed = (self.confirmed + 1).min(self.issued.len());
+    }
+
+    /// Rolls `delivered` back to what the sender actually placed on the
+    /// wire: blocks issued since the last update but never confirmed were
+    /// dropped by the session's queue and must become eligible for
+    /// re-planning again.
+    fn rollback_unsent(&mut self) {
+        while self.issued.len() > self.confirmed {
+            let b = self.issued.pop().expect("issued not empty");
+            if let Some(d) = self.delivered.get_mut(&b.request) {
+                if *d == b.index + 1 {
+                    *d = b.index;
+                    if *d == 0 {
+                        self.delivered.remove(&b.request);
+                    }
+                }
+            }
+        }
+        // The confirmed prefix is committed for good; start a fresh window.
+        self.issued.clear();
+        self.confirmed = 0;
+    }
+
+    /// Replaces the pending tail with `plan`, dropping blocks the client
+    /// already holds (their prefix continues where delivery stopped).
+    fn adopt(&mut self, plan: Schedule) {
+        self.pending = plan
+            .into_iter()
+            .filter(|b| b.index >= self.delivered.get(&b.request).copied().unwrap_or(0))
+            .collect();
+        self.planned = true;
+    }
+
+    fn pop_batch(&mut self, count: usize) -> Schedule {
+        let mut out = Vec::with_capacity(count.min(self.pending.len()));
+        while out.len() < count {
+            let Some(b) = self.pending.pop_front() else {
+                break;
+            };
+            let have = self.delivered.entry(b.request).or_insert(0);
+            *have = (*have).max(b.index + 1);
+            self.issued.push(b);
+            out.push(b);
+        }
+        out
+    }
+
+    fn expected_utility(&self, utility: &UtilityModel, initial: &HashMap<RequestId, u32>) -> f64 {
+        let pending: Vec<BlockRef> = self.pending.iter().copied().collect();
+        schedule_expected_utility(&pending, &self.model, utility, initial)
+    }
+}
 
 /// Exact solver for the linearized finite-horizon scheduling objective.
 pub struct OptimalScheduler {
     utility: UtilityModel,
     catalog: Arc<ResponseCatalog>,
+    state: ReplanState,
 }
 
 impl OptimalScheduler {
     /// Creates an optimal scheduler for the given utility model and catalog.
     pub fn new(utility: UtilityModel, catalog: Arc<ResponseCatalog>) -> Self {
-        OptimalScheduler { utility, catalog }
+        let state = ReplanState::new(catalog.num_requests(), DEFAULT_EXACT_HORIZON);
+        OptimalScheduler {
+            utility,
+            catalog,
+            state,
+        }
+    }
+
+    /// Sets the horizon used when this scheduler is driven through the
+    /// [`Scheduler`] trait (one-shot [`schedule`](Self::schedule) calls take
+    /// the horizon from the model instead).
+    pub fn with_horizon(mut self, horizon: usize) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        self.state = ReplanState::new(self.catalog.num_requests(), horizon);
+        self
     }
 
     /// Computes the optimal schedule of exactly `min(C, total blocks)` blocks
@@ -96,6 +220,73 @@ impl OptimalScheduler {
         schedule_expected_utility(schedule, model, &self.utility, &HashMap::new())
     }
 }
+
+/// Implements [`Scheduler`] for an exact planner carrying a `ReplanState` in
+/// `self.state` and exposing `fn schedule(&self, &HorizonModel) -> Schedule`.
+///
+/// Exact solvers re-plan from scratch on every update: the sent prefix is
+/// frozen (its blocks stay in `delivered` and never re-enter the plan),
+/// while blocks that were queued but dropped by the session are rolled back
+/// and become eligible again (§5.3.2).
+macro_rules! impl_replan_scheduler {
+    ($ty:ty, $name:literal) => {
+        impl Scheduler for $ty {
+            fn update_prediction(&mut self, summary: &PredictionSummary, _sender_position: usize) {
+                // The wrapping sender position is ambiguous after a full
+                // schedule drain; the exact schedulers rely on `note_sent`
+                // confirmations instead.
+                self.state.rollback_unsent();
+                self.state.model = HorizonModel::build(
+                    summary,
+                    self.state.horizon,
+                    self.state.slot_duration,
+                    self.state.gamma,
+                );
+                self.state.updates += 1;
+                let plan = self.schedule(&self.state.model);
+                self.state.adopt(plan);
+            }
+
+            fn next_batch(&mut self, count: usize) -> Schedule {
+                if !self.state.planned {
+                    let plan = self.schedule(&self.state.model);
+                    self.state.adopt(plan);
+                }
+                self.state.pop_batch(count)
+            }
+
+            fn note_sent(&mut self, _block: BlockRef) {
+                self.state.note_sent();
+            }
+
+            fn set_slot_duration(&mut self, slot: Duration) {
+                self.state.slot_duration = slot;
+            }
+
+            fn simulated_cache(&self) -> HashMap<RequestId, u32> {
+                self.state.delivered.clone()
+            }
+
+            fn expected_utility(&self, initial: &HashMap<RequestId, u32>) -> f64 {
+                self.state.expected_utility(&self.utility, initial)
+            }
+
+            fn horizon(&self) -> usize {
+                self.state.horizon
+            }
+
+            fn prediction_updates(&self) -> u64 {
+                self.state.updates
+            }
+
+            fn name(&self) -> &'static str {
+                $name
+            }
+        }
+    };
+}
+
+impl_replan_scheduler!(OptimalScheduler, "optimal");
 
 /// Stable-reorders blocks so that, per request, block indices appear in
 /// ascending order across the slots that request occupies.
@@ -207,12 +398,33 @@ pub fn max_weight_assignment(weights: &[Vec<f64>]) -> Vec<Option<usize>> {
 pub struct BruteForceScheduler {
     utility: UtilityModel,
     catalog: Arc<ResponseCatalog>,
+    state: ReplanState,
 }
 
 impl BruteForceScheduler {
     /// Creates a brute-force scheduler.
     pub fn new(utility: UtilityModel, catalog: Arc<ResponseCatalog>) -> Self {
-        BruteForceScheduler { utility, catalog }
+        // Exhaustive search is exponential; keep the incremental-driving
+        // horizon tiny (the one-shot `schedule` call takes the horizon from
+        // the model it is given instead).
+        let state = ReplanState::new(catalog.num_requests(), 4);
+        BruteForceScheduler {
+            utility,
+            catalog,
+            state,
+        }
+    }
+
+    /// Sets the horizon used when driven through the [`Scheduler`] trait.
+    /// Must stay tiny (≤ 6) or exhaustive search will not terminate in
+    /// reasonable time.
+    pub fn with_horizon(mut self, horizon: usize) -> Self {
+        assert!(
+            (1..=6).contains(&horizon),
+            "brute force horizon must be in 1..=6"
+        );
+        self.state = ReplanState::new(self.catalog.num_requests(), horizon);
+        self
     }
 
     /// Finds the utility-maximizing schedule by exhaustive search.
@@ -265,6 +477,8 @@ impl BruteForceScheduler {
     }
 }
 
+impl_replan_scheduler!(BruteForceScheduler, "brute-force");
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,11 +496,7 @@ mod tests {
         // Two slots, three blocks; best total is 5 + 4 = 9 via (0->2, 1->0).
         let w = vec![vec![1.0, 2.0, 5.0], vec![4.0, 1.0, 5.0]];
         let a = max_weight_assignment(&w);
-        let total: f64 = a
-            .iter()
-            .enumerate()
-            .map(|(r, c)| w[r][c.unwrap()])
-            .sum();
+        let total: f64 = a.iter().enumerate().map(|(r, c)| w[r][c.unwrap()]).sum();
         assert!((total - 9.0).abs() < 1e-9);
         // Distinct columns.
         assert_ne!(a[0], a[1]);
@@ -326,7 +536,9 @@ mod tests {
 
     #[test]
     fn optimal_matches_brute_force_on_tiny_instances() {
-        for (n, blocks, horizon, target) in [(3usize, 2u32, 3usize, 0u32), (2, 3, 4, 1), (3, 3, 3, 2)] {
+        for (n, blocks, horizon, target) in
+            [(3usize, 2u32, 3usize, 0u32), (2, 3, 4, 1), (3, 3, 3, 2)]
+        {
             let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 100));
             let utility = UtilityModel::homogeneous(&PowerUtility::new(0.4), blocks);
             let opt = OptimalScheduler::new(utility.clone(), catalog.clone());
@@ -358,7 +570,11 @@ mod tests {
                     delta: Duration::from_millis(50),
                     dist: crate::distribution::SparseDistribution::from_weights(
                         n,
-                        vec![(RequestId(0), 0.6), (RequestId(1), 0.3), (RequestId(2), 0.1)],
+                        vec![
+                            (RequestId(0), 0.6),
+                            (RequestId(1), 0.3),
+                            (RequestId(2), 0.1),
+                        ],
                     ),
                 }],
                 Time::ZERO,

@@ -1,24 +1,39 @@
 //! Server-side library: scheduler + sender orchestration (§3.2, §5.3.2).
 //!
-//! [`KhameleonServer`] ties together the greedy scheduler, the server-side
-//! predictor component, the bandwidth estimator, and a [`Backend`] that
-//! resolves block references into actual blocks.  It exposes a *pull* API —
-//! `next_block(now)` returns the next block the sender should place on the
-//! network — so the same code drives both the discrete-event simulator and a
-//! live threaded deployment (see the `live_pipeline` example).
+//! [`KhameleonServer`] is the single-client deployment: one
+//! [`Session`](crate::session::Session) (boxed [`Scheduler`], server-side
+//! predictor, bandwidth estimator, sender queue) plus a [`Backend`] that
+//! resolves block references into actual blocks.  Multi-client deployments
+//! use a [`SessionManager`](crate::session::SessionManager), which drives
+//! the same session code over a shared backend.
+//!
+//! Servers are constructed through [`ServerBuilder`]:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use khameleon_core::block::ResponseCatalog;
+//! use khameleon_core::server::ServerBuilder;
+//! use khameleon_core::utility::{LinearUtility, UtilityModel};
+//!
+//! let catalog = Arc::new(ResponseCatalog::uniform(100, 10, 10_000));
+//! let utility = UtilityModel::homogeneous(&LinearUtility, 10);
+//! let server = ServerBuilder::new(utility, catalog).build();
+//! assert_eq!(server.backend_name(), "catalog");
+//! ```
 //!
 //! Sender coordination follows §5.3.2: when a fresh prediction arrives, the
 //! blocks already handed to the network are immutable, the not-yet-sent tail
 //! of the current schedule is rolled back and re-planned, and the sender
 //! simply continues from its position.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::bandwidth::BandwidthEstimator;
 use crate::block::{Block, ResponseCatalog};
 use crate::predictor::{PredictorState, ServerPredictor};
-use crate::scheduler::{limit_distinct_requests, GreedyScheduler, GreedySchedulerConfig};
+use crate::protocol::{ClientMessage, ServerEvent, SessionId};
+use crate::scheduler::{GreedySchedulerConfig, Scheduler};
+use crate::session::{Session, SessionBuilder};
 use crate::types::{Bandwidth, BlockRef, RequestId, Time};
 use crate::utility::UtilityModel;
 
@@ -36,14 +51,17 @@ pub trait Backend: Send {
     }
 
     /// Human-readable name used in experiment reports.
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "backend"
     }
 }
 
-/// Configuration of [`KhameleonServer`].
+/// Configuration of [`KhameleonServer`] and
+/// [`Session`](crate::session::Session)s.
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Scheduler configuration (cache size, batch size, γ, ...).
+    /// Scheduler configuration (cache size, batch size, γ, ...), used when
+    /// the builder constructs the default greedy scheduler.
     pub scheduler: GreedySchedulerConfig,
     /// Initial bandwidth estimate used before the client reports rates.
     pub initial_bandwidth: Bandwidth,
@@ -64,142 +82,179 @@ impl Default for ServerConfig {
     }
 }
 
-/// The Khameleon server: scheduler, sender queue, predictor decoding,
-/// bandwidth estimation, and backend access.
-pub struct KhameleonServer {
-    scheduler: GreedyScheduler,
-    predictor: Box<dyn ServerPredictor>,
-    backend: Box<dyn Backend>,
+/// Fluent constructor for [`KhameleonServer`].
+///
+/// Every component is optional: by default the server gets a greedy
+/// scheduler built from [`ServerConfig::scheduler`], a
+/// [`SimpleServerPredictor`](crate::predictor::simple::SimpleServerPredictor)
+/// sized to the catalog, and a [`CatalogBackend`].
+pub struct ServerBuilder {
+    session: SessionBuilder,
     catalog: Arc<ResponseCatalog>,
-    bandwidth: BandwidthEstimator,
-    queue: VecDeque<BlockRef>,
-    queue_target: usize,
-    /// Blocks of the current schedule already handed to the network.
-    sent_in_schedule: usize,
-    /// Total blocks sent per request (for backend-limit backfill bookkeeping).
-    sent_per_request: HashMap<RequestId, u32>,
-    blocks_sent: u64,
-    bytes_sent: u64,
+    backend: Option<Box<dyn Backend>>,
+}
+
+impl ServerBuilder {
+    /// Starts a builder for the given utility model and catalog.
+    pub fn new(utility: UtilityModel, catalog: Arc<ResponseCatalog>) -> Self {
+        ServerBuilder {
+            session: SessionBuilder::new(utility, catalog.clone()),
+            catalog,
+            backend: None,
+        }
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, cfg: ServerConfig) -> Self {
+        self.session = self.session.config(cfg);
+        self
+    }
+
+    /// Uses a custom scheduler (any [`Scheduler`] implementation) instead of
+    /// the default greedy scheduler.
+    pub fn scheduler(mut self, scheduler: Box<dyn Scheduler>) -> Self {
+        self.session = self.session.scheduler(scheduler);
+        self
+    }
+
+    /// Uses a custom server-side predictor component.
+    pub fn predictor(mut self, predictor: Box<dyn ServerPredictor>) -> Self {
+        self.session = self.session.predictor(predictor);
+        self
+    }
+
+    /// Uses a custom backend instead of the default [`CatalogBackend`].
+    pub fn backend(mut self, backend: Box<dyn Backend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Caps the server's bandwidth estimate.
+    pub fn bandwidth_cap(mut self, cap: Bandwidth) -> Self {
+        self.session = self.session.bandwidth_cap(cap);
+        self
+    }
+
+    /// Sets the initial bandwidth estimate used before rate reports arrive.
+    pub fn initial_bandwidth(mut self, bandwidth: Bandwidth) -> Self {
+        self.session = self.session.initial_bandwidth(bandwidth);
+        self
+    }
+
+    /// Builds the server.
+    pub fn build(self) -> KhameleonServer {
+        let backend = self
+            .backend
+            .unwrap_or_else(|| Box::new(CatalogBackend::new(self.catalog.clone())));
+        KhameleonServer {
+            session: self.session.build(),
+            backend,
+        }
+    }
+}
+
+/// The single-client Khameleon server: one session plus a backend.
+pub struct KhameleonServer {
+    session: Session,
+    backend: Box<dyn Backend>,
 }
 
 impl KhameleonServer {
-    /// Creates a server.
-    pub fn new(
-        cfg: ServerConfig,
-        utility: UtilityModel,
-        catalog: Arc<ResponseCatalog>,
-        predictor: Box<dyn ServerPredictor>,
-        backend: Box<dyn Backend>,
-    ) -> Self {
-        let mut bandwidth = BandwidthEstimator::new(cfg.initial_bandwidth);
-        bandwidth.set_cap(cfg.bandwidth_cap);
-        let mut scheduler_cfg = cfg.scheduler;
-        scheduler_cfg.slot_duration = bandwidth.slot_duration(catalog.max_block_size().max(1));
-        let scheduler = GreedyScheduler::new(scheduler_cfg, utility, catalog.clone());
-        KhameleonServer {
-            scheduler,
-            predictor,
-            backend,
-            catalog,
-            bandwidth,
-            queue: VecDeque::new(),
-            queue_target: cfg.sender_queue_target.max(1),
-            sent_in_schedule: 0,
-            sent_per_request: HashMap::new(),
-            blocks_sent: 0,
-            bytes_sent: 0,
+    /// Starts building a server (see [`ServerBuilder`]).
+    pub fn builder(utility: UtilityModel, catalog: Arc<ResponseCatalog>) -> ServerBuilder {
+        ServerBuilder::new(utility, catalog)
+    }
+
+    /// Handles one typed protocol message from the client.
+    pub fn on_message(&mut self, message: &ClientMessage, now: Time) {
+        self.session.on_message(message, now);
+    }
+
+    /// Produces the next protocol event for the client: the next block on
+    /// the wire, or [`ServerEvent::Idle`] when nothing useful remains.
+    /// Single-client servers always report [`SessionId`] 0.
+    pub fn poll(&mut self, now: Time) -> ServerEvent {
+        match self.next_block(now) {
+            Some(block) => ServerEvent::Block {
+                session: SessionId(0),
+                block,
+            },
+            None => ServerEvent::Idle,
         }
     }
 
     /// The current bandwidth estimate.
     pub fn bandwidth_estimate(&self) -> Bandwidth {
-        self.bandwidth.estimate()
+        self.session.bandwidth_estimate()
     }
 
     /// Total blocks sent since creation.
     pub fn blocks_sent(&self) -> u64 {
-        self.blocks_sent
+        self.session.blocks_sent()
     }
 
     /// Total bytes sent since creation.
     pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent
+        self.session.bytes_sent()
     }
 
     /// Number of prediction updates the scheduler has applied.
     pub fn prediction_updates(&self) -> u64 {
-        self.scheduler.prediction_updates()
+        self.session.prediction_updates()
+    }
+
+    /// Name of the scheduler in use.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.session.scheduler_name()
+    }
+
+    /// Name of the backend in use.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
     }
 
     /// Handles a receive-rate report from the client (§5.4).
     pub fn on_rate_report(&mut self, rate: Bandwidth) {
-        self.bandwidth.report_rate(rate);
-        self.scheduler
-            .set_slot_duration(self.bandwidth.slot_duration(self.catalog.max_block_size().max(1)));
+        self.session.on_rate_report(rate);
     }
 
     /// Handles a predictor-state message from the client: decodes it and
     /// re-plans the unsent portion of the schedule (§5.3.2).
     pub fn on_predictor_state(&mut self, state: &PredictorState, now: Time) {
-        let summary = self.predictor.decode(state, now);
-        // Discard the queued (scheduled but unsent) blocks; the scheduler
-        // rolls its state back to the sender position and re-plans them.
-        self.queue.clear();
-        self.scheduler
-            .update_prediction(&summary, self.sent_in_schedule);
-    }
-
-    /// Refills the sender queue from the scheduler, applying the backend
-    /// concurrency limit if the backend has one.
-    fn refill_queue(&mut self) {
-        if self.queue.len() >= self.queue_target {
-            return;
-        }
-        let want = self.queue_target - self.queue.len();
-        let mut batch = self.scheduler.next_batch(want);
-        if let Some(limit) = self.backend.concurrency_limit() {
-            let catalog = self.catalog.clone();
-            batch = limit_distinct_requests(
-                &batch,
-                limit,
-                |r| catalog.num_blocks(r),
-                &self.sent_per_request,
-            );
-        }
-        self.queue.extend(batch);
+        self.session.on_predictor_state(state, now);
     }
 
     /// Returns the next block the sender should push, fetching it from the
     /// backend, or `None` when no useful block remains (everything scheduled
     /// and resident).
     pub fn next_block(&mut self, _now: Time) -> Option<Block> {
-        if self.queue.is_empty() {
-            self.refill_queue();
-        }
-        let block_ref = self.queue.pop_front()?;
+        let limit = self.backend.concurrency_limit();
+        let block_ref = self.session.next_block_ref(limit)?;
         let block = self.backend.fetch(block_ref)?;
-        self.sent_in_schedule += 1;
-        if self.sent_in_schedule >= self.scheduler.config().cache_blocks {
-            // The schedule wrapped: the scheduler reset its own state when it
-            // crossed the boundary; realign the sender position.
-            self.sent_in_schedule = 0;
-        }
-        *self.sent_per_request.entry(block_ref.request).or_insert(0) += 1;
-        self.blocks_sent += 1;
-        self.bytes_sent += block.meta.size;
+        self.session.commit(&block.meta);
         Some(block)
     }
 
     /// Time the sender should wait between consecutive blocks to pace at the
     /// estimated bandwidth.
     pub fn pacing_interval(&self) -> crate::types::Duration {
-        self.bandwidth
-            .slot_duration(self.catalog.max_block_size().max(1))
+        self.session.pacing_interval()
     }
 
     /// The scheduler's view of the client cache (for tests/diagnostics).
     pub fn simulated_client_cache(&self) -> HashMap<RequestId, u32> {
-        self.scheduler.simulated_cache()
+        self.session.simulated_cache()
+    }
+
+    /// Expected utility (Eq. 2) of the pending schedule from the cache
+    /// allocation `initial`.
+    pub fn expected_utility(&self, initial: &HashMap<RequestId, u32>) -> f64 {
+        self.session.expected_utility(initial)
+    }
+
+    /// The session backing this server (for diagnostics).
+    pub fn session(&self) -> &Session {
+        &self.session
     }
 }
 
@@ -227,7 +282,7 @@ impl Backend for CatalogBackend {
         })
     }
 
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "catalog"
     }
 }
@@ -247,13 +302,10 @@ mod tests {
             },
             ..Default::default()
         };
-        KhameleonServer::new(
-            cfg,
-            UtilityModel::homogeneous(&LinearUtility, blocks),
-            catalog.clone(),
-            Box::new(SimpleServerPredictor::new(n)),
-            Box::new(CatalogBackend::new(catalog)),
-        )
+        ServerBuilder::new(UtilityModel::homogeneous(&LinearUtility, blocks), catalog)
+            .config(cfg)
+            .predictor(Box::new(SimpleServerPredictor::new(n)))
+            .build()
     }
 
     #[test]
@@ -289,7 +341,10 @@ mod tests {
             .iter()
             .filter(|b| b.request == RequestId(42))
             .count();
-        assert!(for_42 >= 4, "only {for_42} of the first 5 blocks target the predicted request");
+        assert!(
+            for_42 >= 4,
+            "only {for_42} of the first 5 blocks target the predicted request"
+        );
     }
 
     #[test]
@@ -300,7 +355,10 @@ mod tests {
         let _ = s.next_block(Time::ZERO);
         let _ = s.next_block(Time::ZERO);
         // Prediction changes to request 2: subsequent blocks switch over.
-        s.on_predictor_state(&PredictorState::LastRequest(RequestId(2)), Time::from_millis(10));
+        s.on_predictor_state(
+            &PredictorState::LastRequest(RequestId(2)),
+            Time::from_millis(10),
+        );
         let b = s.next_block(Time::from_millis(10)).unwrap();
         assert_eq!(b.meta.block.request, RequestId(2));
         assert_eq!(b.meta.block.index, 0);
@@ -317,6 +375,27 @@ mod tests {
     }
 
     #[test]
+    fn typed_protocol_drives_the_server() {
+        let mut s = server(50, 4, 30);
+        s.on_message(
+            &ClientMessage::Predictor(PredictorState::LastRequest(RequestId(9))),
+            Time::ZERO,
+        );
+        s.on_message(
+            &ClientMessage::RateReport(Bandwidth::from_mbps(2.0)),
+            Time::ZERO,
+        );
+        match s.poll(Time::ZERO) {
+            ServerEvent::Block { session, block } => {
+                assert_eq!(session, SessionId(0));
+                assert_eq!(block.meta.block.request, RequestId(9));
+            }
+            other => panic!("expected a block, got {other:?}"),
+        }
+        assert_eq!(s.scheduler_name(), "greedy");
+    }
+
+    #[test]
     fn catalog_backend_bounds() {
         let catalog = Arc::new(ResponseCatalog::uniform(2, 2, 100));
         let mut b = CatalogBackend::new(catalog);
@@ -325,6 +404,15 @@ mod tests {
         assert!(b.fetch(BlockRef::new(RequestId(9), 0)).is_none());
         assert_eq!(b.concurrency_limit(), None);
         assert_eq!(b.name(), "catalog");
+    }
+
+    #[test]
+    fn configs_are_cloneable_and_debuggable() {
+        let cfg = ServerConfig::default();
+        let copy = cfg.clone();
+        let text = format!("{copy:?}");
+        assert!(text.contains("ServerConfig"));
+        assert!(text.contains("scheduler"));
     }
 
     struct LimitedBackend {
@@ -354,16 +442,17 @@ mod tests {
             sender_queue_target: 30,
             ..Default::default()
         };
-        let mut s = KhameleonServer::new(
-            cfg,
+        let mut s = ServerBuilder::new(
             UtilityModel::homogeneous(&LinearUtility, blocks),
             catalog.clone(),
-            Box::new(SimpleServerPredictor::new(n)),
-            Box::new(LimitedBackend {
-                inner: CatalogBackend::new(catalog),
-                limit: 3,
-            }),
-        );
+        )
+        .config(cfg)
+        .predictor(Box::new(SimpleServerPredictor::new(n)))
+        .backend(Box::new(LimitedBackend {
+            inner: CatalogBackend::new(catalog),
+            limit: 3,
+        }))
+        .build();
         let mut seen = std::collections::HashSet::new();
         for _ in 0..30 {
             if let Some(b) = s.next_block(Time::ZERO) {

@@ -1,0 +1,1171 @@
+//! Multi-client sessions: per-client scheduling state multiplexed over one
+//! shared backend and one shared bandwidth budget.
+//!
+//! The paper's server is a multiplexer: every connected client gets its own
+//! scheduler, server-side predictor, and simulated cache, while the backend
+//! and the outgoing link are shared resources that must be divided between
+//! clients (§3.2, §5.4).  This module provides that layer:
+//!
+//! * [`Session`] — everything private to one client: a boxed
+//!   [`Scheduler`], a [`ServerPredictor`], the bandwidth/rate state, the
+//!   sender queue, and the per-request sent bookkeeping.
+//! * [`SessionManager`] — owns N sessions plus the shared
+//!   [`Backend`](crate::server::Backend), and on every call to
+//!   [`next_event`](SessionManager::next_event) asks its [`SharePolicy`]
+//!   which session's block goes on the wire next.
+//! * [`SharePolicy`] — pluggable arbitration.  [`RoundRobin`] alternates
+//!   between sessions with work; [`WeightedFair`] divides the link in
+//!   proportion to per-session weights.
+//!
+//! A single-client [`KhameleonServer`](crate::server::KhameleonServer) is a
+//! thin wrapper over one `Session` and one backend, so both deployments run
+//! exactly the same scheduling code.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use crate::bandwidth::BandwidthEstimator;
+use crate::block::{BlockMeta, ResponseCatalog};
+use crate::predictor::simple::SimpleServerPredictor;
+use crate::predictor::{PredictorState, ServerPredictor};
+use crate::protocol::{ClientMessage, ServerEvent, SessionId};
+use crate::scheduler::{limit_distinct_requests, GreedyScheduler, Scheduler};
+use crate::server::{Backend, ServerConfig};
+use crate::types::{Bandwidth, BlockRef, Duration, RequestId, Time};
+use crate::utility::UtilityModel;
+
+/// Per-client server state: scheduler, predictor, bandwidth, sender queue.
+///
+/// A `Session` never touches the backend or the wire itself — it yields
+/// [`BlockRef`]s through [`next_block_ref`](Session::next_block_ref) and is
+/// told what actually went out via [`commit`](Session::commit).  That split
+/// is what lets the [`SessionManager`] arbitrate a shared link between many
+/// sessions.
+pub struct Session {
+    scheduler: Box<dyn Scheduler>,
+    predictor: Box<dyn ServerPredictor>,
+    catalog: Arc<ResponseCatalog>,
+    bandwidth: BandwidthEstimator,
+    queue: VecDeque<BlockRef>,
+    queue_target: usize,
+    /// Blocks of the current schedule already handed to the network.
+    sent_in_schedule: usize,
+    /// Blocks sent per request, used to continue prefixes when the backend
+    /// concurrency limit rewrites schedules (§5.4).  Pruned on schedule
+    /// wrap so long-running sessions do not accumulate dead entries.
+    sent_per_request: HashMap<RequestId, u32>,
+    blocks_sent: u64,
+    bytes_sent: u64,
+    weight: f64,
+    /// Virtual-time anchor set by the [`SessionManager`] when this session
+    /// joins: fair-queueing policies see `blocks_sent + service_base`, so a
+    /// late joiner starts at the wire's current service level.
+    service_base: u64,
+    closed: bool,
+}
+
+impl Session {
+    /// Starts building a session for the given utility model and catalog.
+    pub fn builder(utility: UtilityModel, catalog: Arc<ResponseCatalog>) -> SessionBuilder {
+        SessionBuilder::new(utility, catalog)
+    }
+
+    /// Handles one protocol message from this session's client.
+    pub fn on_message(&mut self, message: &ClientMessage, now: Time) {
+        match message {
+            ClientMessage::Predictor(state) => self.on_predictor_state(state, now),
+            ClientMessage::RateReport(rate) => self.on_rate_report(*rate),
+            ClientMessage::Close => self.closed = true,
+        }
+    }
+
+    /// Decodes a predictor-state message and re-plans the unsent tail of the
+    /// schedule (§5.3.2).
+    pub fn on_predictor_state(&mut self, state: &PredictorState, now: Time) {
+        let summary = self.predictor.decode(state, now);
+        // Queued (scheduled but unsent) blocks are rolled back and re-planned.
+        self.queue.clear();
+        self.scheduler
+            .update_prediction(&summary, self.sent_in_schedule);
+    }
+
+    /// Applies a receive-rate report to this session's bandwidth estimate
+    /// (§5.4) and re-calibrates the scheduler's slot duration.
+    pub fn on_rate_report(&mut self, rate: Bandwidth) {
+        self.bandwidth.report_rate(rate);
+        self.scheduler
+            .set_slot_duration(self.bandwidth.slot_duration(self.max_block_size()));
+    }
+
+    /// Whether the client asked to close this session.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// The next block reference the sender should push for this session, or
+    /// `None` when nothing useful remains.  `concurrency_limit` is the shared
+    /// backend's limit, applied when the sender queue is refilled.
+    pub fn next_block_ref(&mut self, concurrency_limit: Option<usize>) -> Option<BlockRef> {
+        if self.closed {
+            return None;
+        }
+        if self.queue.is_empty() {
+            // A zero allowance means "not this round": don't pull a batch
+            // from the scheduler only to throw it away (the scheduler's
+            // simulated cache would count the discarded blocks as sent).
+            if concurrency_limit == Some(0) {
+                return None;
+            }
+            self.refill_queue(concurrency_limit);
+        }
+        self.queue.pop_front()
+    }
+
+    /// Records that `meta` was placed on the wire: advances the sender
+    /// position, updates per-request counters, and prunes stale bookkeeping
+    /// when the schedule wraps.
+    pub fn commit(&mut self, meta: &BlockMeta) {
+        self.scheduler.note_sent(meta.block);
+        self.sent_in_schedule += 1;
+        if self.sent_in_schedule >= self.scheduler.horizon() {
+            // The schedule wrapped: the scheduler reset its own per-schedule
+            // state when it crossed the boundary; realign the sender position
+            // and drop `sent_per_request` entries for requests no longer
+            // resident in the simulated cache (their prefixes restart, so
+            // stale counts would both leak memory and skew backfill offsets).
+            self.sent_in_schedule = 0;
+            let resident = self.scheduler.simulated_cache();
+            if resident.is_empty() {
+                // The scheduler does not track the client cache (or holds
+                // nothing): pruning against residency would wipe every
+                // backfill offset.  Drop only fully-pushed requests.
+                let catalog = self.catalog.clone();
+                self.sent_per_request
+                    .retain(|r, c| *c < catalog.num_blocks(*r));
+            } else {
+                self.sent_per_request
+                    .retain(|r, _| resident.contains_key(r));
+            }
+        }
+        *self.sent_per_request.entry(meta.block.request).or_insert(0) += 1;
+        self.blocks_sent += 1;
+        self.bytes_sent += meta.size;
+    }
+
+    fn refill_queue(&mut self, concurrency_limit: Option<usize>) {
+        if self.queue.len() >= self.queue_target {
+            return;
+        }
+        let want = self.queue_target - self.queue.len();
+        let mut batch = self.scheduler.next_batch(want);
+        if let Some(limit) = concurrency_limit {
+            let catalog = self.catalog.clone();
+            batch = limit_distinct_requests(
+                &batch,
+                limit,
+                |r| catalog.num_blocks(r),
+                &self.sent_per_request,
+            );
+        }
+        self.queue.extend(batch);
+    }
+
+    fn max_block_size(&self) -> u64 {
+        self.catalog.max_block_size().max(1)
+    }
+
+    /// The current bandwidth estimate for this session's downlink.
+    pub fn bandwidth_estimate(&self) -> Bandwidth {
+        self.bandwidth.estimate()
+    }
+
+    /// Time the sender should wait between blocks to pace this session at
+    /// its estimated bandwidth.
+    pub fn pacing_interval(&self) -> Duration {
+        self.bandwidth.slot_duration(self.max_block_size())
+    }
+
+    /// Directly re-calibrates the scheduler's slot duration (used by the
+    /// manager when dividing shared bandwidth between sessions).
+    pub fn set_slot_duration(&mut self, slot: Duration) {
+        self.scheduler.set_slot_duration(slot);
+    }
+
+    /// The scheduler's view of this client's cache.
+    pub fn simulated_cache(&self) -> HashMap<RequestId, u32> {
+        self.scheduler.simulated_cache()
+    }
+
+    /// Expected utility (Eq. 2) of the pending schedule from the cache state
+    /// `initial`.
+    pub fn expected_utility(&self, initial: &HashMap<RequestId, u32>) -> f64 {
+        self.scheduler.expected_utility(initial)
+    }
+
+    /// Total blocks sent on behalf of this session.
+    pub fn blocks_sent(&self) -> u64 {
+        self.blocks_sent
+    }
+
+    /// Total bytes sent on behalf of this session.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Number of prediction updates the scheduler has applied.
+    pub fn prediction_updates(&self) -> u64 {
+        self.scheduler.prediction_updates()
+    }
+
+    /// The scheduler driving this session.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// The share weight used by weighted policies.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The fair-queueing service counter: blocks sent plus the virtual-time
+    /// anchor assigned when this session joined its manager.
+    pub fn service(&self) -> u64 {
+        self.blocks_sent + self.service_base
+    }
+
+    /// Number of requests currently tracked in the per-request sent map
+    /// (diagnostic; exercised by the pruning tests).
+    pub fn tracked_requests(&self) -> usize {
+        self.sent_per_request.len()
+    }
+
+    /// The catalog this session serves from.
+    pub fn catalog(&self) -> &Arc<ResponseCatalog> {
+        &self.catalog
+    }
+}
+
+/// Fluent constructor for [`Session`]s (and, via
+/// [`ServerBuilder`](crate::server::ServerBuilder), single-client servers).
+pub struct SessionBuilder {
+    cfg: ServerConfig,
+    utility: UtilityModel,
+    catalog: Arc<ResponseCatalog>,
+    scheduler: Option<Box<dyn Scheduler>>,
+    predictor: Option<Box<dyn ServerPredictor>>,
+    weight: f64,
+}
+
+impl SessionBuilder {
+    /// Starts a builder with default configuration: greedy scheduler, simple
+    /// server predictor, unit share weight.
+    pub fn new(utility: UtilityModel, catalog: Arc<ResponseCatalog>) -> Self {
+        SessionBuilder {
+            cfg: ServerConfig::default(),
+            utility,
+            catalog,
+            scheduler: None,
+            predictor: None,
+            weight: 1.0,
+        }
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, cfg: ServerConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Uses a custom scheduler instead of the default [`GreedyScheduler`].
+    pub fn scheduler(mut self, scheduler: Box<dyn Scheduler>) -> Self {
+        self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Uses a custom server-side predictor component instead of the default
+    /// [`SimpleServerPredictor`].
+    pub fn predictor(mut self, predictor: Box<dyn ServerPredictor>) -> Self {
+        self.predictor = Some(predictor);
+        self
+    }
+
+    /// Caps this session's bandwidth estimate.
+    pub fn bandwidth_cap(mut self, cap: Bandwidth) -> Self {
+        self.cfg.bandwidth_cap = Some(cap);
+        self
+    }
+
+    /// Sets the initial bandwidth estimate used before rate reports arrive.
+    pub fn initial_bandwidth(mut self, bandwidth: Bandwidth) -> Self {
+        self.cfg.initial_bandwidth = bandwidth;
+        self
+    }
+
+    /// Sets the share weight used by weighted fair policies (default 1.0).
+    pub fn weight(mut self, weight: f64) -> Self {
+        assert!(weight > 0.0, "session weight must be positive");
+        self.weight = weight;
+        self
+    }
+
+    /// Builds the session.
+    pub fn build(self) -> Session {
+        let SessionBuilder {
+            cfg,
+            utility,
+            catalog,
+            scheduler,
+            predictor,
+            weight,
+        } = self;
+        let mut bandwidth = BandwidthEstimator::new(cfg.initial_bandwidth);
+        bandwidth.set_cap(cfg.bandwidth_cap);
+        let slot = bandwidth.slot_duration(catalog.max_block_size().max(1));
+        let scheduler = match scheduler {
+            Some(mut s) => {
+                s.set_slot_duration(slot);
+                s
+            }
+            None => {
+                let mut scheduler_cfg = cfg.scheduler.clone();
+                scheduler_cfg.slot_duration = slot;
+                Box::new(GreedyScheduler::new(
+                    scheduler_cfg,
+                    utility,
+                    catalog.clone(),
+                ))
+            }
+        };
+        let predictor = predictor
+            .unwrap_or_else(|| Box::new(SimpleServerPredictor::new(catalog.num_requests())));
+        Session {
+            scheduler,
+            predictor,
+            catalog,
+            bandwidth,
+            queue: VecDeque::new(),
+            queue_target: cfg.sender_queue_target.max(1),
+            sent_in_schedule: 0,
+            sent_per_request: HashMap::new(),
+            blocks_sent: 0,
+            bytes_sent: 0,
+            weight,
+            service_base: 0,
+            closed: false,
+        }
+    }
+}
+
+/// A session's public share state, as seen by a [`SharePolicy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionShare {
+    /// The session's id.
+    pub session: SessionId,
+    /// The session's share weight.
+    pub weight: f64,
+    /// Blocks sent on behalf of this session so far.
+    pub blocks_sent: u64,
+    /// Service counter for fair-queueing policies: `blocks_sent` plus the
+    /// virtual-time anchor assigned when the session joined, so late joiners
+    /// start at the current service level instead of monopolizing the wire
+    /// until their lifetime count catches up.
+    pub service: u64,
+}
+
+/// Decides which session's block goes on the wire next.
+///
+/// `ready` lists the sessions that may still have work, in ascending id
+/// order; the policy returns an index into `ready`.  The manager calls the
+/// policy again (with the exhausted session removed) if the chosen session
+/// turns out to have nothing to send.
+pub trait SharePolicy: Send {
+    /// Picks the next session to serve, as an index into `ready`.
+    fn pick(&mut self, ready: &[SessionShare]) -> Option<usize>;
+
+    /// Name used in logs and experiment reports.
+    fn name(&self) -> &'static str {
+        "share-policy"
+    }
+}
+
+/// Serves sessions in rotation, skipping those without work.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    last: Option<SessionId>,
+}
+
+impl RoundRobin {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl SharePolicy for RoundRobin {
+    fn pick(&mut self, ready: &[SessionShare]) -> Option<usize> {
+        if ready.is_empty() {
+            return None;
+        }
+        let idx = match self.last {
+            Some(last) => ready.iter().position(|s| s.session > last).unwrap_or(0),
+            None => 0,
+        };
+        self.last = Some(ready[idx].session);
+        Some(idx)
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Divides the link in proportion to session weights: always serves the
+/// session with the lowest weighted service so far (`service / weight`,
+/// where `service` is anchored at the wire's virtual time when the session
+/// joins), i.e. a virtual-time weighted-fair queueing discipline at block
+/// granularity.
+#[derive(Debug, Default)]
+pub struct WeightedFair;
+
+impl WeightedFair {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        WeightedFair
+    }
+}
+
+impl SharePolicy for WeightedFair {
+    fn pick(&mut self, ready: &[SessionShare]) -> Option<usize> {
+        ready
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let va = (a.service + 1) as f64 / a.weight.max(f64::EPSILON);
+                let vb = (b.service + 1) as f64 / b.weight.max(f64::EPSILON);
+                va.partial_cmp(&vb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.session.cmp(&b.session))
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted-fair"
+    }
+}
+
+/// Multiplexes N client sessions over one shared backend and one shared
+/// bandwidth budget.
+///
+/// Each call to [`next_event`](SessionManager::next_event) produces at most
+/// one block — the manager is the single point where the shared link is
+/// allocated, so the policy's choice *is* the bandwidth split.  Incoming
+/// protocol messages are routed to their session with
+/// [`on_message`](SessionManager::on_message); rate reports additionally
+/// update the shared estimate and re-divide per-session slot durations by
+/// weight.
+pub struct SessionManager {
+    sessions: Vec<(SessionId, Session)>,
+    next_id: u64,
+    backend: Box<dyn Backend>,
+    policy: Box<dyn SharePolicy>,
+    shared_bandwidth: BandwidthEstimator,
+    /// Rotates the backend-concurrency remainder between sessions across
+    /// [`next_event`](SessionManager::next_event) calls.
+    budget_rotor: usize,
+    blocks_sent: u64,
+    bytes_sent: u64,
+}
+
+impl SessionManager {
+    /// Creates a manager over `backend` with the given arbitration policy.
+    pub fn new(backend: Box<dyn Backend>, policy: Box<dyn SharePolicy>) -> Self {
+        SessionManager {
+            sessions: Vec::new(),
+            next_id: 0,
+            backend,
+            policy,
+            shared_bandwidth: BandwidthEstimator::new(ServerConfig::default().initial_bandwidth),
+            budget_rotor: 0,
+            blocks_sent: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// Convenience: a manager with [`RoundRobin`] arbitration.
+    pub fn round_robin(backend: Box<dyn Backend>) -> Self {
+        Self::new(backend, Box::new(RoundRobin::new()))
+    }
+
+    /// Convenience: a manager with [`WeightedFair`] arbitration.
+    pub fn weighted_fair(backend: Box<dyn Backend>) -> Self {
+        Self::new(backend, Box::new(WeightedFair::new()))
+    }
+
+    /// Caps the shared outgoing bandwidth budget.
+    pub fn with_bandwidth_cap(mut self, cap: Bandwidth) -> Self {
+        self.shared_bandwidth.set_cap(Some(cap));
+        self.redivide_bandwidth();
+        self
+    }
+
+    /// Adds a session and returns its id.
+    ///
+    /// The new session is anchored at the current virtual service time: its
+    /// fair-queueing counter starts from the service frontier (the
+    /// *most*-served live session's weighted service), so it shares the wire
+    /// from the join point onward instead of monopolizing it until its
+    /// lifetime count catches up.  The maximum — not the minimum — is used
+    /// because an exhausted or idle session's counter freezes below the
+    /// frontier and would otherwise drag every later joiner's anchor down
+    /// with it; active sessions under fair arbitration all sit within one
+    /// block of the frontier anyway.
+    pub fn add_session(&mut self, builder: SessionBuilder) -> SessionId {
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        let mut session = builder.build();
+        let virtual_time = self
+            .sessions
+            .iter()
+            .map(|(_, s)| s.service() as f64 / s.weight().max(f64::EPSILON))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if virtual_time.is_finite() {
+            session.service_base = (virtual_time * session.weight()).floor() as u64;
+        }
+        self.sessions.push((id, session));
+        self.redivide_bandwidth();
+        id
+    }
+
+    /// Removes a session.  Returns `true` if it existed.
+    pub fn remove_session(&mut self, id: SessionId) -> bool {
+        let before = self.sessions.len();
+        self.sessions.retain(|(sid, _)| *sid != id);
+        let removed = self.sessions.len() != before;
+        if removed {
+            self.redivide_bandwidth();
+        }
+        removed
+    }
+
+    /// Routes one protocol message to its session.  Returns the resulting
+    /// event, if the message produced one (`Close` yields
+    /// [`ServerEvent::Closed`]); `None` for unknown sessions.
+    pub fn on_message(
+        &mut self,
+        id: SessionId,
+        message: &ClientMessage,
+        now: Time,
+    ) -> Option<ServerEvent> {
+        let session = self
+            .sessions
+            .iter_mut()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, s)| s)?;
+        match message {
+            ClientMessage::Close => {
+                session.on_message(message, now);
+                self.remove_session(id);
+                Some(ServerEvent::Closed { session: id })
+            }
+            ClientMessage::RateReport(_) => {
+                session.on_message(message, now);
+                // Rate reports also feed the shared budget.  Each client
+                // only observes its own share of the wire, so the total is
+                // the *sum* of per-session estimates — feeding a single
+                // client's rate in as the total would systematically halve
+                // the estimate with every concurrent session.
+                let total: f64 = self
+                    .sessions
+                    .iter()
+                    .map(|(_, s)| s.bandwidth_estimate().bytes_per_sec())
+                    .sum();
+                self.shared_bandwidth.report_rate(Bandwidth(total));
+                self.redivide_bandwidth();
+                None
+            }
+            ClientMessage::Predictor(_) => {
+                session.on_message(message, now);
+                None
+            }
+        }
+    }
+
+    /// Produces the next block to put on the shared wire, or
+    /// [`ServerEvent::Idle`] when no session has useful work.
+    ///
+    /// The shared backend's concurrency budget is divided between live
+    /// sessions so their per-refill allowances sum to the backend limit —
+    /// N sessions cannot jointly drive N × limit distinct requests into one
+    /// backend.  When there are more sessions than slots, the remainder
+    /// rotates between sessions across calls so nobody starves.  (This is
+    /// the §5.4 schedule-shaping heuristic generalized to many clients, not
+    /// an exact in-flight tracker.)
+    pub fn next_event(&mut self, _now: Time) -> ServerEvent {
+        let n = self.sessions.len().max(1);
+        let limits: Vec<Option<usize>> = match self.backend.concurrency_limit() {
+            None => vec![None; n],
+            Some(l) => {
+                let base = l / n;
+                let extra = l % n;
+                (0..n)
+                    .map(|i| Some(base + usize::from((i + n - self.budget_rotor % n) % n < extra)))
+                    .collect()
+            }
+        };
+        self.budget_rotor = self.budget_rotor.wrapping_add(1);
+        let mut candidates: Vec<usize> = (0..self.sessions.len()).collect();
+        while !candidates.is_empty() {
+            let ready: Vec<SessionShare> = candidates
+                .iter()
+                .map(|&i| {
+                    let (id, s) = &self.sessions[i];
+                    SessionShare {
+                        session: *id,
+                        weight: s.weight(),
+                        blocks_sent: s.blocks_sent(),
+                        service: s.service(),
+                    }
+                })
+                .collect();
+            let Some(pick) = self.policy.pick(&ready) else {
+                break;
+            };
+            let idx = candidates[pick];
+            let limit = limits[idx];
+            let (id, session) = &mut self.sessions[idx];
+            let id = *id;
+            match session.next_block_ref(limit) {
+                Some(block_ref) => {
+                    if let Some(block) = self.backend.fetch(block_ref) {
+                        session.commit(&block.meta);
+                        self.blocks_sent += 1;
+                        self.bytes_sent += block.meta.size;
+                        return ServerEvent::Block { session: id, block };
+                    }
+                    // Unresolvable reference: the session's scheduler has
+                    // already moved past it.  Forfeit this session's turn so
+                    // a scheduler that keeps producing unresolvable refs
+                    // cannot spin this loop forever; the next call serves it
+                    // again.
+                    candidates.remove(pick);
+                }
+                None => {
+                    candidates.remove(pick);
+                }
+            }
+        }
+        ServerEvent::Idle
+    }
+
+    /// Re-divides the shared bandwidth estimate between sessions by weight,
+    /// updating each scheduler's slot duration.
+    fn redivide_bandwidth(&mut self) {
+        let total_weight: f64 = self.sessions.iter().map(|(_, s)| s.weight()).sum();
+        if total_weight <= 0.0 {
+            return;
+        }
+        let total = self.shared_bandwidth.estimate();
+        for (_, session) in &mut self.sessions {
+            let share = session.weight() / total_weight;
+            let effective = Bandwidth(total.bytes_per_sec() * share);
+            let slot = effective.transmit_time(session.catalog().max_block_size().max(1));
+            session.set_slot_duration(slot);
+        }
+    }
+
+    /// Time the sender should wait between consecutive blocks to pace the
+    /// shared wire at the estimated total bandwidth.
+    pub fn pacing_interval(&self) -> Duration {
+        let max_block = self
+            .sessions
+            .iter()
+            .map(|(_, s)| s.catalog().max_block_size())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        self.shared_bandwidth.slot_duration(max_block)
+    }
+
+    /// The shared bandwidth estimate.
+    pub fn bandwidth_estimate(&self) -> Bandwidth {
+        self.shared_bandwidth.estimate()
+    }
+
+    /// Number of live sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Ids of the live sessions, in creation order.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        self.sessions.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// A live session by id.
+    pub fn session(&self, id: SessionId) -> Option<&Session> {
+        self.sessions
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, s)| s)
+    }
+
+    /// Mutable access to a live session by id.
+    pub fn session_mut(&mut self, id: SessionId) -> Option<&mut Session> {
+        self.sessions
+            .iter_mut()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, s)| s)
+    }
+
+    /// Total blocks sent across all sessions.
+    pub fn blocks_sent(&self) -> u64 {
+        self.blocks_sent
+    }
+
+    /// Total bytes sent across all sessions.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Name of the arbitration policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Name of the shared backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::GreedySchedulerConfig;
+    use crate::server::CatalogBackend;
+    use crate::utility::LinearUtility;
+
+    fn catalog(n: usize, blocks: u32) -> Arc<ResponseCatalog> {
+        Arc::new(ResponseCatalog::uniform(n, blocks, 10_000))
+    }
+
+    fn utility(blocks: u32) -> UtilityModel {
+        UtilityModel::homogeneous(&LinearUtility, blocks)
+    }
+
+    fn manager_with(
+        policy: Box<dyn SharePolicy>,
+        weights: &[f64],
+        n: usize,
+        blocks: u32,
+    ) -> (SessionManager, Vec<SessionId>) {
+        let cat = catalog(n, blocks);
+        let mut mgr = SessionManager::new(Box::new(CatalogBackend::new(cat.clone())), policy);
+        let ids = weights
+            .iter()
+            .map(|&w| {
+                mgr.add_session(
+                    Session::builder(utility(blocks), cat.clone())
+                        .config(ServerConfig {
+                            scheduler: GreedySchedulerConfig {
+                                cache_blocks: (n * blocks as usize).max(64),
+                                ..Default::default()
+                            },
+                            ..Default::default()
+                        })
+                        .weight(w),
+                )
+            })
+            .collect();
+        (mgr, ids)
+    }
+
+    fn drive(mgr: &mut SessionManager, steps: usize) -> HashMap<SessionId, usize> {
+        let mut counts = HashMap::new();
+        for _ in 0..steps {
+            match mgr.next_event(Time::ZERO) {
+                ServerEvent::Block { session, .. } => *counts.entry(session).or_insert(0) += 1,
+                ServerEvent::Idle => break,
+                ServerEvent::Closed { .. } => {}
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn round_robin_splits_evenly() {
+        let (mut mgr, ids) = manager_with(Box::new(RoundRobin::new()), &[1.0, 1.0], 100, 10);
+        assert_eq!(mgr.policy_name(), "round-robin");
+        let counts = drive(&mut mgr, 400);
+        let a = counts[&ids[0]] as f64;
+        let b = counts[&ids[1]] as f64;
+        assert_eq!(a + b, 400.0, "both sessions had plenty of blocks");
+        // Uniform demand, equal weights: a near-exact 50/50 split.
+        assert!((a - b).abs() <= 2.0, "unfair split: {a} vs {b}");
+    }
+
+    #[test]
+    fn weighted_fair_honours_weights() {
+        let (mut mgr, ids) = manager_with(Box::new(WeightedFair::new()), &[2.0, 1.0], 100, 10);
+        assert_eq!(mgr.policy_name(), "weighted-fair");
+        let counts = drive(&mut mgr, 300);
+        let heavy = counts[&ids[0]] as f64;
+        let light = counts[&ids[1]] as f64;
+        assert_eq!(heavy + light, 300.0);
+        let ratio = heavy / light;
+        assert!(
+            (ratio - 2.0).abs() < 0.1,
+            "expected a 2:1 split, got {heavy}:{light} (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn sessions_track_independent_predictions() {
+        let (mut mgr, ids) = manager_with(Box::new(RoundRobin::new()), &[1.0, 1.0], 50, 4);
+        mgr.on_message(
+            ids[0],
+            &ClientMessage::Predictor(PredictorState::LastRequest(RequestId(7))),
+            Time::ZERO,
+        );
+        mgr.on_message(
+            ids[1],
+            &ClientMessage::Predictor(PredictorState::LastRequest(RequestId(33))),
+            Time::ZERO,
+        );
+        // First few blocks for each session go to its own predicted request.
+        let mut firsts: HashMap<SessionId, Vec<RequestId>> = HashMap::new();
+        for _ in 0..8 {
+            if let ServerEvent::Block { session, block } = mgr.next_event(Time::ZERO) {
+                firsts
+                    .entry(session)
+                    .or_default()
+                    .push(block.meta.block.request);
+            }
+        }
+        assert!(firsts[&ids[0]].contains(&RequestId(7)));
+        assert!(firsts[&ids[1]].contains(&RequestId(33)));
+        assert!(!firsts[&ids[0]].contains(&RequestId(33)));
+        assert_eq!(mgr.session(ids[0]).unwrap().prediction_updates(), 1);
+    }
+
+    #[test]
+    fn close_message_removes_session() {
+        let (mut mgr, ids) = manager_with(Box::new(RoundRobin::new()), &[1.0, 1.0], 20, 2);
+        assert_eq!(mgr.num_sessions(), 2);
+        let ev = mgr.on_message(ids[0], &ClientMessage::Close, Time::ZERO);
+        assert_eq!(ev, Some(ServerEvent::Closed { session: ids[0] }));
+        assert_eq!(mgr.num_sessions(), 1);
+        assert!(mgr.session(ids[0]).is_none());
+        // Remaining session still streams.
+        assert!(matches!(
+            mgr.next_event(Time::ZERO),
+            ServerEvent::Block { session, .. } if session == ids[1]
+        ));
+        // Messages to the removed session are rejected.
+        assert_eq!(
+            mgr.on_message(
+                ids[0],
+                &ClientMessage::RateReport(Bandwidth::from_mbps(1.0)),
+                Time::ZERO
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn rate_reports_redivide_shared_bandwidth() {
+        let (mut mgr, ids) = manager_with(Box::new(RoundRobin::new()), &[1.0, 1.0], 20, 2);
+        let before = mgr.pacing_interval();
+        // Each client observes only its own share of the wire; once both
+        // report a low rate, the shared estimate (their sum) drops and the
+        // shared pacing slows down.
+        for &id in &ids {
+            mgr.on_message(
+                id,
+                &ClientMessage::RateReport(Bandwidth::from_mbps(0.5)),
+                Time::ZERO,
+            );
+        }
+        let after = mgr.pacing_interval();
+        assert!(after > before, "shared pacing should slow down");
+        let estimate = mgr.bandwidth_estimate().as_mbps();
+        // The total reflects the *sum* of per-session rates (≥ 1.0 Mbps
+        // before smoothing), not a single client's 0.5 Mbps share.
+        assert!(
+            estimate > 0.9 && estimate < 5.625,
+            "shared estimate {estimate} should sit between one client's share and the initial estimate"
+        );
+    }
+
+    #[test]
+    fn exhausted_session_does_not_drag_down_the_join_anchor() {
+        // Session A exhausts a tiny catalog early and stalls; session B keeps
+        // streaming a large one.  A later joiner must be anchored at the
+        // service frontier (B), not at A's frozen counter, or it would
+        // monopolize the wire until it catches B up.
+        let small = catalog(2, 2);
+        let big = catalog(100, 10);
+        let mut mgr = SessionManager::weighted_fair(Box::new(CatalogBackend::new(big.clone())));
+        let full_cache = |n: usize| ServerConfig {
+            scheduler: GreedySchedulerConfig {
+                cache_blocks: n,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let a = mgr.add_session(Session::builder(utility(2), small).config(full_cache(16)));
+        let b =
+            mgr.add_session(Session::builder(utility(10), big.clone()).config(full_cache(1000)));
+        // Drain: A exhausts its 4 blocks quickly, B absorbs the rest.
+        for _ in 0..104 {
+            let _ = mgr.next_event(Time::ZERO);
+        }
+        assert!(mgr.session(a).unwrap().blocks_sent() <= 4);
+        assert!(mgr.session(b).unwrap().blocks_sent() >= 90);
+        // C joins: it must share with B immediately, not receive ~100
+        // consecutive catch-up blocks.
+        let c = mgr.add_session(Session::builder(utility(10), big).config(full_cache(1000)));
+        let counts = drive(&mut mgr, 60);
+        let c_share = counts.get(&c).copied().unwrap_or(0);
+        assert!(
+            (20..=40).contains(&c_share),
+            "joiner took {c_share}/60 blocks next to an exhausted session (counts {counts:?})"
+        );
+    }
+
+    #[test]
+    fn wrap_pruning_preserves_offsets_without_cache_tracking() {
+        // track_client_cache: false -> simulated_cache() is always empty; the
+        // wrap pruning must not wipe in-progress backfill offsets (only
+        // fully-pushed requests may be dropped).
+        let cat = catalog(8, 4);
+        let mut session = Session::builder(utility(4), cat)
+            .config(ServerConfig {
+                scheduler: GreedySchedulerConfig {
+                    cache_blocks: 4,
+                    track_client_cache: false,
+                    ..Default::default()
+                },
+                sender_queue_target: 2,
+                ..Default::default()
+            })
+            .build();
+        let mut sent = 0;
+        while sent < 12 {
+            let Some(r) = session.next_block_ref(None) else {
+                break;
+            };
+            let meta = session
+                .catalog()
+                .layout(r.request)
+                .block_meta(r.index)
+                .unwrap();
+            session.commit(&meta);
+            sent += 1;
+        }
+        assert!(sent >= 8, "session stalled after {sent} blocks");
+        // Several schedules have wrapped (horizon 4); the map must still
+        // track the partially-pushed requests rather than being cleared.
+        assert!(
+            session.tracked_requests() > 0,
+            "sent_per_request wiped on wrap without cache tracking"
+        );
+    }
+
+    #[test]
+    fn sent_per_request_is_pruned_on_schedule_wrap() {
+        // Tiny horizon (8 blocks) over a large corpus: the schedule wraps
+        // many times and old requests fall out of the simulated ring.
+        let cat = catalog(64, 2);
+        let mut session = Session::builder(utility(2), cat)
+            .config(ServerConfig {
+                scheduler: GreedySchedulerConfig {
+                    cache_blocks: 8,
+                    ..Default::default()
+                },
+                sender_queue_target: 4,
+                ..Default::default()
+            })
+            .build();
+        let mut sent = 0;
+        while sent < 200 {
+            let Some(r) = session.next_block_ref(None) else {
+                break;
+            };
+            let meta = session
+                .catalog()
+                .layout(r.request)
+                .block_meta(r.index)
+                .unwrap();
+            session.commit(&meta);
+            sent += 1;
+        }
+        assert!(sent >= 100, "session stalled after {sent} blocks");
+        // Without pruning the map would approach the corpus size (64); with
+        // pruning it stays bounded by the ring (8 blocks) plus the entries
+        // touched since the last wrap.
+        assert!(
+            session.tracked_requests() <= 16,
+            "sent_per_request leaked: {} entries",
+            session.tracked_requests()
+        );
+    }
+
+    #[test]
+    fn late_joining_session_does_not_monopolize_weighted_fair() {
+        let cat = catalog(100, 10);
+        let mut mgr = SessionManager::weighted_fair(Box::new(CatalogBackend::new(cat.clone())));
+        let full_cache = ServerConfig {
+            scheduler: GreedySchedulerConfig {
+                cache_blocks: 1000,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let a =
+            mgr.add_session(Session::builder(utility(10), cat.clone()).config(full_cache.clone()));
+        // A alone receives 100 blocks of service.
+        for _ in 0..100 {
+            assert!(matches!(
+                mgr.next_event(Time::ZERO),
+                ServerEvent::Block { session, .. } if session == a
+            ));
+        }
+        // B joins with equal weight: it must be anchored at the current
+        // virtual time and *share* the wire, not receive 100 consecutive
+        // catch-up blocks.
+        let b = mgr.add_session(Session::builder(utility(10), cat).config(full_cache));
+        let counts = drive(&mut mgr, 100);
+        let b_share = counts.get(&b).copied().unwrap_or(0);
+        assert!(
+            (40..=60).contains(&b_share),
+            "late joiner took {b_share}/100 blocks (expected ~50)"
+        );
+        assert!(counts.get(&a).copied().unwrap_or(0) >= 40);
+    }
+
+    struct LimitedCatalog {
+        inner: CatalogBackend,
+        limit: usize,
+    }
+
+    impl Backend for LimitedCatalog {
+        fn fetch(&mut self, block: BlockRef) -> Option<crate::block::Block> {
+            self.inner.fetch(block)
+        }
+        fn concurrency_limit(&self) -> Option<usize> {
+            Some(self.limit)
+        }
+    }
+
+    #[test]
+    fn backend_concurrency_budget_is_shared_across_sessions() {
+        // A backend that can serve 4 concurrent requests, shared by 2
+        // sessions: each session gets 2 slots, so the union of distinct
+        // requests driven into the backend stays within the global limit.
+        let cat = catalog(50, 10);
+        let mut mgr = SessionManager::new(
+            Box::new(LimitedCatalog {
+                inner: CatalogBackend::new(cat.clone()),
+                limit: 4,
+            }),
+            Box::new(RoundRobin::new()),
+        );
+        let cfg = ServerConfig {
+            scheduler: GreedySchedulerConfig {
+                cache_blocks: 40,
+                ..Default::default()
+            },
+            sender_queue_target: 40,
+            ..Default::default()
+        };
+        for i in 0..2 {
+            let mut builder = Session::builder(utility(10), cat.clone()).config(cfg.clone());
+            if i == 1 {
+                builder = builder.weight(2.0);
+            }
+            mgr.add_session(builder);
+        }
+        let mut distinct: std::collections::HashSet<RequestId> = Default::default();
+        for _ in 0..40 {
+            if let ServerEvent::Block { block, .. } = mgr.next_event(Time::ZERO) {
+                distinct.insert(block.meta.block.request);
+            }
+        }
+        assert!(
+            distinct.len() <= 4,
+            "two sessions drove {} distinct requests into a backend with limit 4",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn oversubscribed_backend_budget_rotates_without_exceeding_limit() {
+        // More sessions (6) than backend slots (2): per-call allowances must
+        // sum to the limit, and the remainder must rotate so every session
+        // is eventually served.
+        let cat = catalog(60, 10);
+        let mut mgr = SessionManager::new(
+            Box::new(LimitedCatalog {
+                inner: CatalogBackend::new(cat.clone()),
+                limit: 2,
+            }),
+            Box::new(RoundRobin::new()),
+        );
+        let cfg = ServerConfig {
+            scheduler: GreedySchedulerConfig {
+                cache_blocks: 60,
+                ..Default::default()
+            },
+            sender_queue_target: 10,
+            ..Default::default()
+        };
+        let ids: Vec<SessionId> = (0..6)
+            .map(|_| {
+                mgr.add_session(Session::builder(utility(10), cat.clone()).config(cfg.clone()))
+            })
+            .collect();
+        let mut counts: HashMap<SessionId, usize> = HashMap::new();
+        let mut served: HashMap<SessionId, std::collections::HashSet<RequestId>> = HashMap::new();
+        for _ in 0..120 {
+            match mgr.next_event(Time::ZERO) {
+                ServerEvent::Block { session, block } => {
+                    *counts.entry(session).or_insert(0) += 1;
+                    served
+                        .entry(session)
+                        .or_default()
+                        .insert(block.meta.block.request);
+                }
+                ServerEvent::Idle => break,
+                ServerEvent::Closed { .. } => {}
+            }
+        }
+        // Every session eventually gets service despite 4 of 6 having a zero
+        // allowance on any single call.
+        for id in &ids {
+            assert!(
+                counts.get(id).copied().unwrap_or(0) > 0,
+                "session {id} starved under rotating budget: {counts:?}"
+            );
+        }
+        // With a per-refill allowance of at most 1, each session's blocks on
+        // the wire concentrate on very few distinct requests (~20 blocks per
+        // session / 10 blocks per request), so the joint backend fan-out
+        // stays near the limit instead of 6 × limit.
+        for id in &ids {
+            let distinct = served.get(id).map(|s| s.len()).unwrap_or(0);
+            assert!(
+                distinct <= 3,
+                "session {id} drove {distinct} distinct requests into the backend despite allowance 1"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_fair_requires_positive_weight() {
+        let cat = catalog(4, 2);
+        let result = std::panic::catch_unwind(|| Session::builder(utility(2), cat).weight(0.0));
+        assert!(result.is_err());
+    }
+}

@@ -235,6 +235,7 @@ impl Duration {
 
     /// Multiplies the duration by an integer factor.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, k: u64) -> Duration {
         Duration(self.0 * k)
     }

@@ -98,7 +98,10 @@ impl PiecewiseUtility {
         }
         let mut prev = -1.0_f64;
         for &(_, u) in &points {
-            assert!((0.0..=1.0 + 1e-9).contains(&u), "utility values must lie in [0,1]");
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&u),
+                "utility values must lie in [0,1]"
+            );
             assert!(u >= prev - 1e-9, "utility must be non-decreasing");
             prev = u;
         }

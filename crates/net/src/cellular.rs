@@ -29,7 +29,10 @@ impl RateTrace {
     /// Builds a trace from explicit per-segment rates.
     pub fn new(segment: Duration, rates: Vec<Bandwidth>, name: impl Into<String>) -> Self {
         assert!(!rates.is_empty(), "a rate trace needs at least one segment");
-        assert!(segment.as_micros() > 0, "segments must have positive length");
+        assert!(
+            segment.as_micros() > 0,
+            "segments must have positive length"
+        );
         RateTrace {
             segment,
             rates,
@@ -160,8 +163,16 @@ mod tests {
         let v = RateTrace::verizon_lte(1);
         let a = RateTrace::att_lte(1);
         // Means land in the intended ballpark.
-        assert!((v.mean_rate().as_mbps() - 9.6).abs() < 4.0, "{}", v.mean_rate());
-        assert!((a.mean_rate().as_mbps() - 5.6).abs() < 3.0, "{}", a.mean_rate());
+        assert!(
+            (v.mean_rate().as_mbps() - 9.6).abs() < 4.0,
+            "{}",
+            v.mean_rate()
+        );
+        assert!(
+            (a.mean_rate().as_mbps() - 5.6).abs() < 3.0,
+            "{}",
+            a.mean_rate()
+        );
         // Verizon is on average faster than AT&T (the relationship Figure 13
         // depends on).
         assert!(v.mean_rate().as_mbps() > a.mean_rate().as_mbps());

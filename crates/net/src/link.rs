@@ -40,7 +40,7 @@ pub trait BandwidthModel: Send + Sync {
                 return elapsed + Duration::from_secs_f64(frac);
             }
             remaining -= can_send;
-            t = t + step;
+            t += step;
             elapsed = elapsed + step;
         }
         elapsed
@@ -121,7 +121,11 @@ impl Link {
     /// Transmissions serialize FIFO: if the link is still draining earlier
     /// data, this one starts after it.
     pub fn send(&mut self, bytes: Bytes, now: Time) -> Time {
-        let start = if self.busy_until > now { self.busy_until } else { now };
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
         let serialize = self.model.transmit_time(bytes, start);
         let done_serializing = start + serialize;
         self.busy_until = done_serializing;
@@ -211,9 +215,15 @@ mod tests {
     #[test]
     fn constant_rate_transmit_time() {
         let m = ConstantRate(Bandwidth::from_mbps(10.0));
-        assert_eq!(m.transmit_time(1_000_000, Time::ZERO), Duration::from_millis(100));
+        assert_eq!(
+            m.transmit_time(1_000_000, Time::ZERO),
+            Duration::from_millis(100)
+        );
         assert_eq!(m.rate_at(Time::from_secs(5)).as_mbps(), 10.0);
-        assert_eq!(m.average_rate(Time::ZERO, Duration::from_secs(1)).as_mbps(), 10.0);
+        assert_eq!(
+            m.average_rate(Time::ZERO, Duration::from_secs(1)).as_mbps(),
+            10.0
+        );
     }
 
     #[test]
@@ -235,7 +245,10 @@ mod tests {
         assert_eq!(a2, Time::from_millis(210));
         assert!(!l.is_idle(Time::from_millis(150)));
         assert!(l.is_idle(Time::from_millis(250)));
-        assert_eq!(l.queueing_delay(Time::from_millis(50)), Duration::from_millis(150));
+        assert_eq!(
+            l.queueing_delay(Time::from_millis(50)),
+            Duration::from_millis(150)
+        );
         // A transmission after the queue drains starts immediately.
         let a3 = l.send(1_000, Time::from_millis(300));
         assert_eq!(a3, Time::from_millis(311));
@@ -261,7 +274,7 @@ mod tests {
 
     impl BandwidthModel for Alternating {
         fn rate_at(&self, t: Time) -> Bandwidth {
-            if (t.as_millis_f64() as u64 / 100) % 2 == 0 {
+            if (t.as_millis_f64() as u64 / 100).is_multiple_of(2) {
                 Bandwidth::from_mbps(2.0)
             } else {
                 Bandwidth(0.0)
@@ -280,7 +293,9 @@ mod tests {
         let d = m.transmit_time(300_000, Time::ZERO);
         assert!((d.as_millis_f64() - 250.0).abs() <= 2.0, "{d}");
         // Average over one full period is 1 MB/s.
-        let avg = m.average_rate(Time::ZERO, Duration::from_millis(200)).as_mbps();
+        let avg = m
+            .average_rate(Time::ZERO, Duration::from_millis(200))
+            .as_mbps();
         assert!((avg - 1.0).abs() < 0.05, "{avg}");
     }
 

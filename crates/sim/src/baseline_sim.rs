@@ -84,7 +84,8 @@ pub fn run_baseline(
         .map(|i| fetch_bytes(&catalog, RequestId::from(i), options.granularity) as f64)
         .sum::<f64>()
         / catalog.num_requests().max(1) as f64;
-    let bw_cap = ((cfg.bandwidth.nominal().bytes_per_sec() * 0.5 / mean_response.max(1.0)) as usize)
+    let bw_cap = ((cfg.bandwidth.nominal().bytes_per_sec() * 0.5 / mean_response.max(1.0))
+        as usize)
         .clamp(1, 16);
     let cap = policy
         .max_outstanding()
@@ -121,7 +122,8 @@ pub fn run_baseline(
                     answer(&mut pending, &mut metrics, &utility, &lru, user, now);
                 } else {
                     pending.push(user);
-                    if !outstanding.contains_key(&request) {
+                    if let std::collections::hash_map::Entry::Vacant(e) = outstanding.entry(request)
+                    {
                         // Explicit user requests are always issued.
                         let arrival = issue_fetch(
                             &catalog,
@@ -135,7 +137,7 @@ pub fn run_baseline(
                             &mut bytes_sent,
                             &mut metrics,
                         );
-                        outstanding.insert(request, arrival);
+                        e.insert(arrival);
                         queue.schedule(arrival, Event::ResponseArrive(request));
                     }
                 }
@@ -223,11 +225,9 @@ fn cached_shape(
             layout.num_blocks(),
             layout.total_size(),
         ),
-        FetchGranularity::FirstBlockOnly => (
-            1,
-            layout.num_blocks(),
-            layout.natural_size(0).unwrap_or(0),
-        ),
+        FetchGranularity::FirstBlockOnly => {
+            (1, layout.num_blocks(), layout.natural_size(0).unwrap_or(0))
+        }
     }
 }
 

@@ -4,7 +4,6 @@
 //! helpers; keeping the wiring here means the integration tests exercise the
 //! exact code paths that regenerate the paper's figures.
 
-
 use khameleon_apps::baselines::{AccPrefetcher, FetchGranularity, NoPrefetch};
 use khameleon_apps::falcon_app::{
     FalconApp, FalconBackendKind, FalconDataset, FalconPredictorKind,
@@ -414,6 +413,9 @@ mod tests {
     #[test]
     fn probe_request_is_last() {
         let (_, trace) = image_setup();
-        assert_eq!(probe_request(&trace), Some(trace.requests.last().unwrap().1));
+        assert_eq!(
+            probe_request(&trace),
+            Some(trace.requests.last().unwrap().1)
+        );
     }
 }

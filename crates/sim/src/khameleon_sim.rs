@@ -1,28 +1,31 @@
 //! End-to-end simulation of a Khameleon deployment.
 //!
-//! Wires the real library components — [`KhameleonServer`] (greedy scheduler,
-//! bandwidth estimator, backend), [`CacheManager`] (ring cache, upcalls,
-//! preemption), [`PredictorManager`] — to a simulated duplex network path and
-//! an interaction-trace replay, all driven by the deterministic event queue.
-//! The same code paths that a live deployment exercises produce the metrics
-//! reported in the paper's figures.
+//! Wires the real library components — a [`KhameleonServer`] assembled
+//! through [`ServerBuilder`] (pluggable scheduler, bandwidth estimator,
+//! backend), [`CacheManager`] (ring cache, upcalls, preemption),
+//! [`PredictorManager`] — to a simulated duplex network path and an
+//! interaction-trace replay, all driven by the deterministic event queue.
+//! Client-to-server traffic crosses the simulated uplink as typed
+//! [`ClientMessage`]s and the downlink carries the server's
+//! [`ServerEvent`](khameleon_core::protocol::ServerEvent) blocks, so the
+//! simulator exercises exactly the protocol a live deployment speaks.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use khameleon_apps::traces::InteractionTrace;
+use khameleon_backend::blockstore::BlockStore;
+use khameleon_backend::executor::CostModel;
 use khameleon_core::block::{BlockMeta, ResponseCatalog};
 use khameleon_core::client::CacheManager;
 use khameleon_core::predictor::{
-    ClientPredictor, InteractionEvent, PredictorManager, PredictorManagerConfig, PredictorState,
-    ServerPredictor,
+    ClientPredictor, InteractionEvent, PredictorManager, PredictorManagerConfig, ServerPredictor,
 };
+use khameleon_core::protocol::{ClientMessage, ServerEvent};
 use khameleon_core::scheduler::GreedySchedulerConfig;
-use khameleon_core::server::{KhameleonServer, ServerConfig};
+use khameleon_core::server::{KhameleonServer, ServerBuilder, ServerConfig};
 use khameleon_core::types::{Bandwidth, Duration, RequestId, Time};
 use khameleon_core::utility::UtilityModel;
-use khameleon_backend::blockstore::BlockStore;
-use khameleon_backend::executor::CostModel;
-use khameleon_apps::traces::InteractionTrace;
 use khameleon_net::link::{BandwidthModel, ConstantRate, Link};
 
 use crate::config::{BandwidthSpec, ExperimentConfig};
@@ -77,8 +80,8 @@ impl Default for KhameleonOptions {
 enum Event {
     UserRequest(usize),
     PredictionPoll,
-    PredictionArrive(PredictorState),
-    RateReport(Bandwidth),
+    /// A typed client message crossed the uplink and reaches the server.
+    Uplink(ClientMessage),
     SenderWake,
     BlockArrive(BlockMeta),
 }
@@ -114,13 +117,11 @@ pub fn run_khameleon(
         bandwidth_cap: None,
         sender_queue_target: 32,
     };
-    let mut server = KhameleonServer::new(
-        server_cfg,
-        utility.clone(),
-        catalog.clone(),
-        server_predictor,
-        Box::new(backend_store),
-    );
+    let mut server: KhameleonServer = ServerBuilder::new(utility.clone(), catalog.clone())
+        .config(server_cfg)
+        .predictor(server_predictor)
+        .backend(Box::new(backend_store))
+        .build();
 
     // --- client ---
     let mut client = CacheManager::new(cache_blocks, catalog.clone(), utility);
@@ -184,23 +185,26 @@ pub fn run_khameleon(
                 }
                 if let Some(state) = predictor.poll(now) {
                     client.note_prediction_sent(state.wire_size_bytes());
-                    queue.schedule(now + propagation, Event::PredictionArrive(state));
+                    queue.schedule(
+                        now + propagation,
+                        Event::Uplink(ClientMessage::Predictor(state)),
+                    );
                 }
                 // Receive-rate report (same uplink message cadence).
                 let window = now.saturating_sub(last_report_at);
                 if window > Duration::ZERO && bytes_since_report > 0 {
                     let rate = Bandwidth(bytes_since_report as f64 / window.as_secs_f64());
-                    queue.schedule(now + propagation, Event::RateReport(rate));
+                    queue.schedule(
+                        now + propagation,
+                        Event::Uplink(ClientMessage::RateReport(rate)),
+                    );
                     bytes_since_report = 0;
                     last_report_at = now;
                 }
                 queue.schedule(now + cfg.prediction_interval, Event::PredictionPoll);
             }
-            Event::PredictionArrive(state) => {
-                server.on_predictor_state(&state, now);
-            }
-            Event::RateReport(rate) => {
-                server.on_rate_report(rate);
+            Event::Uplink(message) => {
+                server.on_message(&message, now);
             }
             Event::SenderWake => {
                 // Pace the sender by the link: only hand the link a new block
@@ -209,8 +213,8 @@ pub fn run_khameleon(
                     queue.schedule(downlink.busy_until(), Event::SenderWake);
                     continue;
                 }
-                match server.next_block(now) {
-                    Some(block) => {
+                match server.poll(now) {
+                    ServerEvent::Block { block, .. } => {
                         let request = block.meta.block.request;
                         // First touch of a request triggers backend
                         // computation; later blocks reuse the materialized
@@ -241,7 +245,7 @@ pub fn run_khameleon(
                         queue.schedule(arrival, Event::BlockArrive(block.meta));
                         queue.schedule(downlink.busy_until(), Event::SenderWake);
                     }
-                    None => {
+                    _ => {
                         queue.schedule(now + idle_poll, Event::SenderWake);
                     }
                 }
@@ -252,7 +256,8 @@ pub fn run_khameleon(
                 let _ = client.on_block(meta, now);
                 if let Some(probe) = options.convergence_probe {
                     if request == probe && now >= pause_at {
-                        convergence.push((now.saturating_sub(pause_at), client.current_utility(probe)));
+                        convergence
+                            .push((now.saturating_sub(pause_at), client.current_utility(probe)));
                     }
                 }
             }

@@ -1,0 +1,121 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the [`channel`] module is provided, implemented over
+//! `std::sync::mpsc`.  Semantics match crossbeam closely enough for the
+//! workspace's uses: bounded channels block senders when full, receivers
+//! support `recv`, `try_recv`, and `recv_timeout`, and senders are cloneable.
+
+/// Multi-producer channels mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
+
+    /// Sending half of a channel (bounded or unbounded).
+    pub enum Sender<T> {
+        /// Bounded sender; `send` blocks when the channel is full.
+        Bounded(mpsc::SyncSender<T>),
+        /// Unbounded sender.
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Bounded(s) => Sender::Bounded(s.clone()),
+                Sender::Unbounded(s) => Sender::Unbounded(s.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while a bounded channel is full.  Errors
+        /// only when the receiving side has disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Bounded(s) => s.send(value),
+                Sender::Unbounded(s) => s.send(value),
+            }
+        }
+
+        /// Sends `value` without blocking: a full bounded channel returns
+        /// [`TrySendError::Full`] instead of waiting.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match self {
+                Sender::Bounded(s) => s.try_send(value),
+                Sender::Unbounded(s) => s
+                    .send(value)
+                    .map_err(|SendError(v)| TrySendError::Disconnected(v)),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Returns immediately with a value or an empty/disconnected error.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocks up to `timeout` for a value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Iterates over received values until all senders disconnect.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// Creates a bounded channel of the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver(rx))
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_roundtrip_and_timeout() {
+        let (tx, rx) = channel::bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(rx.recv_timeout(Duration::from_millis(10)).is_err());
+    }
+
+    #[test]
+    fn unbounded_across_threads() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx2.send(i).unwrap();
+            }
+        });
+        drop(tx);
+        let sum: u32 = std::iter::from_fn(|| rx.recv().ok()).sum();
+        h.join().unwrap();
+        assert_eq!(sum, (0..100).sum());
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest API used by this workspace's property
+//! tests: the [`proptest!`] macro with an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header, range and
+//! tuple strategies, `proptest::collection::vec`, `any::<T>()`, and the
+//! `prop_assert*` macros.  Cases are generated from a deterministic RNG; there
+//! is no shrinking — a failing case panics with the values baked into the
+//! assertion message.
+
+use rand::rngs::StdRng;
+pub use rand::SeedableRng;
+
+/// Test-runner configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        use rand::Rng;
+        rng.gen::<f64>() * 2.0 - 1.0
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests.  See the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                // Deterministic per-test seed derived from the test name.
+                let seed = {
+                    let name = stringify!($name);
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    for b in name.bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x1000_0000_01b3);
+                    }
+                    h
+                };
+                let mut rng = <rand::rngs::StdRng as $crate::SeedableRng>::seed_from_u64(seed);
+                for _case in 0..cfg.cases {
+                    let ( $($pat,)+ ) = ( $( $crate::Strategy::generate(&($strat), &mut rng), )+ );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — identical to `assert!` in this stand-in.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// `prop_assert_eq!` — identical to `assert_eq!` in this stand-in.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// `prop_assert_ne!` — identical to `assert_ne!` in this stand-in.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs(a in 1usize..10, b in -2.0f64..2.0, v in collection::vec(0u8..255, 0..16)) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&b));
+            prop_assert!(v.len() < 16);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_and_tuples(pair in (0u32..4, 0u32..4), x in any::<u8>()) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+            let _ = x;
+        }
+    }
+}

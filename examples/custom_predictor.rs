@@ -10,15 +10,15 @@
 
 use std::sync::Arc;
 
+use khameleon::apps::layout::GridLayout;
+use khameleon::core::block::ResponseCatalog;
 use khameleon::core::distribution::{HorizonSlice, PredictionSummary, SparseDistribution};
 use khameleon::core::predictor::{
     ClientPredictor, InteractionEvent, PredictorState, RequestLayout, ServerPredictor,
 };
-use khameleon::core::server::{CatalogBackend, KhameleonServer, ServerConfig};
+use khameleon::core::server::{CatalogBackend, ServerBuilder};
 use khameleon::core::types::{Duration, RequestId, Time};
 use khameleon::core::utility::{PiecewiseUtility, UtilityModel};
-use khameleon::core::block::ResponseCatalog;
-use khameleon::apps::layout::GridLayout;
 
 /// Client component: remembers the last two distinct requests to estimate a
 /// direction of travel across the grid.
@@ -40,12 +40,7 @@ impl ClientPredictor for MomentumClient {
 
     fn state(&mut self, _now: Time) -> PredictorState {
         // Ship the raw history; the server-side component interprets it.
-        PredictorState::TopK(
-            self.history
-                .iter()
-                .map(|&r| (r, 1.0))
-                .collect(),
-        )
+        PredictorState::TopK(self.history.iter().map(|&r| (r, 1.0)).collect())
     }
 
     fn name(&self) -> &str {
@@ -78,7 +73,10 @@ impl ServerPredictor for MomentumServer {
                 for step in 1..=3i64 {
                     let r = cr as i64 + dr * step;
                     let c = cc as i64 + dc * step;
-                    if r >= 0 && c >= 0 && (r as usize) < self.layout.rows() && (c as usize) < self.layout.cols()
+                    if r >= 0
+                        && c >= 0
+                        && (r as usize) < self.layout.rows()
+                        && (c as usize) < self.layout.cols()
                     {
                         let id = RequestId::from(r as usize * self.layout.cols() + c as usize);
                         entries.push((id, 0.4 / step as f64));
@@ -108,13 +106,12 @@ fn main() {
     let utility = UtilityModel::homogeneous(&PiecewiseUtility::image_ssim(), 8);
 
     let mut client_pred = MomentumClient { history: vec![] };
-    let mut server = KhameleonServer::new(
-        ServerConfig::default(),
-        utility,
-        catalog.clone(),
-        Box::new(MomentumServer { layout: layout.clone() }),
-        Box::new(CatalogBackend::new(catalog)),
-    );
+    let mut server = ServerBuilder::new(utility, catalog.clone())
+        .predictor(Box::new(MomentumServer {
+            layout: layout.clone(),
+        }))
+        .backend(Box::new(CatalogBackend::new(catalog)))
+        .build();
 
     // The user moves right along row 4: requests 42 then 43.
     for (i, req) in [42u32, 43].into_iter().enumerate() {
@@ -132,10 +129,7 @@ fn main() {
     for _ in 0..12 {
         if let Some(block) = server.next_block(Time::from_millis(200)) {
             let (row, col) = layout.cell(block.meta.block.request);
-            println!(
-                "  {} -> grid cell ({row},{col})",
-                block.meta.block
-            );
+            println!("  {} -> grid cell ({row},{col})", block.meta.block);
         }
     }
     let _ = Duration::from_millis(0); // keep the prelude import exercised

@@ -57,14 +57,7 @@ fn main() {
     println!("{}", RunResult::csv_header());
     for backend in [FalconBackendKind::PostgresLike, FalconBackendKind::Scalable] {
         for predictor in [FalconPredictorKind::OnHover, FalconPredictorKind::Kalman] {
-            let r = run_falcon(
-                &app,
-                predictor,
-                backend,
-                FalconDataset::Small,
-                &trace,
-                &cfg,
-            );
+            let r = run_falcon(&app, predictor, backend, FalconDataset::Small, &trace, &cfg);
             println!("{}", r.to_csv_row());
         }
     }

@@ -1,7 +1,8 @@
-//! Live (threaded) pipeline: the server streams blocks to the client over a
-//! bounded channel that emulates a paced network link, while the client
-//! thread registers requests and ships predictor state back — the same
-//! library code the simulator drives, exercised with real threads and real
+//! Live (threaded) multi-client pipeline: a [`SessionManager`] multiplexes
+//! two client sessions over one shared backend and one shared (paced) wire,
+//! while each client thread registers its own requests and ships typed
+//! [`ClientMessage`]s back — the same library code and the same protocol the
+//! discrete-event simulator drives, exercised with real threads and real
 //! payload bytes.
 //!
 //! Run with: `cargo run --release --example live_pipeline`
@@ -14,9 +15,9 @@ use crossbeam::channel;
 use khameleon::backend::blockstore::BlockStore;
 use khameleon::backend::image::ImageCorpus;
 use khameleon::core::client::CacheManager;
-use khameleon::core::predictor::simple::SimpleServerPredictor;
 use khameleon::core::predictor::PredictorState;
-use khameleon::core::server::{KhameleonServer, ServerConfig};
+use khameleon::core::protocol::{ClientMessage, ServerEvent, SessionId};
+use khameleon::core::session::{Session, SessionManager, WeightedFair};
 use khameleon::core::types::{RequestId, Time};
 
 fn main() {
@@ -24,84 +25,127 @@ fn main() {
     let corpus = ImageCorpus::small(64, 9);
     let catalog = corpus.catalog();
     let utility = corpus.utility();
-    let n = corpus.num_images();
 
-    let (block_tx, block_rx) = channel::bounded(8);
-    let (pred_tx, pred_rx) = channel::unbounded::<PredictorState>();
+    // Two clients share the server: an interactive one (weight 2) and a
+    // background one (weight 1).  Weighted-fair arbitration gives the
+    // interactive session two blocks for every background block.
+    let mut manager = SessionManager::new(
+        Box::new(BlockStore::with_synthetic_payloads(catalog.clone())),
+        Box::new(WeightedFair::new()),
+    );
+    let interactive =
+        manager.add_session(Session::builder(utility.clone(), catalog.clone()).weight(2.0));
+    let background =
+        manager.add_session(Session::builder(utility.clone(), catalog.clone()).weight(1.0));
 
-    // Server thread: apply predictions as they arrive and keep pushing blocks.
-    let server_catalog = catalog.clone();
-    let server_utility = utility.clone();
+    // Uplink: every client shares one message channel (tagged by session).
+    // Downlink: one block channel per client.
+    let (msg_tx, msg_rx) = channel::unbounded::<(SessionId, ClientMessage)>();
+    let (tx_a, rx_a) = channel::bounded(8);
+    let (tx_b, rx_b) = channel::bounded(8);
+
+    // Server thread: apply client messages as they arrive and keep the wire
+    // busy, letting the share policy pick whose block goes out next.
     let server = thread::spawn(move || {
-        let mut server = KhameleonServer::new(
-            ServerConfig::default(),
-            server_utility,
-            server_catalog.clone(),
-            Box::new(SimpleServerPredictor::new(n)),
-            Box::new(BlockStore::with_synthetic_payloads(server_catalog)),
-        );
-        let mut pushed = 0u64;
         let start = std::time::Instant::now();
+        let mut pushed = 0u64;
         while start.elapsed() < StdDuration::from_millis(500) {
-            while let Ok(state) = pred_rx.try_recv() {
-                server.on_predictor_state(&state, Time::from_millis(start.elapsed().as_millis() as u64));
+            let now = Time::from_millis(start.elapsed().as_millis() as u64);
+            while let Ok((session, message)) = msg_rx.try_recv() {
+                manager.on_message(session, &message, now);
             }
-            match server.next_block(Time::from_millis(start.elapsed().as_millis() as u64)) {
-                Some(block) => {
-                    if block_tx.send(block).is_err() {
-                        break;
+            match manager.next_event(now) {
+                ServerEvent::Block { session, block } => {
+                    let tx = if session == interactive { &tx_a } else { &tx_b };
+                    // Non-blocking send: one slow client must not stall the
+                    // shared wire, and a departed client must not take the
+                    // other session down with it — its session is closed and
+                    // the loop keeps serving the rest.
+                    match tx.try_send(block) {
+                        Ok(()) => pushed += 1,
+                        Err(channel::TrySendError::Full(_)) => {
+                            // Drop the block; the receiver is backlogged.
+                        }
+                        Err(channel::TrySendError::Disconnected(_)) => {
+                            manager.on_message(session, &ClientMessage::Close, now);
+                        }
                     }
-                    pushed += 1;
-                    // Pace roughly like a constrained link.
+                    // Pace roughly like a constrained shared link.
                     thread::sleep(StdDuration::from_millis(2));
                 }
-                None => thread::sleep(StdDuration::from_millis(5)),
+                _ => thread::sleep(StdDuration::from_millis(5)),
             }
         }
-        pushed
+        (pushed, manager.session_ids().len())
     });
 
-    // Client thread: register a couple of requests and consume the stream.
-    let client = thread::spawn(move || {
-        let mut client = CacheManager::new(128, catalog, utility);
-        let start = std::time::Instant::now();
-        let mut upcalls = 0usize;
-        let mut payload_bytes = 0usize;
+    // Client threads: each registers its own requests and consumes its own
+    // downlink, shipping predictor state through the shared uplink.
+    let spawn_client = |session: SessionId,
+                        rx: channel::Receiver<khameleon::core::block::Block>,
+                        tx: channel::Sender<(SessionId, ClientMessage)>,
+                        first: u32,
+                        second: u32,
+                        label: &'static str| {
+        let catalog = catalog.clone();
+        let utility = utility.clone();
+        thread::spawn(move || {
+            let mut client = CacheManager::new(128, catalog, utility);
+            let start = std::time::Instant::now();
+            let mut upcalls = 0usize;
+            let mut payload_bytes = 0usize;
 
-        // The user asks for image 3, then image 11 shortly after.
-        let _ = client.register(RequestId(3), Time::ZERO);
-        let _ = pred_tx.send(PredictorState::LastRequest(RequestId(3)));
-        let mut switched = false;
+            let _ = client.register(RequestId(first), Time::ZERO);
+            let _ = tx.send((
+                session,
+                ClientMessage::Predictor(PredictorState::LastRequest(RequestId(first))),
+            ));
+            let mut switched = false;
 
-        while let Ok(block) = block_rx.recv_timeout(StdDuration::from_millis(200)) {
-            let now = Time::from_millis(start.elapsed().as_millis() as u64);
-            payload_bytes += block.payload.as_ref().map(Vec::len).unwrap_or(0);
-            for up in client.on_block(block.meta, now) {
-                upcalls += 1;
-                println!(
-                    "upcall: {} with {} block(s), utility {:.2}",
-                    up.request, up.blocks, up.utility
-                );
+            while let Ok(block) = rx.recv_timeout(StdDuration::from_millis(200)) {
+                let now = Time::from_millis(start.elapsed().as_millis() as u64);
+                payload_bytes += block.payload.as_ref().map(Vec::len).unwrap_or(0);
+                for up in client.on_block(block.meta, now) {
+                    upcalls += 1;
+                    println!(
+                        "[{label}] upcall: {} with {} block(s), utility {:.2}",
+                        up.request, up.blocks, up.utility
+                    );
+                }
+                if !switched && start.elapsed() > StdDuration::from_millis(100) {
+                    switched = true;
+                    let _ = client.register(RequestId(second), now);
+                    let _ = tx.send((
+                        session,
+                        ClientMessage::Predictor(PredictorState::LastRequest(RequestId(second))),
+                    ));
+                }
+                if start.elapsed() > StdDuration::from_millis(450) {
+                    break;
+                }
             }
-            if !switched && start.elapsed() > StdDuration::from_millis(100) {
-                switched = true;
-                let _ = client.register(RequestId(11), now);
-                let _ = pred_tx.send(PredictorState::LastRequest(RequestId(11)));
-            }
-            if start.elapsed() > StdDuration::from_millis(450) {
-                break;
-            }
-        }
-        client.finalize();
-        (upcalls, payload_bytes, client.metrics().summary())
-    });
+            let _ = tx.send((session, ClientMessage::Close));
+            client.finalize();
+            (upcalls, payload_bytes, client.metrics().summary())
+        })
+    };
 
-    let pushed = server.join().expect("server thread panicked");
-    let (upcalls, payload_bytes, summary) = client.join().expect("client thread panicked");
-    println!("\nserver pushed {pushed} blocks; client saw {upcalls} upcalls and {payload_bytes} payload bytes");
+    let client_a = spawn_client(interactive, rx_a, msg_tx.clone(), 3, 11, "interactive");
+    let client_b = spawn_client(background, rx_b, msg_tx, 40, 52, "background");
+
+    let (pushed, live_sessions) = server.join().expect("server thread panicked");
+    let (up_a, bytes_a, sum_a) = client_a.join().expect("client A panicked");
+    let (up_b, bytes_b, sum_b) = client_b.join().expect("client B panicked");
+
+    println!("\nserver pushed {pushed} blocks across 2 sessions ({live_sessions} still open at shutdown)");
     println!(
-        "client metrics: {} requests, cache-hit rate {:.2}, mean latency {:.1} ms",
-        summary.requests, summary.cache_hit_rate, summary.mean_latency_ms
+        "interactive: {up_a} upcalls, {bytes_a} payload bytes, {} requests, cache-hit rate {:.2}",
+        sum_a.requests, sum_a.cache_hit_rate
     );
-    assert!(upcalls >= 1, "expected at least one upcall in the live run");
+    println!(
+        "background:  {up_b} upcalls, {bytes_b} payload bytes, {} requests, cache-hit rate {:.2}",
+        sum_b.requests, sum_b.cache_hit_rate
+    );
+    assert!(up_a >= 1, "expected at least one interactive upcall");
+    assert!(up_b >= 1, "expected at least one background upcall");
 }

@@ -5,8 +5,8 @@
 
 use std::sync::Arc;
 
-use khameleon::prelude::*;
 use khameleon::core::predictor::simple::SimpleServerPredictor;
+use khameleon::prelude::*;
 
 fn main() {
     // 1. Describe the content: 100 requests, each progressively encoded into
@@ -16,14 +16,12 @@ fn main() {
 
     // 2. Build the server: greedy scheduler + bandwidth estimator + a backend
     //    that serves blocks straight from the catalog (a pre-loaded "file
-    //    system").
-    let mut server = KhameleonServer::new(
-        ServerConfig::default(),
-        utility.clone(),
-        catalog.clone(),
-        Box::new(SimpleServerPredictor::new(100)),
-        Box::new(CatalogBackend::new(catalog.clone())),
-    );
+    //    system").  Every component has a sensible default; the builder makes
+    //    the predictor explicit just to show where it plugs in.
+    let mut server = ServerBuilder::new(utility.clone(), catalog.clone())
+        .predictor(Box::new(SimpleServerPredictor::new(100)))
+        .backend(Box::new(CatalogBackend::new(catalog.clone())))
+        .build();
 
     // 3. Build the client: a 64-block ring cache plus upcall bookkeeping.
     let mut client = CacheManager::new(64, catalog, utility);
@@ -40,12 +38,17 @@ fn main() {
     //    later blocks keep improving it.
     let mut t = now;
     for _ in 0..20 {
-        let Some(block) = server.next_block(t) else { break };
-        t = t + server.pacing_interval();
+        let Some(block) = server.next_block(t) else {
+            break;
+        };
+        t += server.pacing_interval();
         for upcall in client.on_block(block.meta, t) {
             println!(
                 "upcall at {t}: request {} answered with {} block(s), utility {:.2}, latency {}",
-                upcall.request, upcall.blocks, upcall.utility, upcall.latency()
+                upcall.request,
+                upcall.blocks,
+                upcall.utility,
+                upcall.latency()
             );
         }
     }

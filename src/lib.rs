@@ -1,10 +1,12 @@
 //! # Khameleon
 //!
 //! A reproduction of *Continuous Prefetch for Interactive Data Applications*
-//! (VLDB 2020): a framework that combines **progressive response encoding**,
+//! (SIGMOD 2020): a framework that combines **progressive response encoding**,
 //! **push-based streaming**, and a **server-side scheduler** that jointly
 //! optimizes prefetching and response quality for interactive data
-//! visualization and exploration (DVE) applications.
+//! visualization and exploration (DVE) applications.  Servers are assembled
+//! with [`core::server::ServerBuilder`]; multi-client deployments multiplex
+//! sessions over a shared backend with [`core::session::SessionManager`].
 //!
 //! This facade crate re-exports the workspace's crates under one roof:
 //!
@@ -36,9 +38,17 @@ pub mod prelude {
     pub use khameleon_apps::traces::{generate_image_trace, ImageTraceConfig, InteractionTrace};
     pub use khameleon_core::block::{ResponseCatalog, ResponseLayout};
     pub use khameleon_core::client::CacheManager;
-    pub use khameleon_core::predictor::{ClientPredictor, InteractionEvent, PredictorState, ServerPredictor};
-    pub use khameleon_core::scheduler::{GreedyScheduler, GreedySchedulerConfig};
-    pub use khameleon_core::server::{CatalogBackend, KhameleonServer, ServerConfig};
+    pub use khameleon_core::predictor::{
+        ClientPredictor, InteractionEvent, PredictorState, ServerPredictor,
+    };
+    pub use khameleon_core::protocol::{ClientMessage, ServerEvent, SessionId};
+    pub use khameleon_core::scheduler::{GreedyScheduler, GreedySchedulerConfig, Scheduler};
+    pub use khameleon_core::server::{
+        CatalogBackend, KhameleonServer, ServerBuilder, ServerConfig,
+    };
+    pub use khameleon_core::session::{
+        RoundRobin, Session, SessionManager, SharePolicy, WeightedFair,
+    };
     pub use khameleon_core::types::{Bandwidth, BlockRef, Duration, RequestId, Time};
     pub use khameleon_core::utility::{LinearUtility, PiecewiseUtility, UtilityModel};
     pub use khameleon_sim::config::ExperimentConfig;

@@ -2,9 +2,7 @@
 //! data-cube slices, progressive result encoding, and the cost models, used
 //! together the way the Figure 14 harness uses them.
 
-use khameleon::apps::falcon_app::{
-    FalconApp, FalconAppConfig, FalconBackendKind, FalconDataset,
-};
+use khameleon::apps::falcon_app::{FalconApp, FalconAppConfig, FalconBackendKind, FalconDataset};
 use khameleon::backend::columnar::RangeFilter;
 use khameleon::backend::encoder::RoundRobinEncoder;
 use khameleon::backend::executor::{CostModel, QueryExecutor};
@@ -31,7 +29,10 @@ fn slice_queries_are_consistent_across_targets() {
     // Every slice counts the same underlying rows (minus those outside each
     // chart's plotted range), so totals are close to the table size.
     for &t in &totals {
-        assert!(t > table.num_rows() as u64 / 2, "slice lost too many rows: {t}");
+        assert!(
+            t > table.num_rows() as u64 / 2,
+            "slice lost too many rows: {t}"
+        );
         assert!(t <= table.num_rows() as u64);
     }
 }

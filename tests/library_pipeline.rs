@@ -21,13 +21,12 @@ fn hand_wired_pipeline_prefetches_the_predicted_widget() {
     let catalog = corpus.catalog();
     let utility = corpus.utility();
 
-    let mut server = KhameleonServer::new(
-        ServerConfig::default(),
-        utility.clone(),
-        catalog.clone(),
-        Box::new(GaussianLayoutDecoder::new(layout.clone() as Arc<dyn RequestLayout>)),
-        Box::new(BlockStore::new(catalog.clone())),
-    );
+    let mut server = ServerBuilder::new(utility.clone(), catalog.clone())
+        .predictor(Box::new(GaussianLayoutDecoder::new(
+            layout.clone() as Arc<dyn RequestLayout>
+        )))
+        .backend(Box::new(BlockStore::new(catalog.clone())))
+        .build();
     let mut client = CacheManager::new(256, catalog, utility);
     let mut predictor = KalmanMousePredictor::with_defaults();
 
@@ -46,8 +45,10 @@ fn hand_wired_pipeline_prefetches_the_predicted_widget() {
     // Stream for a while.
     let mut t = now;
     for _ in 0..64 {
-        let Some(block) = server.next_block(t) else { break };
-        t = t + Duration::from_millis(2);
+        let Some(block) = server.next_block(t) else {
+            break;
+        };
+        t += Duration::from_millis(2);
         let _ = client.on_block(block.meta, t);
     }
 
@@ -72,16 +73,16 @@ fn backend_limit_is_respected_end_to_end() {
     let corpus = ImageCorpus::small(100, 5);
     let catalog = corpus.catalog();
     let utility = corpus.utility();
-    let mut server = KhameleonServer::new(
-        ServerConfig {
+    let mut server = ServerBuilder::new(utility, catalog.clone())
+        .config(ServerConfig {
             sender_queue_target: 24,
             ..Default::default()
-        },
-        utility,
-        catalog.clone(),
-        Box::new(khameleon::core::predictor::simple::SimpleServerPredictor::new(100)),
-        Box::new(BlockStore::new(catalog).with_concurrency_limit(4)),
-    );
+        })
+        .predictor(Box::new(
+            khameleon::core::predictor::simple::SimpleServerPredictor::new(100),
+        ))
+        .backend(Box::new(BlockStore::new(catalog).with_concurrency_limit(4)))
+        .build();
     let mut distinct = std::collections::HashSet::new();
     for _ in 0..24 {
         if let Some(b) = server.next_block(Time::ZERO) {
@@ -113,5 +114,8 @@ fn utility_improves_monotonically_with_blocks() {
         assert!(u >= last - 1e-12, "utility regressed at block {i}");
         last = u;
     }
-    assert!((last - 1.0).abs() < 1e-9, "full response should reach utility 1");
+    assert!(
+        (last - 1.0).abs() < 1e-9,
+        "full response should reach utility 1"
+    );
 }
