@@ -17,7 +17,15 @@ use khameleon_core::types::{RequestId, Time};
 use khameleon_core::utility::{PowerUtility, UtilityModel};
 
 fn manager(sessions: usize, policy: Box<dyn SharePolicy>) -> SessionManager {
-    let n = 500;
+    manager_over(sessions, policy, 500, true)
+}
+
+fn manager_over(
+    sessions: usize,
+    policy: Box<dyn SharePolicy>,
+    n: usize,
+    incremental: bool,
+) -> SessionManager {
     let blocks = 10u32;
     let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 10_000));
     let utility = UtilityModel::homogeneous(&PowerUtility::new(0.5), blocks);
@@ -28,6 +36,7 @@ fn manager(sessions: usize, policy: Box<dyn SharePolicy>) -> SessionManager {
                 .config(ServerConfig {
                     scheduler: GreedySchedulerConfig {
                         cache_blocks: 512,
+                        use_incremental_sampler: incremental,
                         seed: i as u64,
                         ..Default::default()
                     },
@@ -72,6 +81,29 @@ fn bench_next_event(c: &mut Criterion) {
     group.finish();
 }
 
+/// One session over a 100k-request catalog: the regime where per-block
+/// sampling cost dominates `next_event`, comparing the incremental Fenwick
+/// sampler against the legacy scan.
+fn bench_large_catalog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_large_catalog_100k");
+    group.sample_size(10);
+    for (label, incremental) in [("fenwick", true), ("scan", false)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || manager_over(1, Box::new(RoundRobin::new()), 100_000, incremental),
+                |mut mgr| {
+                    for _ in 0..256 {
+                        let _ = mgr.next_event(Time::ZERO);
+                    }
+                    mgr
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
 fn bench_prediction_routing(c: &mut Criterion) {
     let mut group = c.benchmark_group("session_prediction_routing");
     group.sample_size(10);
@@ -95,5 +127,10 @@ fn bench_prediction_routing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_next_event, bench_prediction_routing);
+criterion_group!(
+    benches,
+    bench_next_event,
+    bench_large_catalog,
+    bench_prediction_routing
+);
 criterion_main!(benches);

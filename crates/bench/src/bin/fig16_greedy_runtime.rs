@@ -49,6 +49,11 @@ fn schedule_time_ms(
             cache_blocks: cache,
             slot_duration: Duration::from_millis(1),
             use_meta_request: use_meta,
+            // Figure 16 measures the paper's per-block scan; the incremental
+            // Fenwick sampler (which amortizes the meta-off materialization
+            // and would mask the 13× effect) is benchmarked separately in
+            // the `greedy_sampling` Criterion group.
+            use_incremental_sampler: false,
             ..Default::default()
         },
         utility,

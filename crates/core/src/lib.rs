@@ -113,6 +113,7 @@ pub mod distribution;
 pub mod metrics;
 pub mod predictor;
 pub mod protocol;
+pub mod sampling;
 pub mod scheduler;
 pub mod server;
 pub mod session;
@@ -130,6 +131,7 @@ pub use predictor::{
     ServerPredictor,
 };
 pub use protocol::{ClientMessage, ServerEvent, SessionId};
+pub use sampling::{FenwickTree, GainSampler, SampledGroup};
 pub use scheduler::{
     BruteForceScheduler, GreedyScheduler, GreedySchedulerConfig, HorizonModel, OptimalScheduler,
     Scheduler,

@@ -1,0 +1,550 @@
+//! Incremental proportional sampling over per-request gain weights.
+//!
+//! The greedy scheduler (§5.3, Listing 1) allocates every network slot by
+//! drawing one request proportionally to its expected utility gain
+//! `P_{i,t} · g(B_i + 1)`.  Done naively that draw costs a full pass over the
+//! candidate set *per block*: the seed implementation collected the touched
+//! requests into a vector, sorted it for determinism, and prefix-scanned the
+//! weights — `O(T log T)` per block for `T` touched requests (up to the whole
+//! schedule length `C`), i.e. `O(C² log C)` per schedule, and `O(n)` per block
+//! with the §5.3.1 meta-request optimization disabled.
+//!
+//! This module replaces the scan with an incrementally maintained weight
+//! structure built on a Fenwick (binary-indexed) sum tree:
+//!
+//! * [`FenwickTree`] — a flat `f64` sum tree supporting `O(log n)` point
+//!   assignment, append, prefix sums, and proportional *locate* (find the
+//!   entry containing a cumulative offset).
+//! * [`GainSampler`] — the scheduler-facing composite that exploits the
+//!   shared-residual-tail structure of
+//!   [`HorizonModel`](crate::scheduler::HorizonModel).  Requests fall into
+//!   three groups:
+//!
+//!   1. **Explicit** (materialized) requests each own a full weight
+//!      `g_i(B_i) · tail_i(t)` in a small tree of size `m`.  These are the
+//!      only weights that must be recomputed when the slot index `t`
+//!      advances.
+//!   2. **Shared-tail** requests (touched but unmaterialized) store only the
+//!      gain part `g_i(B_i)`; their common factor `residual(t)` is a single
+//!      scalar applied at draw time, so advancing `t` costs `O(1)` for the
+//!      whole group.  The group lives in a *compact* tree — each request is
+//!      assigned a dense slot when first touched — so tree walks stay within
+//!      a few cache lines instead of striding across an `n`-sized array.
+//!   3. **Untouched** requests are one meta-entry with weight
+//!      `count · ĝ₁ · residual(t)` where `ĝ₁` is the catalog-wide first-block
+//!      gain bound; a member is drawn uniformly when the meta-entry wins
+//!      (§5.3.1).
+//!
+//! Determinism under a fixed seed: a draw maps a cumulative offset to an
+//! entry through the tree layout, so the layout must be reproducible.  The
+//! explicit group is sorted by request index, and shared-group slots are
+//! assigned in insertion order — callers insert in a deterministic order
+//! (the scheduler sorts the touched set at rebuild time and thereafter
+//! touches requests in sampled order, which is itself seed-deterministic).
+//!
+//! Per-block cost drops from `O(T log T)` to `O(m log m + log T)` — in the
+//! common hedging regime (`m` small, `T` growing toward `C`) this is the
+//! difference between quadratic and near-linear schedule generation, the same
+//! argument §5.3.1 makes for its 13× meta-request speedup.
+
+use std::collections::HashMap;
+
+use crate::types::RequestId;
+
+/// A Fenwick (binary-indexed) tree over non-negative `f64` weights with
+/// `O(log n)` point assignment, append, prefix sums, and proportional
+/// search.
+#[derive(Debug, Clone)]
+pub struct FenwickTree {
+    /// 1-based partial sums (`tree[0]` unused).
+    tree: Vec<f64>,
+    /// Current value of each entry, for exact point assignment.
+    values: Vec<f64>,
+}
+
+impl FenwickTree {
+    /// Creates a tree of `len` zero-weight entries.
+    pub fn new(len: usize) -> Self {
+        FenwickTree {
+            tree: vec![0.0; len + 1],
+            values: vec![0.0; len],
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the tree has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Current weight of entry `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// Assigns weight `w` to entry `i`.  `w` must be finite and
+    /// non-negative (weights are sampling masses).
+    pub fn set(&mut self, i: usize, w: f64) {
+        assert!(w.is_finite() && w >= 0.0, "weight must be finite and >= 0");
+        let delta = w - self.values[i];
+        if delta == 0.0 {
+            return;
+        }
+        self.values[i] = w;
+        let mut j = i + 1;
+        while j < self.tree.len() {
+            self.tree[j] += delta;
+            j += j & j.wrapping_neg();
+        }
+    }
+
+    /// Appends a new entry with weight `w` in `O(log n)`.
+    pub fn push(&mut self, w: f64) {
+        assert!(w.is_finite() && w >= 0.0, "weight must be finite and >= 0");
+        self.values.push(w);
+        // Node `j` covers values[(j - lowbit(j))..j]; derive the new node
+        // from existing prefix sums instead of rebuilding.
+        let j = self.values.len();
+        let lb = j & j.wrapping_neg();
+        let covered_before = self.prefix_sum(j - 1) - self.prefix_sum(j - lb);
+        self.tree.push(covered_before + w);
+    }
+
+    /// Sum of the weights of entries `0..i`.
+    pub fn prefix_sum(&self, i: usize) -> f64 {
+        let mut j = i.min(self.values.len());
+        let mut s = 0.0;
+        while j > 0 {
+            s += self.tree[j];
+            j -= j & j.wrapping_neg();
+        }
+        s
+    }
+
+    /// Total weight.
+    pub fn total(&self) -> f64 {
+        self.prefix_sum(self.values.len())
+    }
+
+    /// Finds the entry containing cumulative offset `x`: the smallest `i`
+    /// with `prefix_sum(i + 1) > x`, skipping zero-weight entries.  Returns
+    /// `None` when `x` is negative or at/after the total weight.
+    pub fn locate(&self, x: f64) -> Option<usize> {
+        if self.values.is_empty() || x < 0.0 {
+            return None;
+        }
+        let n = self.values.len();
+        let mut idx = 0usize; // 1-based position walked so far
+        let mut rem = x;
+        let mut step = n.next_power_of_two();
+        while step > 0 {
+            let next = idx + step;
+            if next <= n && self.tree[next] <= rem {
+                idx = next;
+                rem -= self.tree[next];
+            }
+            step >>= 1;
+        }
+        // `idx` entries have cumulative weight <= x; entry `idx` (0-based) is
+        // the candidate.  Floating-point boundary hits can land on a
+        // zero-weight entry; skip forward to the next positive one.
+        let mut i = idx;
+        while i < n && self.values[i] <= 0.0 {
+            i += 1;
+        }
+        if i < n && rem < self.values[i] {
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// Index of the last entry with positive weight, if any — the
+    /// deterministic fallback for draws that land exactly on the total due
+    /// to floating-point rounding.
+    pub fn last_positive(&self) -> Option<usize> {
+        self.values.iter().rposition(|&w| w > 0.0)
+    }
+}
+
+/// Which weight group a proportional draw landed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampledGroup {
+    /// A specific request (explicit or shared-tail group).
+    Request(RequestId),
+    /// The untouched meta-group; the caller draws a member uniformly.
+    Meta,
+}
+
+/// Incremental gain-weight sampler for the greedy scheduler.
+///
+/// See the [module docs](self) for the three-group decomposition.  The
+/// scheduler owns the bookkeeping of *which* requests belong to which group;
+/// this type owns the weights and the draw.
+#[derive(Debug, Clone)]
+pub struct GainSampler {
+    /// Materialized request ids, sorted by index; position `i` owns entry
+    /// `i` of `explicit`.
+    explicit_ids: Vec<RequestId>,
+    /// Full weights `g_i(B_i) · tail_i(t)` of the materialized requests.
+    explicit: FenwickTree,
+    /// Dense slot of each shared-group request, assigned on first insertion.
+    shared_slots: HashMap<RequestId, usize>,
+    /// Slot → request id (the inverse of `shared_slots`).
+    shared_ids: Vec<RequestId>,
+    /// Gain parts `g_i(B_i)` of touched-but-unmaterialized requests, by slot.
+    shared: FenwickTree,
+    /// The group's common tail factor `residual(t)`.
+    shared_scale: f64,
+    /// Number of untouched requests behind the meta-entry.
+    meta_members: usize,
+    /// Catalog-wide first-block gain bound `ĝ₁` (the meta-entry's
+    /// per-member gain part).
+    meta_gain: f64,
+}
+
+impl GainSampler {
+    /// Creates an empty sampler with first-block gain bound `meta_gain` (see
+    /// [`UtilityModel::max_first_block_gain`](crate::utility::UtilityModel::max_first_block_gain)).
+    pub fn new(meta_gain: f64) -> Self {
+        GainSampler {
+            explicit_ids: Vec::new(),
+            explicit: FenwickTree::new(0),
+            shared_slots: HashMap::new(),
+            shared_ids: Vec::new(),
+            shared: FenwickTree::new(0),
+            shared_scale: 0.0,
+            meta_members: 0,
+            meta_gain,
+        }
+    }
+
+    /// Resets all weights and installs a new explicit (materialized) id set,
+    /// in `O(m log m)` plus dropping the previous shared group.
+    ///
+    /// Shared-group slots are re-assigned in subsequent insertion order;
+    /// callers that need seed-determinism must re-insert in a deterministic
+    /// order (e.g. sorted).
+    pub fn rebuild(&mut self, mut explicit_ids: Vec<RequestId>) {
+        explicit_ids.sort_unstable();
+        explicit_ids.dedup();
+        self.explicit = FenwickTree::new(explicit_ids.len());
+        self.explicit_ids = explicit_ids;
+        self.shared_slots.clear();
+        self.shared_ids.clear();
+        self.shared = FenwickTree::new(0);
+        self.shared_scale = 0.0;
+        self.meta_members = 0;
+    }
+
+    /// The sorted materialized id set installed by the last rebuild.
+    pub fn explicit_ids(&self) -> &[RequestId] {
+        &self.explicit_ids
+    }
+
+    /// Assigns the full weight (gain × tail) of materialized request `r`.
+    /// `r` must be in the installed explicit set.
+    pub fn set_explicit_weight(&mut self, r: RequestId, w: f64) {
+        let pos = self
+            .explicit_ids
+            .binary_search(&r)
+            .expect("request not in the explicit set");
+        self.explicit.set(pos, w);
+    }
+
+    /// Assigns the gain part of shared-tail request `r` (its tail factor is
+    /// the group scale), assigning it the next dense slot on first insertion.
+    pub fn set_shared_gain(&mut self, r: RequestId, g: f64) {
+        match self.shared_slots.entry(r) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.shared.set(*e.get(), g);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.shared_ids.len());
+                self.shared_ids.push(r);
+                self.shared.push(g);
+            }
+        }
+    }
+
+    /// Sets the shared-tail group's common factor `residual(t)`.
+    pub fn set_shared_scale(&mut self, scale: f64) {
+        assert!(scale.is_finite() && scale >= 0.0, "scale must be >= 0");
+        self.shared_scale = scale;
+    }
+
+    /// Sets the number of untouched requests behind the meta-entry.
+    pub fn set_meta_members(&mut self, count: usize) {
+        self.meta_members = count;
+    }
+
+    /// The meta-entry's per-member gain bound.
+    pub fn meta_gain(&self) -> f64 {
+        self.meta_gain
+    }
+
+    /// Total sampling mass across all three groups.
+    pub fn total(&self) -> f64 {
+        self.explicit.total()
+            + self.shared_scale * (self.shared.total() + self.meta_members as f64 * self.meta_gain)
+    }
+
+    /// Resolves a cumulative offset `x ∈ [0, total)` to the group it lands
+    /// in.  Segment order is explicit (index-sorted) → shared (slot order)
+    /// → meta.
+    ///
+    /// Offsets at or past the total (floating-point boundary cases) fall
+    /// back to the last non-empty group, mirroring the legacy scan's
+    /// `weights.last()` fallback.
+    pub fn locate(&self, x: f64) -> Option<SampledGroup> {
+        let ew = self.explicit.total();
+        let sw = self.shared_scale * self.shared.total();
+        let mw = self.shared_scale * self.meta_members as f64 * self.meta_gain;
+        if ew + sw + mw <= 0.0 {
+            return None;
+        }
+        let mut rem = x.max(0.0);
+        if rem < ew {
+            if let Some(i) = self.explicit.locate(rem) {
+                return Some(SampledGroup::Request(self.explicit_ids[i]));
+            }
+        }
+        rem = (rem - ew).max(0.0);
+        if rem < sw {
+            if let Some(i) = self.shared.locate(rem / self.shared_scale) {
+                return Some(SampledGroup::Request(self.shared_ids[i]));
+            }
+        }
+        if mw > 0.0 {
+            return Some(SampledGroup::Meta);
+        }
+        // Fallback for x >= total (or rounding at a segment boundary of an
+        // empty trailing segment): last positive entry, shared before
+        // explicit since shared is the later segment.
+        if sw > 0.0 {
+            if let Some(i) = self.shared.last_positive() {
+                return Some(SampledGroup::Request(self.shared_ids[i]));
+            }
+        }
+        self.explicit
+            .last_positive()
+            .map(|i| SampledGroup::Request(self.explicit_ids[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_locate(weights: &[f64], x: f64) -> Option<usize> {
+        let mut acc = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            acc += w;
+            if w > 0.0 && x < acc {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn fenwick_prefix_sums_match_naive() {
+        let mut t = FenwickTree::new(10);
+        let weights = [0.5, 0.0, 2.0, 1.25, 0.0, 0.0, 3.5, 0.75, 0.0, 1.0];
+        for (i, &w) in weights.iter().enumerate() {
+            t.set(i, w);
+        }
+        for i in 0..=10 {
+            let naive: f64 = weights[..i].iter().sum();
+            assert!((t.prefix_sum(i) - naive).abs() < 1e-12, "prefix {i}");
+        }
+        assert!((t.total() - 9.0).abs() < 1e-12);
+        // Overwrite and re-check.
+        t.set(2, 0.0);
+        t.set(0, 4.0);
+        assert!((t.total() - 10.5).abs() < 1e-12);
+        assert_eq!(t.get(2), 0.0);
+        assert_eq!(t.get(0), 4.0);
+    }
+
+    #[test]
+    fn fenwick_push_matches_preallocated() {
+        let weights = [1.5, 0.0, 2.0, 0.25, 3.0, 0.0, 0.5];
+        let mut grown = FenwickTree::new(0);
+        let mut fixed = FenwickTree::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            grown.push(w);
+            fixed.set(i, w);
+        }
+        assert_eq!(grown.len(), fixed.len());
+        for i in 0..=weights.len() {
+            assert!(
+                (grown.prefix_sum(i) - fixed.prefix_sum(i)).abs() < 1e-12,
+                "prefix {i}"
+            );
+        }
+        // Point updates keep working after growth.
+        grown.set(1, 4.0);
+        assert!((grown.total() - (weights.iter().sum::<f64>() + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fenwick_locate_matches_linear_scan() {
+        let mut t = FenwickTree::new(7);
+        let weights = [0.0, 1.0, 0.0, 2.5, 0.5, 0.0, 3.0];
+        for (i, &w) in weights.iter().enumerate() {
+            t.set(i, w);
+        }
+        let total: f64 = weights.iter().sum();
+        let mut x = 0.0;
+        while x < total {
+            assert_eq!(t.locate(x), naive_locate(&weights, x), "x={x}");
+            x += 0.125;
+        }
+        assert_eq!(t.locate(total), None);
+        assert_eq!(t.locate(-1.0), None);
+        assert_eq!(t.last_positive(), Some(6));
+    }
+
+    #[test]
+    fn fenwick_boundaries_land_on_positive_entries() {
+        let mut t = FenwickTree::new(4);
+        t.set(1, 1.0);
+        t.set(3, 2.0);
+        // Offsets exactly at a cumulative boundary must select the *next*
+        // positive entry, never a zero-weight one.
+        assert_eq!(t.locate(0.0), Some(1));
+        assert_eq!(t.locate(1.0), Some(3));
+        assert_eq!(t.locate(2.999), Some(3));
+        assert_eq!(t.locate(3.0), None);
+    }
+
+    #[test]
+    fn empty_and_zero_trees() {
+        let t = FenwickTree::new(0);
+        assert!(t.is_empty());
+        assert_eq!(t.locate(0.0), None);
+        assert_eq!(t.total(), 0.0);
+        let t = FenwickTree::new(5);
+        assert_eq!(t.locate(0.0), None);
+        assert_eq!(t.last_positive(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn negative_weights_rejected() {
+        FenwickTree::new(3).set(0, -1.0);
+    }
+
+    #[test]
+    fn sampler_three_group_totals() {
+        let mut s = GainSampler::new(0.25);
+        s.rebuild(vec![RequestId(7), RequestId(3)]);
+        assert_eq!(s.explicit_ids(), &[RequestId(3), RequestId(7)]);
+        s.set_explicit_weight(RequestId(3), 2.0);
+        s.set_explicit_weight(RequestId(7), 1.0);
+        s.set_shared_gain(RequestId(10), 0.5);
+        s.set_shared_scale(2.0);
+        s.set_meta_members(4);
+        // explicit 3.0 + scale*(0.5 + 4*0.25) = 3 + 2*1.5 = 6.
+        assert!((s.total() - 6.0).abs() < 1e-12);
+        // Segment order: explicit (ids 3 then 7), shared, meta.
+        assert_eq!(s.locate(0.5), Some(SampledGroup::Request(RequestId(3))));
+        assert_eq!(s.locate(2.5), Some(SampledGroup::Request(RequestId(7))));
+        assert_eq!(s.locate(3.5), Some(SampledGroup::Request(RequestId(10))));
+        assert_eq!(s.locate(4.5), Some(SampledGroup::Meta));
+        assert_eq!(s.locate(5.999), Some(SampledGroup::Meta));
+        // Past-total fallback resolves deterministically.
+        assert!(s.locate(6.0).is_some());
+    }
+
+    #[test]
+    fn sampler_shared_slots_reuse_and_update() {
+        let mut s = GainSampler::new(0.1);
+        s.rebuild(vec![]);
+        s.set_shared_scale(1.0);
+        s.set_shared_gain(RequestId(5), 1.0);
+        s.set_shared_gain(RequestId(9), 2.0);
+        // Updating an existing member must not allocate a second slot.
+        s.set_shared_gain(RequestId(5), 3.0);
+        assert!((s.total() - 5.0).abs() < 1e-12);
+        assert_eq!(s.locate(0.5), Some(SampledGroup::Request(RequestId(5))));
+        assert_eq!(s.locate(3.5), Some(SampledGroup::Request(RequestId(9))));
+    }
+
+    #[test]
+    fn sampler_rebuild_clears_previous_weights() {
+        let mut s = GainSampler::new(0.1);
+        s.rebuild(vec![]);
+        s.set_shared_gain(RequestId(5), 1.0);
+        s.set_shared_gain(RequestId(9), 2.0);
+        s.set_shared_scale(1.0);
+        assert!((s.total() - 3.0).abs() < 1e-12);
+        s.rebuild(vec![]);
+        assert_eq!(s.total(), 0.0);
+        s.set_shared_scale(1.0);
+        assert_eq!(s.total(), 0.0, "old shared weights must be cleared");
+    }
+
+    #[test]
+    fn sampler_zero_scale_disables_shared_and_meta() {
+        let mut s = GainSampler::new(0.5);
+        s.rebuild(vec![RequestId(0)]);
+        s.set_explicit_weight(RequestId(0), 1.5);
+        s.set_shared_gain(RequestId(4), 9.0);
+        s.set_meta_members(9);
+        // scale defaults to 0 after rebuild.
+        assert!((s.total() - 1.5).abs() < 1e-12);
+        assert_eq!(s.locate(1.0), Some(SampledGroup::Request(RequestId(0))));
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// `locate` agrees with a naive linear scan for arbitrary weight
+            /// vectors and offsets, whether the tree was preallocated or
+            /// grown by pushes.
+            #[test]
+            fn locate_matches_naive(
+                raw in collection::vec(0.0f64..4.0, 1..40),
+                frac in 0.0f64..1.0,
+                grow in any::<bool>()
+            ) {
+                // Zero out a third of the entries to exercise gaps.
+                let weights: Vec<f64> = raw
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| if i % 3 == 0 { 0.0 } else { w })
+                    .collect();
+                let mut t = if grow {
+                    FenwickTree::new(0)
+                } else {
+                    FenwickTree::new(weights.len())
+                };
+                for (i, &w) in weights.iter().enumerate() {
+                    if grow {
+                        t.push(w);
+                    } else {
+                        t.set(i, w);
+                    }
+                }
+                let total: f64 = weights.iter().sum();
+                prop_assert!((t.total() - total).abs() < 1e-9);
+                let x = frac * total;
+                if x < total {
+                    let got = t.locate(x);
+                    let want = naive_locate(&weights, x);
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+    }
+}

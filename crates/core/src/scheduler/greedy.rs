@@ -7,8 +7,8 @@
 //! `C` blocks (the client cache size) the per-schedule allocation state
 //! resets, mirroring the ring buffer overwriting itself (§5.3.1).
 //!
-//! Two refinements from the paper are implemented and individually toggleable
-//! so their effect can be measured:
+//! Three refinements from / beyond the paper are implemented and individually
+//! toggleable so their effect can be measured:
 //!
 //! * **Meta-request optimization** (§5.3.1): the (usually huge) set of
 //!   requests with identical residual probability is never materialized;
@@ -18,7 +18,36 @@
 //!   deterministic FIFO ring (§3.3) so it knows which block index to send
 //!   next for each request and never re-pushes a block that is still
 //!   resident.  Disabling it reproduces the bare Listing 1 behaviour where
-//!   per-schedule counts restart from zero.
+//!   per-schedule counts restart from zero.  A per-schedule eviction log
+//!   lets re-predictions roll the simulated ring back *exactly* — including
+//!   restoring entries that the rolled-back deliveries had evicted — so the
+//!   simulation re-converges with the client's real ring (§5.3.2).
+//! * **Incremental sampling** ([`crate::sampling`]): per-request gain
+//!   weights live in a Fenwick sum tree instead of being rebuilt, sorted,
+//!   and prefix-scanned for every block.
+//!
+//! # Per-block sampling cost
+//!
+//! With `T` touched requests (up to the schedule length `C`), `m`
+//! materialized requests (`m ≤ T`, typically ≪ `T`), and `n` requests in the
+//! catalog:
+//!
+//! | path | per-block cost |
+//! |------|----------------|
+//! | legacy scan, meta off | `O(n)` (Figure 16's unoptimized baseline) |
+//! | legacy scan, meta on  | `O(T log T)` — sort + prefix scan per draw |
+//! | incremental (Fenwick) | `O(m log m + log T)` |
+//!
+//! The incremental path exploits the shared-residual-tail structure of
+//! [`HorizonModel`]: only the `m` materialized requests have per-slot tails
+//! that must be refreshed when `t` advances; every touched-but-unmaterialized
+//! request shares one scalar tail factor, and the untouched remainder is a
+//! single meta-entry.  Over a full schedule this turns `O(C² log C)` of
+//! sampling work into `O(C (m log m + log C))` — the same "cost must not
+//! grow with catalog size" argument §5.3.1 makes for its 13× meta-request
+//! speedup.  The legacy scan is retained behind
+//! [`GreedySchedulerConfig::use_incremental_sampler`] `= false` as the
+//! measured baseline.
 
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -28,6 +57,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::block::ResponseCatalog;
 use crate::distribution::PredictionSummary;
+use crate::sampling::{GainSampler, SampledGroup};
 use crate::scheduler::{HorizonModel, Schedule};
 use crate::types::{BlockRef, Duration, RequestId};
 use crate::utility::UtilityModel;
@@ -54,6 +84,12 @@ pub struct GreedySchedulerConfig {
     /// Simulate the client's FIFO ring so block indices continue across
     /// schedules and resident blocks are not re-pushed.
     pub track_client_cache: bool,
+    /// Sample via the incrementally maintained Fenwick weight structure
+    /// ([`crate::sampling`]) instead of rebuilding and scanning the touched
+    /// set for every block.  `false` selects the legacy per-block scan (the
+    /// Figure 16 baseline).  Both paths draw from the same distribution;
+    /// only the per-block cost differs (see the module docs).
+    pub use_incremental_sampler: bool,
     /// RNG seed for the proportional sampling, for reproducibility.
     pub seed: u64,
 }
@@ -67,6 +103,7 @@ impl Default for GreedySchedulerConfig {
             slot_duration: Duration::from_millis(1),
             use_meta_request: true,
             track_client_cache: true,
+            use_incremental_sampler: true,
             seed: 0x5eed,
         }
     }
@@ -87,6 +124,12 @@ pub struct GreedyScheduler {
     /// Blocks scheduled in the current schedule, in slot order; needed to roll
     /// back not-yet-sent slots when a new prediction arrives (§5.3.2).
     current_schedule: Vec<BlockRef>,
+    /// For each slot of `current_schedule`, the ring entry its delivery
+    /// evicted (`None` when the ring still had room).  Rolling a slot back
+    /// restores its evicted entry, keeping the simulated ring exactly equal
+    /// to the client's (which never saw the rolled-back block and therefore
+    /// never evicted anything).  Maintained only with `track_client_cache`.
+    eviction_log: Vec<Option<BlockRef>>,
     /// Exact simulation of the client's ring-buffer contents (block refs in
     /// arrival order) when `track_client_cache` is on.
     ring: VecDeque<BlockRef>,
@@ -97,6 +140,13 @@ pub struct GreedyScheduler {
     /// Requests currently excluded from the meta group because they have
     /// explicit probability, allocations, or resident blocks.
     touched: HashSet<RequestId>,
+    /// Incrementally maintained gain weights (the `use_incremental_sampler`
+    /// path); kept in sync by `rebuild_sampler` / `refresh_after_allocation`.
+    sampler: GainSampler,
+    /// Catalog-wide first-block gain bound `ĝ₁`, precomputed at construction
+    /// (O(1) for homogeneous utility models); the per-member weight of the
+    /// untouched meta-group.
+    meta_first_gain: f64,
     /// Number of prediction updates received (for instrumentation).
     updates: u64,
     /// Total blocks scheduled since creation (for instrumentation).
@@ -119,6 +169,8 @@ impl GreedyScheduler {
             cfg.gamma,
         );
         let rng = StdRng::seed_from_u64(cfg.seed);
+        let meta_first_gain = utility.max_first_block_gain();
+        let sampler = GainSampler::new(meta_first_gain);
         let mut s = GreedyScheduler {
             cfg,
             utility,
@@ -128,9 +180,12 @@ impl GreedyScheduler {
             allocated: HashMap::new(),
             t: 0,
             current_schedule: Vec::new(),
+            eviction_log: Vec::new(),
             ring: VecDeque::new(),
             resident: HashMap::new(),
             touched: HashSet::new(),
+            sampler,
+            meta_first_gain,
             updates: 0,
             scheduled_blocks: 0,
         };
@@ -190,7 +245,12 @@ impl GreedyScheduler {
                             self.allocated.remove(&block.request);
                         }
                     }
-                    self.undo_ring_delivery(block);
+                    let evicted = if self.cfg.track_client_cache {
+                        self.eviction_log.pop().flatten()
+                    } else {
+                        None
+                    };
+                    self.undo_ring_delivery(block, evicted);
                 }
                 self.t -= 1;
             }
@@ -202,10 +262,20 @@ impl GreedyScheduler {
         self.rebuild_touched();
     }
 
-    fn undo_ring_delivery(&mut self, block: BlockRef) {
+    /// Reverses one `deliver_to_ring`: removes the rolled-back block and
+    /// restores the entry (if any) its delivery had evicted.  The client
+    /// never received the rolled-back block, so its real ring still holds
+    /// the older entry; without the restore the simulation silently loses
+    /// it forever and the two rings diverge.
+    fn undo_ring_delivery(&mut self, block: BlockRef, evicted: Option<BlockRef>) {
         if !self.cfg.track_client_cache {
             return;
         }
+        debug_assert_eq!(
+            self.ring.back(),
+            Some(&block),
+            "rollback must pop deliveries in reverse order"
+        );
         if self.ring.back() == Some(&block) {
             self.ring.pop_back();
             if let Some(set) = self.resident.get_mut(&block.request) {
@@ -214,6 +284,13 @@ impl GreedyScheduler {
                     self.resident.remove(&block.request);
                 }
             }
+        }
+        if let Some(old) = evicted {
+            self.ring.push_front(old);
+            self.resident
+                .entry(old.request)
+                .or_default()
+                .insert(old.index);
         }
     }
 
@@ -229,6 +306,89 @@ impl GreedyScheduler {
             for &r in self.resident.keys() {
                 self.touched.insert(r);
             }
+        }
+        self.rebuild_sampler();
+    }
+
+    /// Rebuilds the incremental weight structure from scratch: `O(T log n)`
+    /// with the meta-request optimization on, `O(n log n)` with it off
+    /// (every untouched request gets an explicit shared-tail entry).  Called
+    /// only when the whole state shifts (prediction update, schedule reset);
+    /// per-block maintenance goes through `refresh_after_allocation`.
+    fn rebuild_sampler(&mut self) {
+        if !self.cfg.use_incremental_sampler {
+            return;
+        }
+        self.sampler.rebuild(self.model.materialized().collect());
+        self.sampler
+            .set_shared_scale(self.model.residual_tail(self.t));
+        // Sorted so shared-group slots (assigned in insertion order) have a
+        // reproducible layout — HashSet iteration order is not deterministic.
+        let mut touched: Vec<RequestId> = self.touched.iter().copied().collect();
+        touched.sort_unstable();
+        for r in touched {
+            self.refresh_request_weight(r);
+        }
+        if self.cfg.use_meta_request {
+            self.sampler
+                .set_meta_members(self.model.num_requests() - self.touched.len());
+        } else {
+            // Materialize every untouched request explicitly (the unoptimized
+            // baseline measured in Figure 16 / §5.3.1's 13× comparison); they
+            // are unmaterialized in the model, so they share the scalar tail.
+            self.sampler.set_meta_members(0);
+            for i in 0..self.model.num_requests() {
+                let r = RequestId::from(i);
+                if !self.touched.contains(&r) {
+                    let g = self.marginal_gain(r);
+                    self.sampler.set_shared_gain(r, g);
+                }
+            }
+        }
+    }
+
+    /// Re-derives one request's weight after its residency or allocation
+    /// changed.  Materialized requests carry their full (gain × tail)
+    /// weight; everything else carries only the gain part under the shared
+    /// residual-tail scale.
+    fn refresh_request_weight(&mut self, r: RequestId) {
+        if self.model.is_materialized(r) {
+            let w = self.gain_for(r);
+            self.sampler.set_explicit_weight(r, w);
+        } else {
+            let g = self.marginal_gain(r);
+            self.sampler.set_shared_gain(r, g);
+        }
+    }
+
+    /// Incremental bookkeeping after allocating one block to `q`: the slot
+    /// index advanced (refresh the `m` materialized weights and the shared
+    /// scalar), `q`'s gain moved, an eviction may have changed another
+    /// request's resident prefix, and `q` may have left the meta group.
+    /// `O(m log m + log T)` — sub-linear in both touched-set and catalog
+    /// size.
+    fn refresh_after_allocation(
+        &mut self,
+        q: RequestId,
+        evicted: Option<BlockRef>,
+        newly_touched: bool,
+    ) {
+        self.sampler
+            .set_shared_scale(self.model.residual_tail(self.t));
+        for i in 0..self.sampler.explicit_ids().len() {
+            let r = self.sampler.explicit_ids()[i];
+            let w = self.gain_for(r);
+            self.sampler.set_explicit_weight(r, w);
+        }
+        self.refresh_request_weight(q);
+        if let Some(old) = evicted {
+            if old.request != q {
+                self.refresh_request_weight(old.request);
+            }
+        }
+        if newly_touched && self.cfg.use_meta_request {
+            self.sampler
+                .set_meta_members(self.model.num_requests() - self.touched.len());
         }
     }
 
@@ -254,21 +414,53 @@ impl GreedyScheduler {
         }
     }
 
-    /// Expected utility gain of giving one more block to `request` at the
-    /// current schedule position.
-    fn gain_for(&self, request: RequestId) -> f64 {
+    /// Marginal utility gain `g(B_i + 1)` of the next block for `request`
+    /// (the probability-independent factor of its weight).
+    fn marginal_gain(&self, request: RequestId) -> f64 {
         let have = self.effective_blocks(request);
         let nb = self.catalog.num_blocks(request);
         if have >= nb {
             return 0.0;
         }
-        let g = self.utility.table(request.index()).next_gain(have);
-        g * self.model.tail(request, self.t)
+        self.utility.table(request.index()).next_gain(have)
+    }
+
+    /// Expected utility gain of giving one more block to `request` at the
+    /// current schedule position.
+    fn gain_for(&self, request: RequestId) -> f64 {
+        self.marginal_gain(request) * self.model.tail(request, self.t)
     }
 
     /// Draws one request proportionally to utility gain; returns `None` when
     /// every request is saturated or has zero gain.
     fn sample_request(&mut self) -> Option<RequestId> {
+        if self.cfg.use_incremental_sampler {
+            self.sample_request_incremental()
+        } else {
+            self.sample_request_scan()
+        }
+    }
+
+    /// `O(m log m + log T)` proportional draw from the Fenwick weight
+    /// structure.  The tree layouts are deterministic (index-sorted explicit
+    /// group, reproducible slot order for the shared group), so a fixed seed
+    /// yields a deterministic schedule.
+    fn sample_request_incremental(&mut self) -> Option<RequestId> {
+        let total = self.sampler.total();
+        if total <= 0.0 {
+            return None;
+        }
+        let x = self.rng.gen::<f64>() * total;
+        match self.sampler.locate(x) {
+            Some(SampledGroup::Request(r)) => Some(r),
+            Some(SampledGroup::Meta) => self.sample_untouched(),
+            None => None,
+        }
+    }
+
+    /// The legacy per-block scan (the Figure 16 baseline): rebuilds, sorts,
+    /// and prefix-scans the touched weights on every draw.
+    fn sample_request_scan(&mut self) -> Option<RequestId> {
         // Weights of the touched (materialized / allocated / resident)
         // requests.  Sorted so the cumulative-sum sampling below is fully
         // deterministic under a fixed seed (HashSet iteration order is not).
@@ -324,13 +516,14 @@ impl GreedyScheduler {
         weights.last().map(|&(r, _)| r)
     }
 
-    /// Marginal gain of the first block of a fresh (untouched) request.
+    /// Marginal gain of the first block of a fresh (untouched) request:
+    /// the catalog-wide first-block gain bound (precomputed at
+    /// construction) times the shared residual tail.  Untouched requests
+    /// all hold zero blocks, so the bound is exact for homogeneous utility
+    /// models and a valid (uniformly applied) upper bound for heterogeneous
+    /// ones.
     fn meta_gain(&self) -> f64 {
-        // Untouched requests all have zero blocks; use the maximum first-block
-        // gain over the catalog via request 0's table when homogeneous.  For
-        // heterogeneous models this is approximate but still a valid weight.
-        let g1 = self.utility.table(0).next_gain(0);
-        g1 * self.model.residual_tail(self.t)
+        self.meta_first_gain * self.model.residual_tail(self.t)
     }
 
     /// Uniformly samples a request not currently touched.
@@ -374,12 +567,15 @@ impl GreedyScheduler {
             let have = self.effective_blocks(q);
             let block = BlockRef::new(q, have);
             *self.allocated.entry(q).or_insert(0) += 1;
-            self.touched.insert(q);
+            let newly_touched = self.touched.insert(q);
             self.t += 1;
             self.scheduled_blocks += 1;
             self.current_schedule.push(block);
-            self.deliver_to_ring(block);
+            let evicted = self.deliver_to_ring(block);
             out.push(block);
+            if self.cfg.use_incremental_sampler {
+                self.refresh_after_allocation(q, evicted, newly_touched);
+            }
         }
         out
     }
@@ -390,15 +586,19 @@ impl GreedyScheduler {
         self.next_batch(self.cfg.batch_size)
     }
 
-    fn deliver_to_ring(&mut self, block: BlockRef) {
+    /// Delivers `block` to the simulated client ring, returning the entry it
+    /// evicted (if the ring was full) and logging that eviction for exact
+    /// rollback.
+    fn deliver_to_ring(&mut self, block: BlockRef) -> Option<BlockRef> {
         if !self.cfg.track_client_cache {
-            return;
+            return None;
         }
         self.ring.push_back(block);
         self.resident
             .entry(block.request)
             .or_default()
             .insert(block.index);
+        let mut evicted = None;
         if self.ring.len() > self.cfg.cache_blocks {
             if let Some(old) = self.ring.pop_front() {
                 if let Some(set) = self.resident.get_mut(&old.request) {
@@ -407,14 +607,18 @@ impl GreedyScheduler {
                         self.resident.remove(&old.request);
                     }
                 }
+                evicted = Some(old);
             }
         }
+        self.eviction_log.push(evicted);
+        evicted
     }
 
     fn reset_schedule(&mut self) {
         self.t = 0;
         self.allocated.clear();
         self.current_schedule.clear();
+        self.eviction_log.clear();
         self.rebuild_touched();
     }
 
@@ -425,6 +629,16 @@ impl GreedyScheduler {
             .iter()
             .map(|(&r, set)| (r, set.len() as u32))
             .collect()
+    }
+
+    /// The simulated client ring contents in arrival order, oldest first
+    /// (empty unless cache tracking is enabled).
+    ///
+    /// Exposed for tests and debugging: the rollback property tests replay
+    /// random schedule / rollback / eviction sequences and assert this
+    /// exactly matches a ground-truth replay of the client's FIFO ring.
+    pub fn simulated_ring(&self) -> Vec<BlockRef> {
+        self.ring.iter().copied().collect()
     }
 }
 
@@ -492,7 +706,7 @@ fn resident_prefix_len(set: &BTreeSet<u32>) -> u32 {
 mod tests {
     use super::*;
     use crate::types::Time;
-    use crate::utility::{LinearUtility, PowerUtility};
+    use crate::utility::{GainTable, LinearUtility, PiecewiseUtility, PowerUtility};
 
     fn mk(n: usize, blocks: u32, cache_blocks: usize, meta: bool) -> GreedyScheduler {
         let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 1000));
@@ -724,16 +938,346 @@ mod tests {
         assert_eq!(a.next_batch(60), b.next_batch(60));
     }
 
+    #[test]
+    fn legacy_scan_path_still_schedules() {
+        let catalog = Arc::new(ResponseCatalog::uniform(4, 2, 1000));
+        let cfg = GreedySchedulerConfig {
+            cache_blocks: 8,
+            use_incremental_sampler: false,
+            ..Default::default()
+        };
+        let mut s =
+            GreedyScheduler::new(cfg, UtilityModel::homogeneous(&LinearUtility, 2), catalog);
+        let batch = s.next_batch(8);
+        assert_eq!(batch.len(), 8);
+        let mut seen = HashSet::new();
+        for b in &batch {
+            assert!(seen.insert(*b), "block {b} scheduled twice");
+        }
+    }
+
+    /// Builds one scheduler per seed, applies `pred`, and returns how often
+    /// the first sampled block went to `watch` and how often it went to a
+    /// request that was untouched (not materialized) at draw time.
+    fn first_draw_stats(
+        catalog: &Arc<ResponseCatalog>,
+        cache: usize,
+        incremental: bool,
+        pred: &PredictionSummary,
+        watch: RequestId,
+        utility: &UtilityModel,
+        seeds: u64,
+    ) -> (f64, f64) {
+        let materialized: HashSet<RequestId> = pred.materialized_requests().into_iter().collect();
+        let mut watched = 0usize;
+        let mut untouched = 0usize;
+        for seed in 0..seeds {
+            let mut s = GreedyScheduler::new(
+                GreedySchedulerConfig {
+                    cache_blocks: cache,
+                    use_incremental_sampler: incremental,
+                    seed,
+                    ..Default::default()
+                },
+                utility.clone(),
+                catalog.clone(),
+            );
+            s.update_prediction(pred, 0);
+            let batch = s.next_batch(1);
+            let Some(first) = batch.first() else { continue };
+            if first.request == watch {
+                watched += 1;
+            }
+            if !materialized.contains(&first.request) {
+                untouched += 1;
+            }
+        }
+        (
+            watched as f64 / seeds as f64,
+            untouched as f64 / seeds as f64,
+        )
+    }
+
+    fn sparse_pred(n: usize, entries: Vec<(RequestId, f64)>, residual: f64) -> PredictionSummary {
+        let dist = crate::distribution::SparseDistribution::from_entries(n, entries, residual);
+        let slices = PredictionSummary::default_deltas()
+            .into_iter()
+            .map(|delta| crate::distribution::HorizonSlice {
+                delta,
+                dist: dist.clone(),
+            })
+            .collect();
+        PredictionSummary::new(n, slices, Time::ZERO)
+    }
+
+    #[test]
+    fn incremental_and_scan_first_draw_distributions_match() {
+        // Statistical parity: for the same prediction, the stationary
+        // first-draw distribution of the Fenwick sampler must match the
+        // legacy scan's within a seed-controlled tolerance (both paths draw
+        // from the identical weight decomposition; only the cost differs).
+        let n = 100;
+        let catalog = Arc::new(ResponseCatalog::uniform(n, 4, 1000));
+        let utility = UtilityModel::homogeneous(&LinearUtility, 4);
+        let pred = sparse_pred(n, vec![(RequestId(5), 0.4), (RequestId(9), 0.2)], 0.4);
+        let seeds = 400;
+        let (inc_watch, inc_meta) =
+            first_draw_stats(&catalog, 50, true, &pred, RequestId(5), &utility, seeds);
+        let (scan_watch, scan_meta) =
+            first_draw_stats(&catalog, 50, false, &pred, RequestId(5), &utility, seeds);
+        assert!(
+            (inc_watch - scan_watch).abs() < 0.1,
+            "request-5 share diverged: incremental {inc_watch} vs scan {scan_watch}"
+        );
+        assert!(
+            (inc_meta - scan_meta).abs() < 0.1,
+            "untouched share diverged: incremental {inc_meta} vs scan {scan_meta}"
+        );
+        // Sanity: the materialized request actually dominates the residual.
+        assert!(inc_watch > 0.3, "request-5 share only {inc_watch}");
+    }
+
+    #[test]
+    fn incremental_and_scan_agree_on_point_prediction() {
+        // Under a point prediction the draw is deterministic regardless of
+        // sampler: both paths must allocate exactly the predicted request's
+        // blocks, in prefix order.
+        for incremental in [true, false] {
+            let catalog = Arc::new(ResponseCatalog::uniform(50, 6, 1000));
+            let mut s = GreedyScheduler::new(
+                GreedySchedulerConfig {
+                    cache_blocks: 40,
+                    use_incremental_sampler: incremental,
+                    ..Default::default()
+                },
+                UtilityModel::homogeneous(&LinearUtility, 6),
+                catalog,
+            );
+            s.update_prediction(&PredictionSummary::point(50, RequestId(3), Time::ZERO), 0);
+            let batch = s.next_batch(40);
+            let expected: Vec<BlockRef> = (0..6).map(|j| BlockRef::new(RequestId(3), j)).collect();
+            assert_eq!(batch, expected, "incremental={incremental}");
+        }
+    }
+
+    #[test]
+    fn meta_gain_uses_catalog_wide_bound() {
+        // Regression for the meta-weight bug: the untouched meta-group's
+        // per-member gain used `utility.table(0).next_gain(0)`.  With a
+        // heterogeneous model whose table 0 has a tiny first-block gain, that
+        // under-weighted every untouched request ~50×, starving the hedge.
+        // The fix uses the catalog-wide first-block gain bound.
+        let n = 40;
+        let tiny_first = PiecewiseUtility::from_points(vec![(0.5, 0.01)], "tiny-first");
+        let mut tables = vec![GainTable::new(&tiny_first, 2)]; // g(1) = 0.01
+        tables.extend((1..n).map(|_| GainTable::new(&LinearUtility, 2))); // g(1) = 0.5
+        let utility = UtilityModel::per_request(tables);
+        // Half the mass on materialized request 1, half residual across the
+        // other 39: untouched and request 1 should split the first draw
+        // roughly evenly (19.5 · residual/request ≈ 0.5 · p₁ here).
+        let pred = sparse_pred(n, vec![(RequestId(1), 0.5)], 0.5);
+        let catalog = Arc::new(ResponseCatalog::uniform(n, 2, 1000));
+        for incremental in [true, false] {
+            let (watch, untouched_share) = first_draw_stats(
+                &catalog,
+                30,
+                incremental,
+                &pred,
+                RequestId(1),
+                &utility,
+                300,
+            );
+            assert!(
+                untouched_share > 0.25,
+                "untouched share {untouched_share} (request-1 share {watch}) — \
+                 meta group under-weighted (incremental={incremental})"
+            );
+        }
+    }
+
+    #[test]
+    fn rollback_across_eviction_restores_ring() {
+        // Headline regression: rolling back a block whose delivery evicted an
+        // older ring entry must restore that entry, or the simulated cache
+        // diverges from the client's forever.
+        let mut s = mk(2, 4, 3, true);
+        let pred = PredictionSummary::point(2, RequestId(0), Time::ZERO);
+        s.update_prediction(&pred, 0);
+        // Fill the schedule (and the ring) with request 0's prefix 0..3.
+        let b1 = s.next_batch(3);
+        assert_eq!(
+            b1,
+            (0..3)
+                .map(|j| BlockRef::new(RequestId(0), j))
+                .collect::<Vec<_>>()
+        );
+        // Next block wraps the schedule and delivers block 3, evicting
+        // block 0 from the full ring.
+        let b2 = s.next_batch(1);
+        assert_eq!(b2, vec![BlockRef::new(RequestId(0), 3)]);
+        assert_eq!(
+            s.simulated_ring(),
+            vec![
+                BlockRef::new(RequestId(0), 1),
+                BlockRef::new(RequestId(0), 2),
+                BlockRef::new(RequestId(0), 3),
+            ]
+        );
+        // The sender never transmitted block 3; a re-prediction rolls it
+        // back.  The eviction must be undone: block 0 returns to the ring.
+        s.update_prediction(&pred, 0);
+        assert_eq!(
+            s.simulated_ring(),
+            vec![
+                BlockRef::new(RequestId(0), 0),
+                BlockRef::new(RequestId(0), 1),
+                BlockRef::new(RequestId(0), 2),
+            ],
+            "evicted entry not restored on rollback"
+        );
+        assert_eq!(s.simulated_cache().get(&RequestId(0)), Some(&3));
+        // And scheduling resumes from the repaired prefix: block 3 again,
+        // not a spurious re-push of block 0.
+        let b3 = s.next_batch(1);
+        assert_eq!(b3, vec![BlockRef::new(RequestId(0), 3)]);
+    }
+
     mod property {
         use super::*;
         use proptest::prelude::*;
+
+        /// Ground-truth replay of the client's FIFO ring: the client
+        /// receives exactly the committed schedules plus the surviving
+        /// (non-rolled-back) prefix of the current one, in order, through a
+        /// capacity-`C` FIFO.
+        struct ClientReplay {
+            cap: usize,
+            history: Vec<BlockRef>,
+            current: Vec<BlockRef>,
+            t: usize,
+        }
+
+        impl ClientReplay {
+            fn new(cap: usize) -> Self {
+                ClientReplay {
+                    cap,
+                    history: Vec::new(),
+                    current: Vec::new(),
+                    t: 0,
+                }
+            }
+
+            fn commit(&mut self) {
+                self.history.append(&mut self.current);
+                self.t = 0;
+            }
+
+            fn on_batch(&mut self, requested: usize, batch: &[BlockRef]) {
+                for &b in batch {
+                    if self.t >= self.cap {
+                        self.commit();
+                    }
+                    self.current.push(b);
+                    self.t += 1;
+                }
+                // A short batch means the scheduler ran one more loop
+                // iteration (which resets at the schedule boundary) before
+                // failing to sample.
+                if batch.len() < requested && self.t >= self.cap {
+                    self.commit();
+                }
+            }
+
+            fn on_update(&mut self, sender_position: usize) {
+                let pos = sender_position.min(self.cap);
+                if pos < self.t {
+                    self.current.truncate(self.current.len() - (self.t - pos));
+                    self.t = pos;
+                } else {
+                    self.t = pos;
+                }
+            }
+
+            fn ring(&self) -> Vec<BlockRef> {
+                let all: Vec<BlockRef> = self
+                    .history
+                    .iter()
+                    .chain(self.current.iter())
+                    .copied()
+                    .collect();
+                let start = all.len().saturating_sub(self.cap);
+                all[start..].to_vec()
+            }
+        }
+
+        fn replay_ops(
+            n: usize,
+            blocks: u32,
+            cache: usize,
+            seed: u64,
+            incremental: bool,
+            ops: &[(u8, usize, usize)],
+        ) {
+            let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 100));
+            let mut s = GreedyScheduler::new(
+                GreedySchedulerConfig {
+                    cache_blocks: cache,
+                    seed,
+                    use_incremental_sampler: incremental,
+                    ..Default::default()
+                },
+                UtilityModel::homogeneous(&LinearUtility, blocks),
+                catalog,
+            );
+            let mut client = ClientReplay::new(cache);
+            for &(kind, a, b) in ops {
+                match kind {
+                    0 | 1 => {
+                        let k = a % 5 + 1;
+                        let batch = s.next_batch(k);
+                        client.on_batch(k, &batch);
+                    }
+                    2 => {
+                        // The sender never reports a position past the
+                        // scheduler's (it can only transmit scheduled
+                        // blocks), so rollbacks are within the current tail.
+                        let pos = b % (s.position() + 1);
+                        let pred = PredictionSummary::point(n, RequestId::from(a % n), Time::ZERO);
+                        s.update_prediction(&pred, pos);
+                        client.on_update(pos);
+                    }
+                    _ => {
+                        let pos = b % (s.position() + 1);
+                        let pred = PredictionSummary::uniform(n, Time::ZERO);
+                        s.update_prediction(&pred, pos);
+                        client.on_update(pos);
+                    }
+                }
+                prop_assert_eq!(
+                    s.simulated_ring(),
+                    client.ring(),
+                    "ring diverged after op ({}, {}, {}) [incremental={}]",
+                    kind,
+                    a,
+                    b,
+                    incremental
+                );
+                // Resident counts are a view over the ring.
+                let mut counts: HashMap<RequestId, u32> = HashMap::new();
+                for blk in client.ring() {
+                    *counts.entry(blk.request).or_insert(0) += 1;
+                }
+                prop_assert_eq!(s.simulated_cache(), counts);
+            }
+        }
 
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(32))]
 
             /// The greedy scheduler never emits duplicate blocks while the ring
             /// still holds them, never exceeds per-request block counts, and
-            /// always makes progress while capacity remains.
+            /// always makes progress while capacity remains — on both sampling
+            /// paths.
             #[test]
             fn schedule_is_well_formed(
                 n in 1usize..40,
@@ -741,26 +1285,49 @@ mod tests {
                 cache in 1usize..64,
                 seed in 0u64..1000
             ) {
-                let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 100));
-                let cfg = GreedySchedulerConfig {
-                    cache_blocks: cache,
-                    seed,
-                    ..Default::default()
-                };
-                let mut s = GreedyScheduler::new(
-                    cfg,
-                    UtilityModel::homogeneous(&LinearUtility, blocks),
-                    catalog,
-                );
-                let batch = s.next_batch(cache);
-                let expected = cache.min(n * blocks as usize);
-                prop_assert_eq!(batch.len(), expected);
-                let mut seen = HashSet::new();
-                for b in &batch {
-                    prop_assert!(b.request.index() < n);
-                    prop_assert!(b.index < blocks);
-                    prop_assert!(seen.insert(*b), "duplicate block {}", b);
+                for incremental in [true, false] {
+                    let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 100));
+                    let cfg = GreedySchedulerConfig {
+                        cache_blocks: cache,
+                        seed,
+                        use_incremental_sampler: incremental,
+                        ..Default::default()
+                    };
+                    let mut s = GreedyScheduler::new(
+                        cfg,
+                        UtilityModel::homogeneous(&LinearUtility, blocks),
+                        catalog,
+                    );
+                    let batch = s.next_batch(cache);
+                    let expected = cache.min(n * blocks as usize);
+                    prop_assert_eq!(batch.len(), expected);
+                    let mut seen = HashSet::new();
+                    for b in &batch {
+                        prop_assert!(b.request.index() < n);
+                        prop_assert!(b.index < blocks);
+                        prop_assert!(seen.insert(*b), "duplicate block {}", b);
+                    }
                 }
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Replaying any random schedule / rollback / eviction sequence,
+            /// the scheduler's simulated ring exactly equals a ground-truth
+            /// replay of the client's FIFO ring — including rollbacks of
+            /// blocks whose delivery evicted older entries.
+            #[test]
+            fn simulated_ring_matches_client_replay(
+                n in 1usize..8,
+                blocks in 1u32..5,
+                cache in 1usize..10,
+                seed in 0u64..10_000,
+                ops in collection::vec((0u8..4, 0usize..64, 0usize..64), 1..20)
+            ) {
+                replay_ops(n, blocks, cache, seed, true, &ops);
+                replay_ops(n, blocks, cache, seed, false, &ops);
             }
         }
     }

@@ -273,6 +273,22 @@ impl UtilityModel {
     pub fn next_gain(&self, request: usize, held: u32) -> f64 {
         self.table(request).next_gain(held)
     }
+
+    /// The largest first-block marginal gain `g(1)` across the catalog — the
+    /// valid per-member weight bound for the meta-request group of untouched
+    /// requests (§5.3.1), which all hold zero blocks.
+    ///
+    /// For a [`UtilityModel::Homogeneous`] model every request shares one
+    /// table, so the bound is exact and computed in `O(1)` (the common fast
+    /// path).  For [`UtilityModel::PerRequest`] models the maximum over all
+    /// tables is taken once; callers should compute this at construction and
+    /// cache it rather than re-deriving it per scheduling step.
+    pub fn max_first_block_gain(&self) -> f64 {
+        match self {
+            UtilityModel::Homogeneous(t) => t.next_gain(0),
+            UtilityModel::PerRequest(ts) => ts.iter().map(|t| t.next_gain(0)).fold(0.0, f64::max),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -366,6 +382,24 @@ mod tests {
         let m = UtilityModel::per_request(tables);
         assert!((m.step(0, 1) - 0.5).abs() < 1e-12);
         assert!((m.step(1, 1) - 0.5).abs() < 1e-12); // sqrt(1/4) = 0.5
+    }
+
+    #[test]
+    fn max_first_block_gain_over_heterogeneous_tables() {
+        // Homogeneous fast path: the shared table's own first gain.
+        let m = UtilityModel::homogeneous(&LinearUtility, 4);
+        assert!((m.max_first_block_gain() - 0.25).abs() < 1e-12);
+
+        // Heterogeneous: the bound is the maximum, not table 0's value.
+        let tiny_first = PiecewiseUtility::from_points(vec![(0.5, 0.01)], "tiny-first");
+        let tables = vec![
+            GainTable::new(&tiny_first, 2),             // g(1) = 0.01
+            GainTable::new(&LinearUtility, 2),          // g(1) = 0.5
+            GainTable::new(&PowerUtility::new(0.5), 4), // g(1) = 0.5
+        ];
+        let m = UtilityModel::per_request(tables);
+        assert!((m.table(0).next_gain(0) - 0.01).abs() < 1e-12);
+        assert!((m.max_first_block_gain() - 0.5).abs() < 1e-12);
     }
 
     mod property {

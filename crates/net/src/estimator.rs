@@ -9,37 +9,70 @@
 use khameleon_core::types::{Bandwidth, Bytes, Duration, Time};
 
 /// Sliding-interval receive-rate meter.
+///
+/// The measurement window is anchored at the first delivery (or an explicit
+/// start time via [`ReceiveRateMeter::with_start`]), *not* at `Time::ZERO`:
+/// a client that joins late must not have its first report diluted by
+/// pre-join idle time, which would under-report the link and starve the
+/// server's bandwidth estimate.
 #[derive(Debug, Clone)]
 pub struct ReceiveRateMeter {
     interval: Duration,
-    window_start: Time,
+    /// Start of the current measurement window; `None` until the first
+    /// delivery anchors it.
+    window_start: Option<Time>,
     bytes_in_window: Bytes,
     last_rate: Option<Bandwidth>,
     total_bytes: Bytes,
 }
 
 impl ReceiveRateMeter {
-    /// Creates a meter that produces one rate sample per `interval`.
+    /// Creates a meter that produces one rate sample per `interval`, with
+    /// the measurement window anchored at the first delivery.
     pub fn new(interval: Duration) -> Self {
         assert!(interval.as_micros() > 0, "interval must be positive");
         ReceiveRateMeter {
             interval,
-            window_start: Time::ZERO,
+            window_start: None,
             bytes_in_window: 0,
             last_rate: None,
             total_bytes: 0,
         }
     }
 
+    /// Creates a meter whose first window starts at an explicit `start`
+    /// time — for callers that know when the connection actually opened
+    /// (the first window then covers `start..start + interval` even if the
+    /// first bytes land mid-window).
+    pub fn with_start(interval: Duration, start: Time) -> Self {
+        let mut m = Self::new(interval);
+        m.window_start = Some(start);
+        m
+    }
+
     /// Records `bytes` received at `now`.  Returns a rate sample if a full
     /// reporting interval has elapsed since the window started.
+    ///
+    /// The first delivery anchors the window (unless
+    /// [`ReceiveRateMeter::with_start`] fixed it), so idle time before the
+    /// client joined never dilutes a sample.  The anchoring delivery's own
+    /// bytes are *excluded* from the window: they were transferred before
+    /// the anchor instant, and counting them over elapsed time that starts
+    /// at the anchor would over-report the link.
     pub fn on_receive(&mut self, bytes: Bytes, now: Time) -> Option<Bandwidth> {
-        self.bytes_in_window += bytes;
         self.total_bytes += bytes;
-        let elapsed = now.saturating_sub(self.window_start);
+        let start = match self.window_start {
+            Some(s) => s,
+            None => {
+                self.window_start = Some(now);
+                return None;
+            }
+        };
+        self.bytes_in_window += bytes;
+        let elapsed = now.saturating_sub(start);
         if elapsed >= self.interval {
             let rate = Bandwidth(self.bytes_in_window as f64 / elapsed.as_secs_f64().max(1e-9));
-            self.window_start = now;
+            self.window_start = Some(now);
             self.bytes_in_window = 0;
             self.last_rate = Some(rate);
             Some(rate)
@@ -70,7 +103,7 @@ mod tests {
 
     #[test]
     fn reports_once_per_interval() {
-        let mut m = ReceiveRateMeter::new(Duration::from_millis(100));
+        let mut m = ReceiveRateMeter::with_start(Duration::from_millis(100), Time::ZERO);
         assert!(m.on_receive(10_000, Time::from_millis(20)).is_none());
         assert!(m.on_receive(10_000, Time::from_millis(60)).is_none());
         // 100 ms elapsed: 30 KB over 0.1 s = 300 KB/s.
@@ -83,10 +116,39 @@ mod tests {
     }
 
     #[test]
+    fn explicit_start_measures_from_connection_open() {
+        // With an explicit anchor, in-window idle time *does* count: nothing
+        // for 400 ms after the connection opened, then one burst.
+        let mut m = ReceiveRateMeter::with_start(Duration::from_millis(100), Time::ZERO);
+        let r = m.on_receive(400_000, Time::from_millis(400)).unwrap();
+        assert!((r.as_mbps() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn late_joiner_first_report_not_diluted() {
+        // Regression: the window used to be anchored at Time::ZERO, so a
+        // client joining at t = 10 s had its first report averaged over ten
+        // seconds of pre-join idle time — under-reporting a 0.5 MB/s link as
+        // ~0.01 MB/s and starving the server's estimate.
+        let mut m = ReceiveRateMeter::new(Duration::from_millis(100));
+        // First delivery anchors the window; no report yet, and its bytes
+        // (transferred before the anchor) do not inflate the first sample.
+        assert!(m.on_receive(100_000, Time::from_millis(10_000)).is_none());
+        let r = m.on_receive(100_000, Time::from_millis(10_200)).unwrap();
+        // 100 KB over the 200 ms since the anchor = the link's actual
+        // 0.5 MB/s cadence — neither diluted by pre-join idle time nor
+        // doubled by the anchor delivery's free-riding bytes.
+        assert!((r.as_mbps() - 0.5).abs() < 1e-6, "rate {}", r.as_mbps());
+        assert_eq!(m.total_bytes(), 200_000);
+    }
+
+    #[test]
     fn rate_accounts_for_actual_elapsed_time() {
         let mut m = ReceiveRateMeter::new(Duration::from_millis(100));
-        // Nothing for 400 ms, then one burst.
-        let r = m.on_receive(400_000, Time::from_millis(400)).unwrap();
+        assert!(m.on_receive(0, Time::from_millis(100)).is_none());
+        // The window stretches past the nominal interval when deliveries are
+        // sparse; the rate uses the actual elapsed time.
+        let r = m.on_receive(400_000, Time::from_millis(500)).unwrap();
         assert!((r.as_mbps() - 1.0).abs() < 1e-6);
     }
 

@@ -50,6 +50,10 @@ pub struct ExperimentConfig {
     pub prediction_interval: Duration,
     /// Discount factor γ for the scheduler.
     pub gamma: f64,
+    /// Use the incrementally maintained Fenwick gain sampler in the greedy
+    /// scheduler (`true`, the default) or the legacy per-block scan (the
+    /// Figure 16 baseline ablation).
+    pub incremental_sampler: bool,
     /// RNG seed for the scheduler / baselines.
     pub seed: u64,
 }
@@ -64,6 +68,7 @@ impl ExperimentConfig {
             request_latency: Duration::from_millis(100),
             prediction_interval: Duration::from_millis(150),
             gamma: 1.0,
+            incremental_sampler: true,
             seed: 0x5eed,
         }
     }
@@ -136,6 +141,13 @@ impl ExperimentConfig {
         self.prediction_interval = interval;
         self
     }
+
+    /// Selects between the incremental Fenwick gain sampler and the legacy
+    /// per-block scan in the greedy scheduler (the sampling ablation).
+    pub fn with_incremental_sampler(mut self, incremental: bool) -> Self {
+        self.incremental_sampler = incremental;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -170,11 +182,14 @@ mod tests {
             .with_bandwidth(Bandwidth::from_mbps(2.0))
             .with_cache_bytes(1_000_000)
             .with_request_latency(Duration::from_millis(400))
-            .with_prediction_interval(Duration::from_millis(50));
+            .with_prediction_interval(Duration::from_millis(50))
+            .with_incremental_sampler(false);
         assert_eq!(c.bandwidth.nominal().as_mbps(), 2.0);
         assert_eq!(c.cache_bytes, 1_000_000);
         assert_eq!(c.request_latency, Duration::from_millis(400));
         assert_eq!(c.prediction_interval, Duration::from_millis(50));
+        assert!(!c.incremental_sampler);
+        assert!(ExperimentConfig::paper_default().incremental_sampler);
     }
 
     #[test]

@@ -110,6 +110,7 @@ pub fn run_khameleon(
         scheduler: GreedySchedulerConfig {
             cache_blocks,
             gamma: cfg.gamma,
+            use_incremental_sampler: cfg.incremental_sampler,
             seed: cfg.seed,
             ..Default::default()
         },
@@ -406,6 +407,34 @@ mod tests {
         for w in r.convergence.windows(2) {
             assert!(w[1].1 >= w[0].1 - 1e-9);
         }
+    }
+
+    #[test]
+    fn sampler_ablation_knob_is_wired_end_to_end() {
+        // Both sampling paths drive a full simulated deployment and end up
+        // in the same performance regime: the Fenwick sampler is a cost
+        // optimization, not a policy change.
+        let (app, trace) = small_setup();
+        let base = ExperimentConfig::paper_default()
+            .with_bandwidth(Bandwidth::from_mbps(15.0))
+            .with_cache_bytes(100_000_000);
+        let incremental = run(&app, &trace, &base, PredictorKind::Kalman);
+        let scan = run(
+            &app,
+            &trace,
+            &base.clone().with_incremental_sampler(false),
+            PredictorKind::Kalman,
+        );
+        assert!(incremental.summary.requests > 20);
+        assert_eq!(incremental.summary.requests, scan.summary.requests);
+        assert!(
+            (incremental.summary.cache_hit_rate - scan.summary.cache_hit_rate).abs() < 0.25,
+            "hit rates diverged: incremental {} vs scan {}",
+            incremental.summary.cache_hit_rate,
+            scan.summary.cache_hit_rate
+        );
+        assert!(incremental.summary.cache_hit_rate > 0.5);
+        assert!(scan.summary.cache_hit_rate > 0.5);
     }
 
     #[test]
