@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use khameleon_core::block::ResponseCatalog;
 use khameleon_core::distribution::{HorizonSlice, PredictionSummary, SparseDistribution};
 use khameleon_core::scheduler::{
-    GreedyScheduler, GreedySchedulerConfig, HorizonModel, OptimalScheduler,
+    GreedyScheduler, GreedySchedulerConfig, HorizonModel, OptimalScheduler, SamplerVariant,
 };
 use khameleon_core::types::{Duration, RequestId, Time};
 use khameleon_core::utility::{PowerUtility, UtilityModel};
@@ -33,7 +33,7 @@ fn prediction(n: usize, materialized: usize) -> PredictionSummary {
 
 fn greedy(n: usize, cache: usize, blocks: u32, meta: bool) -> GreedyScheduler {
     let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 10_000));
-    greedy_over(&catalog, cache, blocks, meta, true)
+    greedy_over(&catalog, cache, blocks, meta, SamplerVariant::Lazy)
 }
 
 fn greedy_over(
@@ -41,14 +41,14 @@ fn greedy_over(
     cache: usize,
     blocks: u32,
     meta: bool,
-    incremental: bool,
+    sampler: SamplerVariant,
 ) -> GreedyScheduler {
     GreedyScheduler::new(
         GreedySchedulerConfig {
             cache_blocks: cache,
             slot_duration: Duration::from_millis(1),
             use_meta_request: meta,
-            use_incremental_sampler: incremental,
+            sampler,
             ..Default::default()
         },
         UtilityModel::homogeneous(&PowerUtility::new(0.5), blocks),
@@ -88,7 +88,7 @@ fn bench_meta_request_ablation(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter_batched(
                 || {
-                    let mut s = greedy_over(&catalog, 500, 50, meta, false);
+                    let mut s = greedy_over(&catalog, 500, 50, meta, SamplerVariant::Scan);
                     s.update_prediction(&prediction(2_000, 20), 0);
                     s
                 },
@@ -102,23 +102,66 @@ fn bench_meta_request_ablation(c: &mut Criterion) {
 
 /// The sampling ablation behind the ≥5× acceptance bar: one full schedule of
 /// 1000 blocks under a uniform prior (no materialized requests — the pure
-/// hedging regime where the touched set grows toward the horizon), with the
-/// incremental Fenwick sampler vs. the legacy per-block scan.
+/// hedging regime where the touched set grows toward the horizon), across
+/// all three sampler variants.
 fn bench_sampling_scan_vs_fenwick(c: &mut Criterion) {
     let mut group = c.benchmark_group("greedy_sampling");
     group.sample_size(10);
     for &n in &[1_000usize, 10_000, 100_000] {
         // Shared across setups so catalog deallocation is not measured.
         let catalog = Arc::new(ResponseCatalog::uniform(n, 50, 10_000));
-        for (label, incremental) in [("fenwick", true), ("scan", false)] {
-            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+        for variant in [
+            SamplerVariant::Lazy,
+            SamplerVariant::Eager,
+            SamplerVariant::Scan,
+        ] {
+            group.bench_with_input(BenchmarkId::new(variant.label(), n), &n, |b, _| {
                 b.iter_batched(
-                    || greedy_over(&catalog, 1_000, 50, true, incremental),
+                    || greedy_over(&catalog, 1_000, 50, true, variant),
                     |mut s| s.next_batch(1_000),
                     criterion::BatchSize::SmallInput,
                 );
             });
         }
+    }
+    group.finish();
+}
+
+/// The tentpole measurement of the lazy-bucket sampler: per-block advance
+/// cost as the materialized-set size `m` grows from 100 to 10,000 on a
+/// homogeneous-tail catalog (one shape bucket).  The lazy variant's cost
+/// stays flat in `m` (one factor update per slot); the eager PR 2 path
+/// rewrites all `m` weights per slot and grows linearly.  One scheduler is
+/// reused across iterations (batches run straight through schedule wraps),
+/// so the measurement is steady-state per-block cost — not allocator churn
+/// or the `O(m)` drop of the horizon model, which the vendored criterion
+/// would otherwise time inside the routine.  The wrap-heavy case (64-slot
+/// horizon, 4 wraps per batch) additionally measures the carry-over
+/// `reset_schedule` path.
+fn bench_sampler_refresh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler_refresh");
+    group.sample_size(10);
+    for &m in &[100usize, 1_000, 10_000] {
+        let n = 2 * m;
+        let catalog = Arc::new(ResponseCatalog::uniform(n, 50, 10_000));
+        for variant in [SamplerVariant::Lazy, SamplerVariant::Eager] {
+            let mut s = greedy_over(&catalog, 512, 50, true, variant);
+            s.update_prediction(&prediction(n, m), 0);
+            group.bench_with_input(BenchmarkId::new(variant.label(), m), &m, |b, _| {
+                b.iter(|| s.next_batch(256));
+            });
+        }
+    }
+    // Wrap-heavy: every 256-block batch spans four 64-slot schedules.
+    let m = 1_000usize;
+    let n = 2 * m;
+    let catalog = Arc::new(ResponseCatalog::uniform(n, 50, 10_000));
+    for variant in [SamplerVariant::Lazy, SamplerVariant::Eager] {
+        let mut s = greedy_over(&catalog, 64, 50, true, variant);
+        s.update_prediction(&prediction(n, m), 0);
+        group.bench_function(format!("wrap_heavy/{}", variant.label()), |b| {
+            b.iter(|| s.next_batch(256));
+        });
     }
     group.finish();
 }
@@ -156,6 +199,7 @@ criterion_group!(
     bench_greedy_schedule,
     bench_meta_request_ablation,
     bench_sampling_scan_vs_fenwick,
+    bench_sampler_refresh,
     bench_prediction_update,
     bench_optimal
 );

@@ -10,21 +10,21 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use khameleon_core::block::ResponseCatalog;
 use khameleon_core::predictor::PredictorState;
 use khameleon_core::protocol::ClientMessage;
-use khameleon_core::scheduler::GreedySchedulerConfig;
+use khameleon_core::scheduler::{GreedySchedulerConfig, SamplerVariant};
 use khameleon_core::server::{CatalogBackend, ServerConfig};
 use khameleon_core::session::{RoundRobin, Session, SessionManager, SharePolicy, WeightedFair};
 use khameleon_core::types::{RequestId, Time};
 use khameleon_core::utility::{PowerUtility, UtilityModel};
 
 fn manager(sessions: usize, policy: Box<dyn SharePolicy>) -> SessionManager {
-    manager_over(sessions, policy, 500, true)
+    manager_over(sessions, policy, 500, SamplerVariant::Lazy)
 }
 
 fn manager_over(
     sessions: usize,
     policy: Box<dyn SharePolicy>,
     n: usize,
-    incremental: bool,
+    sampler: SamplerVariant,
 ) -> SessionManager {
     let blocks = 10u32;
     let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 10_000));
@@ -36,7 +36,7 @@ fn manager_over(
                 .config(ServerConfig {
                     scheduler: GreedySchedulerConfig {
                         cache_blocks: 512,
-                        use_incremental_sampler: incremental,
+                        sampler,
                         seed: i as u64,
                         ..Default::default()
                     },
@@ -82,15 +82,19 @@ fn bench_next_event(c: &mut Criterion) {
 }
 
 /// One session over a 100k-request catalog: the regime where per-block
-/// sampling cost dominates `next_event`, comparing the incremental Fenwick
-/// sampler against the legacy scan.
+/// sampling cost dominates `next_event`, comparing all three sampler
+/// variants.
 fn bench_large_catalog(c: &mut Criterion) {
     let mut group = c.benchmark_group("session_large_catalog_100k");
     group.sample_size(10);
-    for (label, incremental) in [("fenwick", true), ("scan", false)] {
-        group.bench_function(label, |b| {
+    for variant in [
+        SamplerVariant::Lazy,
+        SamplerVariant::Eager,
+        SamplerVariant::Scan,
+    ] {
+        group.bench_function(variant.label(), |b| {
             b.iter_batched(
-                || manager_over(1, Box::new(RoundRobin::new()), 100_000, incremental),
+                || manager_over(1, Box::new(RoundRobin::new()), 100_000, variant),
                 |mut mgr| {
                     for _ in 0..256 {
                         let _ = mgr.next_event(Time::ZERO);

@@ -14,7 +14,7 @@ use std::time::Instant;
 use khameleon_bench::{print_csv, print_preamble, Scale};
 use khameleon_core::block::ResponseCatalog;
 use khameleon_core::distribution::{HorizonSlice, PredictionSummary, SparseDistribution};
-use khameleon_core::scheduler::{GreedyScheduler, GreedySchedulerConfig};
+use khameleon_core::scheduler::{GreedyScheduler, GreedySchedulerConfig, SamplerVariant};
 use khameleon_core::types::{Duration, RequestId, Time};
 use khameleon_core::utility::{PowerUtility, UtilityModel};
 
@@ -53,7 +53,7 @@ fn schedule_time_ms(
             // Fenwick sampler (which amortizes the meta-off materialization
             // and would mask the 13× effect) is benchmarked separately in
             // the `greedy_sampling` Criterion group.
-            use_incremental_sampler: false,
+            sampler: SamplerVariant::Scan,
             ..Default::default()
         },
         utility,

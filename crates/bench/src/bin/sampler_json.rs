@@ -1,0 +1,208 @@
+//! Machine-readable sampler/scheduler benchmark: sweeps the greedy
+//! scheduler's per-block sampling cost over the materialized-set size `m`
+//! and the three [`SamplerVariant`]s, plus a wrap-heavy case exercising the
+//! schedule-wrap carry-over, and writes the results as JSON so the perf
+//! trajectory can be tracked across PRs (and uploaded as a CI artifact).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p khameleon-bench --bin sampler_json -- \
+//!     [--quick] [--out BENCH_sampler.json]
+//! ```
+//!
+//! `--quick` runs the reduced sweep CI uses (m ∈ {100, 1000}, fewer blocks);
+//! the default sweep covers m ∈ {100, 1000, 10000}.  The binary asserts the
+//! *correctness* of every run (full batches, exact block counts) and panics
+//! on violation — it never fails on timing, so CI stays robust to noisy
+//! runners while still catching functional regressions.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use khameleon_core::block::ResponseCatalog;
+use khameleon_core::distribution::{HorizonSlice, PredictionSummary, SparseDistribution};
+use khameleon_core::scheduler::{GreedyScheduler, GreedySchedulerConfig, SamplerVariant};
+use khameleon_core::types::{Duration, RequestId, Time};
+use khameleon_core::utility::{PowerUtility, UtilityModel};
+
+/// One measured configuration.
+struct Case {
+    /// `"steady"` (single schedule) or `"wrap"` (horizon ≪ batch).
+    case: &'static str,
+    variant: SamplerVariant,
+    /// Materialized-set size.
+    m: usize,
+    /// Catalog size.
+    n: usize,
+    /// Blocks scheduled per measured iteration.
+    blocks_per_iter: usize,
+    iters: usize,
+    elapsed_ms: f64,
+    blocks_per_sec: f64,
+}
+
+fn prediction(n: usize, materialized: usize) -> PredictionSummary {
+    let entries: Vec<(RequestId, f64)> = (0..materialized.min(n))
+        .map(|i| (RequestId::from(i), 1.0 / (i + 1) as f64))
+        .collect();
+    let dist = SparseDistribution::from_entries(n, entries, 0.5);
+    let slices = PredictionSummary::default_deltas()
+        .into_iter()
+        .map(|delta| HorizonSlice {
+            delta,
+            dist: dist.clone(),
+        })
+        .collect();
+    PredictionSummary::new(n, slices, Time::ZERO)
+}
+
+fn scheduler(n: usize, cache: usize, variant: SamplerVariant) -> GreedyScheduler {
+    let blocks = 50u32;
+    let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 10_000));
+    GreedyScheduler::new(
+        GreedySchedulerConfig {
+            cache_blocks: cache,
+            slot_duration: Duration::from_millis(1),
+            sampler: variant,
+            ..Default::default()
+        },
+        UtilityModel::homogeneous(&PowerUtility::new(0.5), blocks),
+        catalog,
+    )
+}
+
+/// Measures `iters` steady-state batches of `batch` blocks on one scheduler
+/// whose prediction materializes `m` requests.  Between iterations the
+/// (untimed) prediction update rolls the schedule back to slot 0, so every
+/// timed batch starts from the same state with warm caches — the sweep
+/// measures the per-block advance cost, not rebuilds or allocator churn.
+/// `blocks_per_sec` uses the fastest iteration (the standard
+/// noise-resistant estimator); `elapsed_ms` reports the full timed total.
+fn measure(
+    case: &'static str,
+    variant: SamplerVariant,
+    m: usize,
+    cache: usize,
+    batch: usize,
+    iters: usize,
+) -> Case {
+    let n = 2 * m;
+    let pred = prediction(n, m);
+    let mut s = scheduler(n, cache, variant);
+    // Warm-up + correctness check outside the timed region.
+    for _ in 0..2 {
+        s.update_prediction(&pred, 0);
+        let got = s.next_batch(batch);
+        assert_eq!(
+            got.len(),
+            batch,
+            "scheduler under-filled a batch ({case}/{} m={m})",
+            variant.label()
+        );
+    }
+    let mut elapsed = std::time::Duration::ZERO;
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        s.update_prediction(&pred, 0);
+        let start = Instant::now();
+        let got = s.next_batch(batch);
+        let dt = start.elapsed();
+        elapsed += dt;
+        best = best.min(dt.as_secs_f64());
+        assert_eq!(got.len(), batch, "under-filled timed batch");
+    }
+    Case {
+        case,
+        variant,
+        m,
+        n,
+        blocks_per_iter: batch,
+        iters,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        blocks_per_sec: batch as f64 / best.max(1e-12),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sampler.json".to_string());
+
+    let ms: &[usize] = if quick {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000]
+    };
+    let iters = if quick { 5 } else { 20 };
+    let batch = 256;
+    let cache = 512;
+
+    let mut cases = Vec::new();
+    for &m in ms {
+        for variant in [
+            SamplerVariant::Lazy,
+            SamplerVariant::Eager,
+            SamplerVariant::Scan,
+        ] {
+            cases.push(measure("steady", variant, m, cache, batch, iters));
+        }
+    }
+    // Wrap-heavy: the batch spans many schedule wraps, measuring the
+    // carry-over path of `reset_schedule`.
+    let wrap_m = 1_000;
+    for variant in [SamplerVariant::Lazy, SamplerVariant::Eager] {
+        cases.push(measure(
+            "wrap",
+            variant,
+            wrap_m,
+            64,
+            if quick { 256 } else { 512 },
+            iters,
+        ));
+    }
+
+    let mut json = String::new();
+    json.push_str(
+        "{\n  \"bench\": \"sampler_refresh\",\n  \"unit\": \"blocks_per_sec\",\n  \"results\": [\n",
+    );
+    for (i, c) in cases.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"case\": \"{}\", \"variant\": \"{}\", \"m\": {}, \"n\": {}, \"blocks_per_iter\": {}, \"iters\": {}, \"elapsed_ms\": {:.3}, \"blocks_per_sec\": {:.1}}}{}",
+            c.case,
+            c.variant.label(),
+            c.m,
+            c.n,
+            c.blocks_per_iter,
+            c.iters,
+            c.elapsed_ms,
+            c.blocks_per_sec,
+            if i + 1 == cases.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+
+    println!("wrote {out_path}");
+    println!(
+        "{:<8} {:<8} {:>8} {:>14} {:>12}",
+        "case", "variant", "m", "blocks/sec", "elapsed_ms"
+    );
+    for c in &cases {
+        println!(
+            "{:<8} {:<8} {:>8} {:>14.0} {:>12.2}",
+            c.case,
+            c.variant.label(),
+            c.m,
+            c.blocks_per_sec,
+            c.elapsed_ms
+        );
+    }
+}

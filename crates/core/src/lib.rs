@@ -131,10 +131,10 @@ pub use predictor::{
     ServerPredictor,
 };
 pub use protocol::{ClientMessage, ServerEvent, SessionId};
-pub use sampling::{FenwickTree, GainSampler, SampledGroup};
+pub use sampling::{FenwickTree, GainSampler, SampledGroup, SamplerVariant};
 pub use scheduler::{
     BruteForceScheduler, GreedyScheduler, GreedySchedulerConfig, HorizonModel, OptimalScheduler,
-    Scheduler,
+    Scheduler, ShapeBucket, TailShapePartition,
 };
 pub use server::{Backend, CatalogBackend, KhameleonServer, ServerBuilder, ServerConfig};
 pub use session::{

@@ -2,54 +2,105 @@
 //!
 //! The greedy scheduler (§5.3, Listing 1) allocates every network slot by
 //! drawing one request proportionally to its expected utility gain
-//! `P_{i,t} · g(B_i + 1)`.  Done naively that draw costs a full pass over the
-//! candidate set *per block*: the seed implementation collected the touched
-//! requests into a vector, sorted it for determinism, and prefix-scanned the
-//! weights — `O(T log T)` per block for `T` touched requests (up to the whole
-//! schedule length `C`), i.e. `O(C² log C)` per schedule, and `O(n)` per block
-//! with the §5.3.1 meta-request optimization disabled.
+//! `P_{i,t} · g(B_i + 1)`.  Three implementations of that draw coexist,
+//! selectable via [`SamplerVariant`], so every optimization stays measurable
+//! against its predecessor (the Figure 16 methodology):
 //!
-//! This module replaces the scan with an incrementally maintained weight
-//! structure built on a Fenwick (binary-indexed) sum tree:
+//! | variant | per-block cost | structure |
+//! |---------|----------------|-----------|
+//! | [`Scan`](SamplerVariant::Scan)   | `O(T log T)` (`O(n)` with meta off) | rebuild + prefix-scan the candidate weights every draw |
+//! | [`Eager`](SamplerVariant::Eager) | `O(m log m + log T)` | Fenwick trees; every materialized weight rewritten per slot |
+//! | [`Lazy`](SamplerVariant::Lazy)   | `O(b log m + log T)` | Fenwick trees; per-slot advance touches `b` bucket scalars |
+//!
+//! with `T` touched requests (up to the schedule length `C`), `m`
+//! materialized requests, and `b` distinct tail *shapes* (`b ≤ m`, and
+//! `b = 1` for the homogeneous-tail workloads real predictors emit).
+//!
+//! The structure behind the incremental variants:
 //!
 //! * [`FenwickTree`] — a flat `f64` sum tree supporting `O(log n)` point
 //!   assignment, append, prefix sums, and proportional *locate* (find the
 //!   entry containing a cumulative offset).
-//! * [`GainSampler`] — the scheduler-facing composite that exploits the
-//!   shared-residual-tail structure of
-//!   [`HorizonModel`](crate::scheduler::HorizonModel).  Requests fall into
-//!   three groups:
+//! * [`GainSampler`] — the scheduler-facing composite.  Requests fall into
+//!   four segment groups, concatenated in a deterministic draw order:
 //!
-//!   1. **Explicit** (materialized) requests each own a full weight
-//!      `g_i(B_i) · tail_i(t)` in a small tree of size `m`.  These are the
-//!      only weights that must be recomputed when the slot index `t`
-//!      advances.
-//!   2. **Shared-tail** requests (touched but unmaterialized) store only the
+//!   1. **Shape buckets**: materialized requests whose tails evolve by the
+//!      same per-slot multiplier (see
+//!      [`TailShapePartition`](crate::scheduler::TailShapePartition)) share
+//!      one tree holding the slot-invariant part of each weight
+//!      (`g_i(B_i) · tail_i(0)`) plus a single scalar factor
+//!      `s(t) = tail(rep, t) / tail(rep, 0)`.  Advancing the slot index
+//!      updates the factor — `O(1)` for the whole bucket.  The eager
+//!      variant uses the same layout but pins every factor at `1` and
+//!      rewrites all `m` member weights per slot (the PR 2 behaviour, kept
+//!      as the measured baseline).
+//!   2. **Irregular** materialized requests (no shared shape, or bucket-cap
+//!      overflow) keep exact weights `g_i(B_i) · tail_i(t)` in a
+//!      binary-indexed tree over the per-slot tail deltas, re-derived each
+//!      slot — the small exact-refresh fallback.
+//!   3. **Shared-tail** requests (touched but unmaterialized) store only the
 //!      gain part `g_i(B_i)`; their common factor `residual(t)` is a single
-//!      scalar applied at draw time, so advancing `t` costs `O(1)` for the
-//!      whole group.  The group lives in a *compact* tree — each request is
-//!      assigned a dense slot when first touched — so tree walks stay within
-//!      a few cache lines instead of striding across an `n`-sized array.
-//!   3. **Untouched** requests are one meta-entry with weight
-//!      `count · ĝ₁ · residual(t)` where `ĝ₁` is the catalog-wide first-block
-//!      gain bound; a member is drawn uniformly when the meta-entry wins
-//!      (§5.3.1).
+//!      scalar applied at draw time.  The group lives in a *compact* tree —
+//!      each request is assigned a dense slot when first touched.
+//!   4. **Untouched** requests are one meta-entry *per utility class* (one
+//!      per distinct gain table) with weight
+//!      `count_c · g_c(1) · residual(t)`: the heterogeneous hedge is exact,
+//!      not bounded by a catalog-wide first-block gain.  A member of the
+//!      winning class is drawn uniformly (§5.3.1).
 //!
 //! Determinism under a fixed seed: a draw maps a cumulative offset to an
-//! entry through the tree layout, so the layout must be reproducible.  The
-//! explicit group is sorted by request index, and shared-group slots are
-//! assigned in insertion order — callers insert in a deterministic order
-//! (the scheduler sorts the touched set at rebuild time and thereafter
-//! touches requests in sampled order, which is itself seed-deterministic).
+//! entry through the segment layout, so the layout must be reproducible.
+//! Bucket membership comes from the id-sorted materialized set, shared-group
+//! slots are assigned in insertion order (the scheduler inserts in a
+//! deterministic order), and meta classes are ordered by class index.  All
+//! three variants walk the *same* segment layout, which is what makes
+//! block-for-block parity between them testable (and tested, 256-case
+//! proptest in the greedy scheduler).
 //!
-//! Per-block cost drops from `O(T log T)` to `O(m log m + log T)` — in the
-//! common hedging regime (`m` small, `T` growing toward `C`) this is the
-//! difference between quadratic and near-linear schedule generation, the same
-//! argument §5.3.1 makes for its 13× meta-request speedup.
+//! Per-block cost drops from `O(T log T)` (scan) through `O(m log m)`
+//! (eager) to `O(b log m)` (lazy) — for homogeneous-tail catalogs the lazy
+//! variant's per-block cost is flat in `m`, the same "cost must not grow
+//! with catalog size" argument §5.3.1 makes for its 13× meta-request
+//! speedup, now applied to the materialized set too.
 
 use std::collections::HashMap;
 
+use crate::scheduler::TailShapePartition;
 use crate::types::RequestId;
+
+/// Which sampling implementation the greedy scheduler uses for its
+/// per-block proportional draw.  All variants draw from the same weight
+/// decomposition and consume the RNG identically — they differ only in
+/// per-block cost (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplerVariant {
+    /// Rebuild, sort, and prefix-scan the candidate weights on every draw —
+    /// the seed implementation, retained as the Figure 16 baseline.
+    Scan,
+    /// Incremental Fenwick weights with an exact rewrite of every
+    /// materialized weight per slot advance (the PR 2 sampler).
+    Eager,
+    /// Incremental Fenwick weights with lazily-rescaled shape buckets: a
+    /// slot advance touches one scalar per bucket instead of `m` weights.
+    #[default]
+    Lazy,
+}
+
+impl SamplerVariant {
+    /// Whether this variant maintains the incremental weight structure.
+    pub fn is_incremental(self) -> bool {
+        !matches!(self, SamplerVariant::Scan)
+    }
+
+    /// Short label used in benches and experiment reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SamplerVariant::Scan => "scan",
+            SamplerVariant::Eager => "eager",
+            SamplerVariant::Lazy => "lazy",
+        }
+    }
+}
 
 /// A Fenwick (binary-indexed) tree over non-negative `f64` weights with
 /// `O(log n)` point assignment, append, prefix sums, and proportional
@@ -60,6 +111,13 @@ pub struct FenwickTree {
     tree: Vec<f64>,
     /// Current value of each entry, for exact point assignment.
     values: Vec<f64>,
+    /// Number of entries with a strictly positive value.  Repeated
+    /// add/subtract cycles leave `O(ε)` residue in the partial sums, so an
+    /// all-zero tree could otherwise report a positive total — and a caller
+    /// drawing proportionally against that phantom mass would consume
+    /// randomness a truthfully-zero structure would not (breaking draw
+    /// parity with an exact recomputation).
+    positive: usize,
 }
 
 impl FenwickTree {
@@ -68,6 +126,7 @@ impl FenwickTree {
         FenwickTree {
             tree: vec![0.0; len + 1],
             values: vec![0.0; len],
+            positive: 0,
         }
     }
 
@@ -94,6 +153,12 @@ impl FenwickTree {
         if delta == 0.0 {
             return;
         }
+        if self.values[i] > 0.0 {
+            self.positive -= 1;
+        }
+        if w > 0.0 {
+            self.positive += 1;
+        }
         self.values[i] = w;
         let mut j = i + 1;
         while j < self.tree.len() {
@@ -105,6 +170,9 @@ impl FenwickTree {
     /// Appends a new entry with weight `w` in `O(log n)`.
     pub fn push(&mut self, w: f64) {
         assert!(w.is_finite() && w >= 0.0, "weight must be finite and >= 0");
+        if w > 0.0 {
+            self.positive += 1;
+        }
         self.values.push(w);
         // Node `j` covers values[(j - lowbit(j))..j]; derive the new node
         // from existing prefix sums instead of rebuilding.
@@ -125,8 +193,13 @@ impl FenwickTree {
         s
     }
 
-    /// Total weight.
+    /// Total weight.  Exactly `0` when no entry is positive, even if
+    /// floating-point residue survives in the partial sums (see the
+    /// `positive` field).
     pub fn total(&self) -> f64 {
+        if self.positive == 0 {
+            return 0.0;
+        }
         self.prefix_sum(self.values.len())
     }
 
@@ -169,91 +242,260 @@ impl FenwickTree {
     pub fn last_positive(&self) -> Option<usize> {
         self.values.iter().rposition(|&w| w > 0.0)
     }
+
+    /// Recomputes the partial sums exactly from the stored values in `O(n)`.
+    ///
+    /// Long chains of delta updates leave `O(ε · past-magnitude)` residue in
+    /// the sum nodes; when the live values decay far below their history
+    /// (e.g. `γ^t` tails deep into a schedule), that residue dominates the
+    /// prefix sums and proportional draws become garbage.  Callers that
+    /// rewrite *every* value each step (the eager refresh, the irregular
+    /// exact-refresh set) follow up with this to keep the sums exact — it
+    /// costs no more than the rewrite they just did.
+    pub fn rebuild_sums(&mut self) {
+        let n = self.values.len();
+        for node in self.tree.iter_mut() {
+            *node = 0.0;
+        }
+        // Standard O(n) construction: push each node's sum up to its parent.
+        for i in 1..=n {
+            self.tree[i] += self.values[i - 1];
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= n {
+                let v = self.tree[i];
+                self.tree[parent] += v;
+            }
+        }
+    }
 }
 
 /// Which weight group a proportional draw landed in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SampledGroup {
-    /// A specific request (explicit or shared-tail group).
+    /// A specific request (shape-bucket, irregular, or shared-tail group).
     Request(RequestId),
-    /// The untouched meta-group; the caller draws a member uniformly.
-    Meta,
+    /// The untouched meta-entry of utility class `c`; the caller draws an
+    /// untouched member of that class uniformly.
+    Meta(usize),
+}
+
+/// Where a materialized request lives inside the explicit layout, packed as
+/// `bucket << 32 | position` (bucket `u32::MAX` = the irregular tree) so the
+/// whole index is one dense flat array — the per-block hot path does a
+/// single indexed load instead of hashing into a map whose buckets spill
+/// out of cache at large `m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ExplicitSlot(u64);
+
+const NO_SLOT: ExplicitSlot = ExplicitSlot(u64::MAX);
+const IRREGULAR_BUCKET: u32 = u32::MAX;
+
+impl ExplicitSlot {
+    fn bucket(b: u32, pos: u32) -> Self {
+        ExplicitSlot(((b as u64) << 32) | pos as u64)
+    }
+
+    fn irregular(pos: u32) -> Self {
+        Self::bucket(IRREGULAR_BUCKET, pos)
+    }
+
+    fn decode(self) -> Option<(u32, u32)> {
+        if self == NO_SLOT {
+            None
+        } else {
+            Some(((self.0 >> 32) as u32, self.0 as u32))
+        }
+    }
+}
+
+/// One shape bucket: a tree of slot-invariant member values scaled by a
+/// single per-slot factor.
+#[derive(Debug, Clone)]
+struct BucketTree {
+    /// Members in ascending request order (mirrors the partition).
+    ids: Vec<RequestId>,
+    /// Per-member values.  Lazy variant: `g_i(B_i) · tail_i(0)` with
+    /// `factor = s(t)`; eager variant: `g_i(B_i) · tail_i(t)` with
+    /// `factor = 1`.
+    tree: FenwickTree,
+    /// Per-member slot-invariant coefficients `tail_i(0)`, cached here so
+    /// the lazy hot path multiplies a local 8-byte load instead of chasing
+    /// the horizon model's per-request tail vectors (tens of megabytes at
+    /// `m = 10⁴`) on every gain change.
+    coefs: Vec<f64>,
+    /// The bucket-wide scale applied at draw time.
+    factor: f64,
+}
+
+/// One per-utility-class meta-entry for the untouched remainder.
+#[derive(Debug, Clone)]
+struct MetaEntry {
+    /// Untouched members of the class.
+    untouched: usize,
+    /// The class's exact first-block gain `g_c(1)`.
+    gain: f64,
 }
 
 /// Incremental gain-weight sampler for the greedy scheduler.
 ///
-/// See the [module docs](self) for the three-group decomposition.  The
+/// See the [module docs](self) for the four-group decomposition.  The
 /// scheduler owns the bookkeeping of *which* requests belong to which group;
 /// this type owns the weights and the draw.
 #[derive(Debug, Clone)]
 pub struct GainSampler {
-    /// Materialized request ids, sorted by index; position `i` owns entry
-    /// `i` of `explicit`.
-    explicit_ids: Vec<RequestId>,
-    /// Full weights `g_i(B_i) · tail_i(t)` of the materialized requests.
-    explicit: FenwickTree,
+    /// Shape buckets in partition order.
+    buckets: Vec<BucketTree>,
+    /// Irregular (exact-refresh) request ids, ascending; position `i` owns
+    /// entry `i` of `irregular`.
+    irregular_ids: Vec<RequestId>,
+    /// Full weights `g_i(B_i) · tail_i(t)` of the irregular requests.
+    irregular: FenwickTree,
+    /// Where each materialized request lives, densely indexed by request;
+    /// `NO_SLOT` for unmaterialized requests.  Rebuilds reset only the
+    /// previous layout's entries, so the cost stays `O(m)`, not `O(n)`.
+    explicit_slots: Vec<ExplicitSlot>,
     /// Dense slot of each shared-group request, assigned on first insertion.
     shared_slots: HashMap<RequestId, usize>,
     /// Slot → request id (the inverse of `shared_slots`).
     shared_ids: Vec<RequestId>,
     /// Gain parts `g_i(B_i)` of touched-but-unmaterialized requests, by slot.
     shared: FenwickTree,
-    /// The group's common tail factor `residual(t)`.
+    /// The shared group's (and the meta-entries') common tail factor
+    /// `residual(t)`.
     shared_scale: f64,
-    /// Number of untouched requests behind the meta-entry.
-    meta_members: usize,
-    /// Catalog-wide first-block gain bound `ĝ₁` (the meta-entry's
-    /// per-member gain part).
-    meta_gain: f64,
+    /// Per-utility-class meta-entries, in class-index order.
+    meta: Vec<MetaEntry>,
 }
 
 impl GainSampler {
-    /// Creates an empty sampler with first-block gain bound `meta_gain` (see
-    /// [`UtilityModel::max_first_block_gain`](crate::utility::UtilityModel::max_first_block_gain)).
-    pub fn new(meta_gain: f64) -> Self {
+    /// Creates an empty sampler.
+    pub fn new() -> Self {
         GainSampler {
-            explicit_ids: Vec::new(),
-            explicit: FenwickTree::new(0),
+            buckets: Vec::new(),
+            irregular_ids: Vec::new(),
+            irregular: FenwickTree::new(0),
+            explicit_slots: Vec::new(),
             shared_slots: HashMap::new(),
             shared_ids: Vec::new(),
             shared: FenwickTree::new(0),
             shared_scale: 0.0,
-            meta_members: 0,
-            meta_gain,
+            meta: Vec::new(),
         }
     }
 
-    /// Resets all weights and installs a new explicit (materialized) id set,
-    /// in `O(m log m)` plus dropping the previous shared group.
+    /// Resets all weights and installs a new explicit layout (`partition`)
+    /// and meta-class gain catalog (`meta_gains`, one exact first-block gain
+    /// per utility class) over a request space of size `n`, in `O(m)`;
+    /// weights, factors, coefficients, and untouched counts start at zero.
     ///
     /// Shared-group slots are re-assigned in subsequent insertion order;
     /// callers that need seed-determinism must re-insert in a deterministic
-    /// order (e.g. sorted).
-    pub fn rebuild(&mut self, mut explicit_ids: Vec<RequestId>) {
-        explicit_ids.sort_unstable();
-        explicit_ids.dedup();
-        self.explicit = FenwickTree::new(explicit_ids.len());
-        self.explicit_ids = explicit_ids;
+    /// order (the scheduler inserts its canonical shared order).
+    pub fn rebuild(&mut self, partition: &TailShapePartition, meta_gains: &[f64], n: usize) {
+        // Un-index the previous layout (O(m_prev)), then grow the dense
+        // index if the request space did.
+        for b in &self.buckets {
+            for &r in &b.ids {
+                self.explicit_slots[r.index()] = NO_SLOT;
+            }
+        }
+        for &r in &self.irregular_ids {
+            self.explicit_slots[r.index()] = NO_SLOT;
+        }
+        if self.explicit_slots.len() < n {
+            self.explicit_slots.resize(n, NO_SLOT);
+        }
+        self.buckets.clear();
+        for (bi, b) in partition.buckets.iter().enumerate() {
+            for (pos, &r) in b.members.iter().enumerate() {
+                self.explicit_slots[r.index()] = ExplicitSlot::bucket(bi as u32, pos as u32);
+            }
+            self.buckets.push(BucketTree {
+                ids: b.members.clone(),
+                tree: FenwickTree::new(b.members.len()),
+                coefs: vec![0.0; b.members.len()],
+                factor: 0.0,
+            });
+        }
+        for (pos, &r) in partition.irregular.iter().enumerate() {
+            self.explicit_slots[r.index()] = ExplicitSlot::irregular(pos as u32);
+        }
+        self.irregular_ids = partition.irregular.clone();
+        self.irregular = FenwickTree::new(self.irregular_ids.len());
         self.shared_slots.clear();
         self.shared_ids.clear();
         self.shared = FenwickTree::new(0);
         self.shared_scale = 0.0;
-        self.meta_members = 0;
+        self.meta = meta_gains
+            .iter()
+            .map(|&gain| MetaEntry { untouched: 0, gain })
+            .collect();
     }
 
-    /// The sorted materialized id set installed by the last rebuild.
-    pub fn explicit_ids(&self) -> &[RequestId] {
-        &self.explicit_ids
+    /// Number of shape buckets in the installed layout.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
     }
 
-    /// Assigns the full weight (gain × tail) of materialized request `r`.
-    /// `r` must be in the installed explicit set.
-    pub fn set_explicit_weight(&mut self, r: RequestId, w: f64) {
-        let pos = self
-            .explicit_ids
-            .binary_search(&r)
-            .expect("request not in the explicit set");
-        self.explicit.set(pos, w);
+    /// Whether request `r` is in the explicit (materialized) layout — a
+    /// dense-index mirror of the model's materialized set, cheap enough for
+    /// the per-block path.
+    pub fn is_explicit(&self, r: RequestId) -> bool {
+        self.explicit_slots[r.index()] != NO_SLOT
+    }
+
+    /// Whether materialized request `r` sits in the irregular
+    /// (exact-refresh) set rather than a shape bucket.
+    pub fn is_irregular(&self, r: RequestId) -> bool {
+        matches!(
+            self.explicit_slots[r.index()].decode(),
+            Some((IRREGULAR_BUCKET, _))
+        )
+    }
+
+    /// Sets shape bucket `b`'s scale factor (`s(t)` for the lazy variant,
+    /// pinned at `1` by the eager variant).
+    pub fn set_bucket_factor(&mut self, b: usize, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0, "factor must be >= 0");
+        self.buckets[b].factor = factor;
+    }
+
+    /// Sets the slot-invariant coefficient (`tail_r(0)`) of bucket member
+    /// `r`, cached for [`GainSampler::set_explicit_gain`].  No-op for
+    /// irregular members (their weights are always set in full).
+    pub fn set_explicit_coef(&mut self, r: RequestId, coef: f64) {
+        if let Some((b, pos)) = self.explicit_slots[r.index()].decode() {
+            if b != IRREGULAR_BUCKET {
+                self.buckets[b as usize].coefs[pos as usize] = coef;
+            }
+        }
+    }
+
+    /// Updates bucket member `r`'s stored value to `g · coef` from its
+    /// cached coefficient — the lazy variant's `O(log m)` per-block gain
+    /// update, touching no model state.  `r` must be a bucket member.
+    pub fn set_explicit_gain(&mut self, r: RequestId, g: f64) {
+        match self.explicit_slots[r.index()].decode() {
+            Some((b, pos)) if b != IRREGULAR_BUCKET => {
+                let bucket = &mut self.buckets[b as usize];
+                let v = g * bucket.coefs[pos as usize];
+                bucket.tree.set(pos as usize, v);
+            }
+            _ => panic!("request not in a shape bucket"),
+        }
+    }
+
+    /// Assigns the stored value of materialized request `r`: the
+    /// slot-invariant part `g · tail(0)` for lazily-scaled bucket members,
+    /// or the full current weight `g · tail(t)` for irregular members (and
+    /// for bucket members under the eager variant).  `r` must be in the
+    /// installed layout.
+    pub fn set_explicit_value(&mut self, r: RequestId, v: f64) {
+        match self.explicit_slots[r.index()].decode() {
+            Some((IRREGULAR_BUCKET, pos)) => self.irregular.set(pos as usize, v),
+            Some((b, pos)) => self.buckets[b as usize].tree.set(pos as usize, v),
+            None => panic!("request not in the explicit layout"),
+        }
     }
 
     /// Assigns the gain part of shared-tail request `r` (its tail factor is
@@ -271,68 +513,162 @@ impl GainSampler {
         }
     }
 
+    /// The shared-group request ids in slot (insertion) order.
+    pub fn shared_ids(&self) -> &[RequestId] {
+        &self.shared_ids
+    }
+
+    /// Drops every shared-group member for which `keep` returns `false`,
+    /// preserving the relative order (and gains) of the survivors.  `O(s)`
+    /// when nothing is dropped, `O(s log s)` otherwise.  Used by the
+    /// schedule-wrap carry-over, where requests touched only through
+    /// since-cleared allocations return to their meta class.
+    pub fn compact_shared(&mut self, mut keep: impl FnMut(RequestId) -> bool) {
+        if self.shared_ids.iter().all(|&r| keep(r)) {
+            return;
+        }
+        let old_ids = std::mem::take(&mut self.shared_ids);
+        let old_tree = std::mem::replace(&mut self.shared, FenwickTree::new(0));
+        self.shared_slots.clear();
+        for (slot, &r) in old_ids.iter().enumerate() {
+            if keep(r) {
+                self.shared_slots.insert(r, self.shared_ids.len());
+                self.shared_ids.push(r);
+                self.shared.push(old_tree.get(slot));
+            }
+        }
+    }
+
     /// Sets the shared-tail group's common factor `residual(t)`.
     pub fn set_shared_scale(&mut self, scale: f64) {
         assert!(scale.is_finite() && scale >= 0.0, "scale must be >= 0");
         self.shared_scale = scale;
     }
 
-    /// Sets the number of untouched requests behind the meta-entry.
-    pub fn set_meta_members(&mut self, count: usize) {
-        self.meta_members = count;
+    /// Recomputes the irregular tree's partial sums exactly from its values
+    /// (`O(|irregular|)`); see [`FenwickTree::rebuild_sums`].  Called after
+    /// each per-slot exact refresh of the irregular set, whose values decay
+    /// with the tail and would otherwise sink below the sum residue.
+    pub fn renormalize_irregular(&mut self) {
+        self.irregular.rebuild_sums();
     }
 
-    /// The meta-entry's per-member gain bound.
-    pub fn meta_gain(&self) -> f64 {
-        self.meta_gain
+    /// Recomputes every explicit tree's partial sums exactly (`O(m)`); see
+    /// [`FenwickTree::rebuild_sums`].  Called by the eager variant after its
+    /// per-slot full rewrite of the materialized weights.
+    pub fn renormalize_explicit(&mut self) {
+        for b in &mut self.buckets {
+            b.tree.rebuild_sums();
+        }
+        self.irregular.rebuild_sums();
     }
 
-    /// Total sampling mass across all three groups.
+    /// Sets the number of untouched requests behind utility class `c`'s
+    /// meta-entry.
+    pub fn set_meta_untouched(&mut self, c: usize, count: usize) {
+        self.meta[c].untouched = count;
+    }
+
+    /// Total sampling mass across all groups.
     pub fn total(&self) -> f64 {
-        self.explicit.total()
-            + self.shared_scale * (self.shared.total() + self.meta_members as f64 * self.meta_gain)
+        let explicit: f64 = self
+            .buckets
+            .iter()
+            .map(|b| b.tree.total() * b.factor)
+            .sum::<f64>()
+            + self.irregular.total();
+        let meta: f64 = self.meta.iter().map(|m| m.untouched as f64 * m.gain).sum();
+        explicit + self.shared_scale * (self.shared.total() + meta)
     }
 
     /// Resolves a cumulative offset `x ∈ [0, total)` to the group it lands
-    /// in.  Segment order is explicit (index-sorted) → shared (slot order)
-    /// → meta.
+    /// in.  Segment order is shape buckets (partition order, members
+    /// ascending) → irregular (ascending) → shared (slot order) → meta
+    /// classes (class-index order).
     ///
     /// Offsets at or past the total (floating-point boundary cases) fall
     /// back to the last non-empty group, mirroring the legacy scan's
     /// `weights.last()` fallback.
     pub fn locate(&self, x: f64) -> Option<SampledGroup> {
-        let ew = self.explicit.total();
+        let mut rem = x.max(0.0);
+        let mut any = false;
+        for b in &self.buckets {
+            let seg = b.tree.total() * b.factor;
+            if seg > 0.0 {
+                any = true;
+                if rem < seg {
+                    if let Some(i) = b.tree.locate(rem / b.factor) {
+                        return Some(SampledGroup::Request(b.ids[i]));
+                    }
+                }
+                rem = (rem - seg).max(0.0);
+            }
+        }
+        let iw = self.irregular.total();
+        if iw > 0.0 {
+            any = true;
+            if rem < iw {
+                if let Some(i) = self.irregular.locate(rem) {
+                    return Some(SampledGroup::Request(self.irregular_ids[i]));
+                }
+            }
+            rem = (rem - iw).max(0.0);
+        }
         let sw = self.shared_scale * self.shared.total();
-        let mw = self.shared_scale * self.meta_members as f64 * self.meta_gain;
-        if ew + sw + mw <= 0.0 {
+        if sw > 0.0 {
+            any = true;
+            if rem < sw {
+                if let Some(i) = self.shared.locate(rem / self.shared_scale) {
+                    return Some(SampledGroup::Request(self.shared_ids[i]));
+                }
+            }
+            rem = (rem - sw).max(0.0);
+        }
+        let mut last_meta = None;
+        for (c, m) in self.meta.iter().enumerate() {
+            let seg = self.shared_scale * m.untouched as f64 * m.gain;
+            if seg > 0.0 {
+                any = true;
+                last_meta = Some(c);
+                if rem < seg {
+                    return Some(SampledGroup::Meta(c));
+                }
+                rem = (rem - seg).max(0.0);
+            }
+        }
+        if !any {
             return None;
         }
-        let mut rem = x.max(0.0);
-        if rem < ew {
-            if let Some(i) = self.explicit.locate(rem) {
-                return Some(SampledGroup::Request(self.explicit_ids[i]));
-            }
+        // Fallback for x >= total (or rounding at the boundary of an empty
+        // trailing segment): the last positive segment, walked in reverse
+        // group order.
+        if let Some(c) = last_meta {
+            return Some(SampledGroup::Meta(c));
         }
-        rem = (rem - ew).max(0.0);
-        if rem < sw {
-            if let Some(i) = self.shared.locate(rem / self.shared_scale) {
-                return Some(SampledGroup::Request(self.shared_ids[i]));
-            }
-        }
-        if mw > 0.0 {
-            return Some(SampledGroup::Meta);
-        }
-        // Fallback for x >= total (or rounding at a segment boundary of an
-        // empty trailing segment): last positive entry, shared before
-        // explicit since shared is the later segment.
         if sw > 0.0 {
             if let Some(i) = self.shared.last_positive() {
                 return Some(SampledGroup::Request(self.shared_ids[i]));
             }
         }
-        self.explicit
-            .last_positive()
-            .map(|i| SampledGroup::Request(self.explicit_ids[i]))
+        if iw > 0.0 {
+            if let Some(i) = self.irregular.last_positive() {
+                return Some(SampledGroup::Request(self.irregular_ids[i]));
+            }
+        }
+        for b in self.buckets.iter().rev() {
+            if b.factor > 0.0 {
+                if let Some(i) = b.tree.last_positive() {
+                    return Some(SampledGroup::Request(b.ids[i]));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Default for GainSampler {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -440,51 +776,122 @@ mod tests {
         FenwickTree::new(3).set(0, -1.0);
     }
 
+    use crate::scheduler::ShapeBucket;
+
+    fn partition(buckets: Vec<Vec<usize>>, irregular: Vec<usize>) -> TailShapePartition {
+        TailShapePartition {
+            buckets: buckets
+                .into_iter()
+                .map(|m| ShapeBucket {
+                    rep: RequestId::from(m[0]),
+                    members: m.into_iter().map(RequestId::from).collect(),
+                })
+                .collect(),
+            irregular: irregular.into_iter().map(RequestId::from).collect(),
+        }
+    }
+
     #[test]
-    fn sampler_three_group_totals() {
-        let mut s = GainSampler::new(0.25);
-        s.rebuild(vec![RequestId(7), RequestId(3)]);
-        assert_eq!(s.explicit_ids(), &[RequestId(3), RequestId(7)]);
-        s.set_explicit_weight(RequestId(3), 2.0);
-        s.set_explicit_weight(RequestId(7), 1.0);
+    fn sampler_segment_order_and_totals() {
+        let mut s = GainSampler::new();
+        // Two shape buckets, one irregular request, two meta classes.
+        s.rebuild(
+            &partition(vec![vec![3, 7], vec![2]], vec![11]),
+            &[0.25, 0.5],
+            32,
+        );
+        assert_eq!(s.num_buckets(), 2);
+        assert!(s.is_irregular(RequestId(11)));
+        assert!(!s.is_irregular(RequestId(3)));
+        s.set_explicit_value(RequestId(3), 2.0);
+        s.set_explicit_value(RequestId(7), 1.0);
+        s.set_bucket_factor(0, 0.5); // bucket 0 mass = 1.5
+        s.set_explicit_value(RequestId(2), 4.0);
+        s.set_bucket_factor(1, 1.0); // bucket 1 mass = 4
+        s.set_explicit_value(RequestId(11), 0.5); // irregular mass = 0.5
         s.set_shared_gain(RequestId(10), 0.5);
-        s.set_shared_scale(2.0);
-        s.set_meta_members(4);
-        // explicit 3.0 + scale*(0.5 + 4*0.25) = 3 + 2*1.5 = 6.
-        assert!((s.total() - 6.0).abs() < 1e-12);
-        // Segment order: explicit (ids 3 then 7), shared, meta.
+        s.set_shared_scale(2.0); // shared mass = 1
+        s.set_meta_untouched(0, 4); // class 0 mass = 2*4*0.25 = 2
+        s.set_meta_untouched(1, 1); // class 1 mass = 2*1*0.5  = 1
+        assert!((s.total() - 10.0).abs() < 1e-12);
+        // Segment order: bucket 0 (ids 3, 7), bucket 1 (id 2), irregular
+        // (id 11), shared (id 10), meta class 0, meta class 1.
         assert_eq!(s.locate(0.5), Some(SampledGroup::Request(RequestId(3))));
-        assert_eq!(s.locate(2.5), Some(SampledGroup::Request(RequestId(7))));
-        assert_eq!(s.locate(3.5), Some(SampledGroup::Request(RequestId(10))));
-        assert_eq!(s.locate(4.5), Some(SampledGroup::Meta));
-        assert_eq!(s.locate(5.999), Some(SampledGroup::Meta));
-        // Past-total fallback resolves deterministically.
-        assert!(s.locate(6.0).is_some());
+        assert_eq!(s.locate(1.2), Some(SampledGroup::Request(RequestId(7))));
+        assert_eq!(s.locate(3.5), Some(SampledGroup::Request(RequestId(2))));
+        assert_eq!(s.locate(5.7), Some(SampledGroup::Request(RequestId(11))));
+        assert_eq!(s.locate(6.5), Some(SampledGroup::Request(RequestId(10))));
+        assert_eq!(s.locate(7.5), Some(SampledGroup::Meta(0)));
+        assert_eq!(s.locate(9.5), Some(SampledGroup::Meta(1)));
+        // Past-total fallback resolves to the last positive segment.
+        assert_eq!(s.locate(10.0), Some(SampledGroup::Meta(1)));
+    }
+
+    #[test]
+    fn sampler_lazy_factor_rescales_bucket() {
+        let mut s = GainSampler::new();
+        s.rebuild(&partition(vec![vec![0, 1]], vec![]), &[], 32);
+        s.set_explicit_value(RequestId(0), 3.0);
+        s.set_explicit_value(RequestId(1), 1.0);
+        s.set_bucket_factor(0, 1.0);
+        assert!((s.total() - 4.0).abs() < 1e-12);
+        // Advancing the slot touches one scalar, not the member weights.
+        s.set_bucket_factor(0, 0.25);
+        assert!((s.total() - 1.0).abs() < 1e-12);
+        assert_eq!(s.locate(0.5), Some(SampledGroup::Request(RequestId(0))));
+        assert_eq!(s.locate(0.8), Some(SampledGroup::Request(RequestId(1))));
+        // Zero factor silences the bucket entirely.
+        s.set_bucket_factor(0, 0.0);
+        assert_eq!(s.total(), 0.0);
+        assert_eq!(s.locate(0.0), None);
     }
 
     #[test]
     fn sampler_shared_slots_reuse_and_update() {
-        let mut s = GainSampler::new(0.1);
-        s.rebuild(vec![]);
+        let mut s = GainSampler::new();
+        s.rebuild(&TailShapePartition::default(), &[], 32);
         s.set_shared_scale(1.0);
         s.set_shared_gain(RequestId(5), 1.0);
         s.set_shared_gain(RequestId(9), 2.0);
         // Updating an existing member must not allocate a second slot.
         s.set_shared_gain(RequestId(5), 3.0);
+        assert_eq!(s.shared_ids(), &[RequestId(5), RequestId(9)]);
         assert!((s.total() - 5.0).abs() < 1e-12);
         assert_eq!(s.locate(0.5), Some(SampledGroup::Request(RequestId(5))));
         assert_eq!(s.locate(3.5), Some(SampledGroup::Request(RequestId(9))));
     }
 
     #[test]
+    fn sampler_compact_shared_preserves_survivor_order() {
+        let mut s = GainSampler::new();
+        s.rebuild(&TailShapePartition::default(), &[], 32);
+        s.set_shared_scale(1.0);
+        for (r, g) in [(4, 1.0), (2, 2.0), (9, 3.0), (7, 4.0)] {
+            s.set_shared_gain(RequestId(r), g);
+        }
+        s.compact_shared(|r| r != RequestId(2) && r != RequestId(7));
+        assert_eq!(s.shared_ids(), &[RequestId(4), RequestId(9)]);
+        assert!((s.total() - 4.0).abs() < 1e-12);
+        assert_eq!(s.locate(0.5), Some(SampledGroup::Request(RequestId(4))));
+        assert_eq!(s.locate(2.5), Some(SampledGroup::Request(RequestId(9))));
+        // Survivors keep working as update targets, and re-inserting a
+        // dropped id appends it after the survivors.
+        s.set_shared_gain(RequestId(9), 1.0);
+        s.set_shared_gain(RequestId(2), 5.0);
+        assert_eq!(s.shared_ids(), &[RequestId(4), RequestId(9), RequestId(2)]);
+        assert!((s.total() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn sampler_rebuild_clears_previous_weights() {
-        let mut s = GainSampler::new(0.1);
-        s.rebuild(vec![]);
+        let mut s = GainSampler::new();
+        s.rebuild(&TailShapePartition::default(), &[0.1], 32);
         s.set_shared_gain(RequestId(5), 1.0);
         s.set_shared_gain(RequestId(9), 2.0);
         s.set_shared_scale(1.0);
-        assert!((s.total() - 3.0).abs() < 1e-12);
-        s.rebuild(vec![]);
+        s.set_meta_untouched(0, 3);
+        assert!((s.total() - 3.3).abs() < 1e-12);
+        s.rebuild(&TailShapePartition::default(), &[0.1], 32);
         assert_eq!(s.total(), 0.0);
         s.set_shared_scale(1.0);
         assert_eq!(s.total(), 0.0, "old shared weights must be cleared");
@@ -492,11 +899,11 @@ mod tests {
 
     #[test]
     fn sampler_zero_scale_disables_shared_and_meta() {
-        let mut s = GainSampler::new(0.5);
-        s.rebuild(vec![RequestId(0)]);
-        s.set_explicit_weight(RequestId(0), 1.5);
+        let mut s = GainSampler::new();
+        s.rebuild(&partition(vec![], vec![0]), &[0.5], 32);
+        s.set_explicit_value(RequestId(0), 1.5);
         s.set_shared_gain(RequestId(4), 9.0);
-        s.set_meta_members(9);
+        s.set_meta_untouched(0, 9);
         // scale defaults to 0 after rebuild.
         assert!((s.total() - 1.5).abs() < 1e-12);
         assert_eq!(s.locate(1.0), Some(SampledGroup::Request(RequestId(0))));

@@ -23,33 +23,61 @@
 //!   restoring entries that the rolled-back deliveries had evicted — so the
 //!   simulation re-converges with the client's real ring (§5.3.2).
 //! * **Incremental sampling** ([`crate::sampling`]): per-request gain
-//!   weights live in a Fenwick sum tree instead of being rebuilt, sorted,
-//!   and prefix-scanned for every block.
+//!   weights live in Fenwick sum trees instead of being rebuilt, sorted,
+//!   and prefix-scanned for every block, with the lazy variant grouping
+//!   materialized requests whose tails evolve by the same per-slot
+//!   multiplier into shared buckets, each carrying one scalar factor.
 //!
 //! # Per-block sampling cost
 //!
 //! With `T` touched requests (up to the schedule length `C`), `m`
-//! materialized requests (`m ≤ T`, typically ≪ `T`), and `n` requests in the
-//! catalog:
+//! materialized requests (`m ≤ T`, typically ≪ `T`), `b` distinct tail
+//! shapes (`b ≤ m`; `b = 1` for homogeneous-tail predictions), and `n`
+//! requests in the catalog:
 //!
-//! | path | per-block cost |
+//! | [`SamplerVariant`] | per-block cost |
 //! |------|----------------|
-//! | legacy scan, meta off | `O(n)` (Figure 16's unoptimized baseline) |
-//! | legacy scan, meta on  | `O(T log T)` — sort + prefix scan per draw |
-//! | incremental (Fenwick) | `O(m log m + log T)` |
+//! | [`Scan`](SamplerVariant::Scan), meta off | `O(n)` (Figure 16's unoptimized baseline) |
+//! | [`Scan`](SamplerVariant::Scan), meta on  | `O(T log T)` — sort + prefix scan per draw |
+//! | [`Eager`](SamplerVariant::Eager) | `O(m log m + log T)` — every materialized weight rewritten per slot |
+//! | [`Lazy`](SamplerVariant::Lazy) | `O(b log m + log T)` — one scalar per shape bucket per slot |
 //!
-//! The incremental path exploits the shared-residual-tail structure of
-//! [`HorizonModel`]: only the `m` materialized requests have per-slot tails
-//! that must be refreshed when `t` advances; every touched-but-unmaterialized
-//! request shares one scalar tail factor, and the untouched remainder is a
-//! single meta-entry.  Over a full schedule this turns `O(C² log C)` of
-//! sampling work into `O(C (m log m + log C))` — the same "cost must not
-//! grow with catalog size" argument §5.3.1 makes for its 13× meta-request
-//! speedup.  The legacy scan is retained behind
-//! [`GreedySchedulerConfig::use_incremental_sampler`] `= false` as the
-//! measured baseline.
+//! The incremental variants exploit the shared-residual-tail structure of
+//! [`HorizonModel`]: every touched-but-unmaterialized request shares one
+//! scalar tail factor, and the untouched remainder is one meta-entry per
+//! utility class (exact per-class first-block gains, see
+//! [`UtilityModel::class_catalog`]).  The lazy variant additionally
+//! exploits the model's [tail-shape
+//! partition](crate::scheduler::TailShapePartition): materialized requests
+//! with proportional tails share one bucket factor, so advancing the slot
+//! index touches `O(b)` scalars plus the small irregular exact-refresh set
+//! instead of rewriting all `m` materialized weights.  Over a full schedule
+//! this turns `O(C² log C)` of sampling work into `O(C (b log m + log C))` —
+//! per-block cost flat in `m` for homogeneous-tail workloads, the same
+//! "cost must not grow with catalog size" argument §5.3.1 makes for its 13×
+//! meta-request speedup.  The scan and eager paths are retained behind
+//! [`GreedySchedulerConfig::sampler`] as the measured baselines, and all
+//! three variants walk the same segment layout and consume the RNG
+//! identically, so a fixed seed yields block-for-block identical schedules
+//! across variants (enforced by a 256-case parity proptest below).
+//!
+//! Two further hot-path properties:
+//!
+//! * **Wrap carry-over**: when a schedule completes (`t` reaches `C`) the
+//!   horizon model is unchanged and tails are reusable at `t = 0`, so
+//!   [`reset_schedule`](GreedyScheduler::next_batch) carries the explicit
+//!   shape buckets and the shared-tail group across the wrap instead of
+//!   rebuilding the sampler from scratch — with cache tracking on, a wrap
+//!   costs `O(b)` factor resets plus compaction of any requests whose only
+//!   claim to the touched set was a since-cleared allocation.
+//! * **Sender-ahead slot gaps**: a `sender_position` beyond the scheduler's
+//!   `t` (the sender drained its queue past the planner) is represented as
+//!   explicit empty slots in the slot-aligned schedule log, so a later
+//!   rollback below the gap pops exactly the right entries.
 
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+#[cfg(test)]
+use std::collections::HashSet;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -57,10 +85,10 @@ use rand::{Rng, SeedableRng};
 
 use crate::block::ResponseCatalog;
 use crate::distribution::PredictionSummary;
-use crate::sampling::{GainSampler, SampledGroup};
+use crate::sampling::{GainSampler, SampledGroup, SamplerVariant};
 use crate::scheduler::{HorizonModel, Schedule};
 use crate::types::{BlockRef, Duration, RequestId};
-use crate::utility::UtilityModel;
+use crate::utility::{UtilityClassCatalog, UtilityModel};
 
 /// Configuration of the greedy scheduler.
 #[derive(Debug, Clone)]
@@ -84,12 +112,13 @@ pub struct GreedySchedulerConfig {
     /// Simulate the client's FIFO ring so block indices continue across
     /// schedules and resident blocks are not re-pushed.
     pub track_client_cache: bool,
-    /// Sample via the incrementally maintained Fenwick weight structure
-    /// ([`crate::sampling`]) instead of rebuilding and scanning the touched
-    /// set for every block.  `false` selects the legacy per-block scan (the
-    /// Figure 16 baseline).  Both paths draw from the same distribution;
-    /// only the per-block cost differs (see the module docs).
-    pub use_incremental_sampler: bool,
+    /// Which sampling implementation performs the per-block proportional
+    /// draw: the legacy per-block scan (the Figure 16 baseline), the eager
+    /// Fenwick sampler (every materialized weight rewritten per slot), or
+    /// the default lazy shape-bucket sampler.  All variants draw identical
+    /// schedules under a fixed seed; only the per-block cost differs (see
+    /// the module docs).
+    pub sampler: SamplerVariant,
     /// RNG seed for the proportional sampling, for reproducibility.
     pub seed: u64,
 }
@@ -103,7 +132,7 @@ impl Default for GreedySchedulerConfig {
             slot_duration: Duration::from_millis(1),
             use_meta_request: true,
             track_client_cache: true,
-            use_incremental_sampler: true,
+            sampler: SamplerVariant::Lazy,
             seed: 0x5eed,
         }
     }
@@ -113,7 +142,6 @@ impl Default for GreedySchedulerConfig {
 pub struct GreedyScheduler {
     cfg: GreedySchedulerConfig,
     utility: UtilityModel,
-    catalog: Arc<ResponseCatalog>,
     model: HorizonModel,
     rng: StdRng,
     /// Blocks allocated per request during the current schedule (Listing 1's
@@ -121,14 +149,19 @@ pub struct GreedyScheduler {
     allocated: HashMap<RequestId, u32>,
     /// Position within the current schedule (Listing 1's `t`).
     t: usize,
-    /// Blocks scheduled in the current schedule, in slot order; needed to roll
-    /// back not-yet-sent slots when a new prediction arrives (§5.3.2).
-    current_schedule: Vec<BlockRef>,
+    /// Slot-aligned log of the current schedule: entry `k` is the block
+    /// scheduled for slot `k`, or `None` for a slot the sender consumed
+    /// while running ahead of the scheduler.  Invariant:
+    /// `current_schedule.len() == t` (debug-asserted), which is what makes
+    /// rollbacks across sender-ahead gaps pop the right entries (§5.3.2).
+    current_schedule: Vec<Option<BlockRef>>,
     /// For each slot of `current_schedule`, the ring entry its delivery
-    /// evicted (`None` when the ring still had room).  Rolling a slot back
-    /// restores its evicted entry, keeping the simulated ring exactly equal
-    /// to the client's (which never saw the rolled-back block and therefore
-    /// never evicted anything).  Maintained only with `track_client_cache`.
+    /// evicted (`None` when the ring still had room, or for a gap slot).
+    /// Rolling a slot back restores its evicted entry, keeping the simulated
+    /// ring exactly equal to the client's (which never saw the rolled-back
+    /// block and therefore never evicted anything).  Maintained only with
+    /// `track_client_cache`, where it stays slot-aligned with
+    /// `current_schedule`.
     eviction_log: Vec<Option<BlockRef>>,
     /// Exact simulation of the client's ring-buffer contents (block refs in
     /// arrival order) when `track_client_cache` is on.
@@ -138,19 +171,41 @@ pub struct GreedyScheduler {
     /// since renderable quality depends on the contiguous prefix (§3.3).
     resident: HashMap<RequestId, BTreeSet<u32>>,
     /// Requests currently excluded from the meta group because they have
-    /// explicit probability, allocations, or resident blocks.
-    touched: HashSet<RequestId>,
-    /// Incrementally maintained gain weights (the `use_incremental_sampler`
-    /// path); kept in sync by `rebuild_sampler` / `refresh_after_allocation`.
+    /// explicit probability, allocations, or resident blocks — dense flags
+    /// indexed by request, so the per-block membership checks are single
+    /// byte loads instead of hash probes into a table that outgrows the
+    /// cache at large `m`.
+    touched: Vec<bool>,
+    /// Canonical draw order of the shared-tail segment: the
+    /// touched-but-unmaterialized requests (or, with the meta-request
+    /// optimization off, *every* unmaterialized request) in
+    /// rebuild-sorted-then-touch order.  The scan variant iterates this
+    /// directly; the incremental sampler's shared group mirrors it slot for
+    /// slot, which is what makes the variants draw identically.
+    shared_order: Vec<RequestId>,
+    /// Per-utility-class view of the catalog (one class per distinct gain
+    /// table): exact first-block gains for the per-class meta-entries.
+    classes: UtilityClassCatalog,
+    /// Exact first-block gain of each utility class, in class order.
+    meta_gains: Vec<f64>,
+    /// Per-request block counts, copied out of the catalog into one dense
+    /// array: the per-block gain computation reads a 4-byte entry instead
+    /// of chasing the catalog's per-request layout structs.
+    num_blocks: Vec<u32>,
+    /// Touched-request count per utility class; the complement (against the
+    /// class size) is each meta-entry's untouched member count.
+    touched_per_class: Vec<usize>,
+    /// Incrementally maintained gain weights (the `Eager` / `Lazy`
+    /// variants); kept in sync by `rebuild_sampler` /
+    /// `refresh_after_allocation` / the wrap carry-over.
     sampler: GainSampler,
-    /// Catalog-wide first-block gain bound `ĝ₁`, precomputed at construction
-    /// (O(1) for homogeneous utility models); the per-member weight of the
-    /// untouched meta-group.
-    meta_first_gain: f64,
     /// Number of prediction updates received (for instrumentation).
     updates: u64,
     /// Total blocks scheduled since creation (for instrumentation).
     scheduled_blocks: u64,
+    /// Schedule slots skipped because the sender reported a position ahead
+    /// of the scheduler (for instrumentation).
+    gap_slots: u64,
 }
 
 impl GreedyScheduler {
@@ -169,12 +224,16 @@ impl GreedyScheduler {
             cfg.gamma,
         );
         let rng = StdRng::seed_from_u64(cfg.seed);
-        let meta_first_gain = utility.max_first_block_gain();
-        let sampler = GainSampler::new(meta_first_gain);
+        let num_requests = catalog.num_requests();
+        let num_blocks: Vec<u32> = (0..num_requests)
+            .map(|i| catalog.num_blocks(RequestId::from(i)))
+            .collect();
+        let classes = utility.class_catalog(num_requests);
+        let meta_gains: Vec<f64> = classes.classes().map(|c| c.first_gain()).collect();
+        let touched_per_class = vec![0; classes.num_classes()];
         let mut s = GreedyScheduler {
             cfg,
             utility,
-            catalog,
             model,
             rng,
             allocated: HashMap::new(),
@@ -183,11 +242,16 @@ impl GreedyScheduler {
             eviction_log: Vec::new(),
             ring: VecDeque::new(),
             resident: HashMap::new(),
-            touched: HashSet::new(),
-            sampler,
-            meta_first_gain,
+            touched: vec![false; num_requests],
+            shared_order: Vec::new(),
+            classes,
+            meta_gains,
+            num_blocks,
+            touched_per_class,
+            sampler: GainSampler::new(),
             updates: 0,
             scheduled_blocks: 0,
+            gap_slots: 0,
         };
         s.rebuild_touched();
         s
@@ -213,6 +277,13 @@ impl GreedyScheduler {
         self.t
     }
 
+    /// Schedule slots consumed by a sender running ahead of the scheduler
+    /// (see [`GreedyScheduler::update_prediction`]); real deployments keep
+    /// this at zero.
+    pub fn gap_slots(&self) -> u64 {
+        self.gap_slots
+    }
+
     /// Updates the bandwidth-derived slot duration.  Takes effect on the next
     /// prediction update (the current materialized horizon is kept).
     pub fn set_slot_duration(&mut self, slot: Duration) {
@@ -226,6 +297,15 @@ impl GreedyScheduler {
     /// current schedule that have already been placed on the network.  Slots
     /// scheduled beyond that position are rolled back and re-planned under
     /// the new probabilities; slots before it are untouched.
+    ///
+    /// A `sender_position` *beyond* the scheduler's own position means the
+    /// sender drained its queue past the planner — real senders can only
+    /// transmit scheduled blocks, so deployments never report this, but the
+    /// skipped slots are tolerated and represented as explicit empty entries
+    /// in the slot-aligned schedule log.  A later rollback below the gap
+    /// therefore pops exactly one log entry per slot (the alignment
+    /// invariant is debug-asserted), instead of mispairing blocks with
+    /// slots.
     pub fn update_prediction(&mut self, summary: &PredictionSummary, sender_position: usize) {
         self.model = HorizonModel::build(
             summary,
@@ -235,31 +315,72 @@ impl GreedyScheduler {
         );
         self.updates += 1;
         let sender_position = sender_position.min(self.cfg.cache_blocks);
+        self.debug_assert_slot_aligned();
         if sender_position < self.t {
             // Roll back the not-yet-sent tail of the current schedule.
             while self.t > sender_position {
-                if let Some(block) = self.current_schedule.pop() {
-                    if let Some(c) = self.allocated.get_mut(&block.request) {
-                        *c = c.saturating_sub(1);
-                        if *c == 0 {
-                            self.allocated.remove(&block.request);
+                match self.current_schedule.pop() {
+                    Some(Some(block)) => {
+                        if let Some(c) = self.allocated.get_mut(&block.request) {
+                            *c = c.saturating_sub(1);
+                            if *c == 0 {
+                                self.allocated.remove(&block.request);
+                            }
+                        }
+                        let evicted = if self.cfg.track_client_cache {
+                            self.eviction_log.pop().flatten()
+                        } else {
+                            None
+                        };
+                        self.undo_ring_delivery(block, evicted);
+                    }
+                    Some(None) => {
+                        // A sender-ahead gap slot: nothing was scheduled,
+                        // delivered, or evicted there.
+                        if self.cfg.track_client_cache {
+                            self.eviction_log.pop();
                         }
                     }
-                    let evicted = if self.cfg.track_client_cache {
-                        self.eviction_log.pop().flatten()
-                    } else {
-                        None
-                    };
-                    self.undo_ring_delivery(block, evicted);
+                    None => {
+                        debug_assert!(false, "schedule log shorter than t");
+                        break;
+                    }
                 }
                 self.t -= 1;
             }
         } else {
-            // The sender is ahead of the scheduler (it drained its queue);
-            // skip the intervening slots.
-            self.t = sender_position;
+            // The sender ran ahead of the scheduler (it drained its queue);
+            // represent the skipped slots explicitly so the log stays
+            // aligned with the slot index.
+            while self.t < sender_position {
+                self.current_schedule.push(None);
+                if self.cfg.track_client_cache {
+                    self.eviction_log.push(None);
+                }
+                self.t += 1;
+                self.gap_slots += 1;
+            }
         }
+        self.debug_assert_slot_aligned();
         self.rebuild_touched();
+    }
+
+    /// Debug-only check of the schedule-log invariants: one log entry per
+    /// consumed slot, and (with cache tracking) one eviction-log entry per
+    /// schedule-log entry.
+    fn debug_assert_slot_aligned(&self) {
+        debug_assert_eq!(
+            self.current_schedule.len(),
+            self.t,
+            "schedule log must stay slot-aligned"
+        );
+        if self.cfg.track_client_cache {
+            debug_assert_eq!(
+                self.eviction_log.len(),
+                self.t,
+                "eviction log must stay slot-aligned"
+            );
+        }
     }
 
     /// Reverses one `deliver_to_ring`: removes the rolled-back block and
@@ -294,67 +415,178 @@ impl GreedyScheduler {
         }
     }
 
+    /// Marks `r` touched, maintaining the count and per-class tallies.
+    /// Returns whether `r` was previously untouched.
+    fn mark_touched(&mut self, r: RequestId) -> bool {
+        if self.touched[r.index()] {
+            return false;
+        }
+        self.touched[r.index()] = true;
+        self.touched_per_class[self.classes.class_of(r)] += 1;
+        true
+    }
+
     fn rebuild_touched(&mut self) {
-        self.touched.clear();
-        for r in self.model.materialized() {
-            self.touched.insert(r);
-        }
-        for &r in self.allocated.keys() {
-            self.touched.insert(r);
-        }
+        self.touched.fill(false);
+        self.touched_per_class.fill(0);
+        let mut touched_ids: Vec<RequestId> = self.model.materialized().collect();
+        touched_ids.extend(self.allocated.keys().copied());
         if self.cfg.track_client_cache {
-            for &r in self.resident.keys() {
-                self.touched.insert(r);
-            }
+            touched_ids.extend(self.resident.keys().copied());
         }
+        touched_ids.retain(|&r| self.mark_touched(r));
+        // Canonical shared-segment order: sorted at rebuild (hash-map
+        // iteration order is not deterministic), appended in touch order
+        // thereafter.  With the meta-request optimization off, *every*
+        // unmaterialized request sits in the shared segment permanently (the
+        // unoptimized Figure 16 / §5.3.1 baseline), so membership never
+        // shifts mid-schedule.
+        self.shared_order.clear();
+        if self.cfg.use_meta_request {
+            self.shared_order.extend(
+                touched_ids
+                    .iter()
+                    .copied()
+                    .filter(|&r| !self.model.is_materialized(r)),
+            );
+        } else {
+            self.shared_order.extend(
+                (0..self.model.num_requests())
+                    .map(RequestId::from)
+                    .filter(|&r| !self.model.is_materialized(r)),
+            );
+        }
+        self.shared_order.sort_unstable();
         self.rebuild_sampler();
     }
 
-    /// Rebuilds the incremental weight structure from scratch: `O(T log n)`
+    /// Rebuilds the incremental weight structure from scratch: `O(T log T)`
     /// with the meta-request optimization on, `O(n log n)` with it off
-    /// (every untouched request gets an explicit shared-tail entry).  Called
-    /// only when the whole state shifts (prediction update, schedule reset);
-    /// per-block maintenance goes through `refresh_after_allocation`.
+    /// (every unmaterialized request gets an explicit shared-tail entry).
+    /// Called only when the whole state shifts (prediction update); per-block
+    /// maintenance goes through `refresh_after_allocation` and schedule
+    /// wraps through the carry-over in `reset_schedule`.
     fn rebuild_sampler(&mut self) {
-        if !self.cfg.use_incremental_sampler {
+        if !self.cfg.sampler.is_incremental() {
             return;
         }
-        self.sampler.rebuild(self.model.materialized().collect());
-        self.sampler
-            .set_shared_scale(self.model.residual_tail(self.t));
-        // Sorted so shared-group slots (assigned in insertion order) have a
-        // reproducible layout — HashSet iteration order is not deterministic.
-        let mut touched: Vec<RequestId> = self.touched.iter().copied().collect();
-        touched.sort_unstable();
-        for r in touched {
-            self.refresh_request_weight(r);
-        }
-        if self.cfg.use_meta_request {
-            self.sampler
-                .set_meta_members(self.model.num_requests() - self.touched.len());
-        } else {
-            // Materialize every untouched request explicitly (the unoptimized
-            // baseline measured in Figure 16 / §5.3.1's 13× comparison); they
-            // are unmaterialized in the model, so they share the scalar tail.
-            self.sampler.set_meta_members(0);
-            for i in 0..self.model.num_requests() {
-                let r = RequestId::from(i);
-                if !self.touched.contains(&r) {
-                    let g = self.marginal_gain(r);
-                    self.sampler.set_shared_gain(r, g);
+        self.sampler.rebuild(
+            self.model.shape_partition(),
+            &self.meta_gains,
+            self.model.num_requests(),
+        );
+        if self.cfg.sampler == SamplerVariant::Lazy {
+            // Cache every bucket member's slot-invariant coefficient so
+            // per-block gain updates never touch the model's tail vectors.
+            for b in 0..self.sampler.num_buckets() {
+                for i in 0..self.model.shape_partition().buckets[b].members.len() {
+                    let r = self.model.shape_partition().buckets[b].members[i];
+                    let coef = self.model.tail(r, 0);
+                    self.sampler.set_explicit_coef(r, coef);
                 }
             }
+        }
+        self.refresh_explicit_full();
+        self.sampler
+            .set_shared_scale(self.model.residual_tail(self.t));
+        for i in 0..self.shared_order.len() {
+            let r = self.shared_order[i];
+            let g = self.marginal_gain(r);
+            self.sampler.set_shared_gain(r, g);
+        }
+        self.sync_meta_counts();
+    }
+
+    /// The value stored in the explicit layout for materialized request `r`:
+    /// the slot-invariant `g · tail(0)` for lazily-scaled bucket members,
+    /// the full current weight `g · tail(t)` otherwise (irregular members,
+    /// and everything under the eager variant).
+    fn explicit_value(&self, r: RequestId) -> f64 {
+        let g = self.marginal_gain(r);
+        if self.cfg.sampler == SamplerVariant::Lazy && !self.sampler.is_irregular(r) {
+            g * self.model.tail(r, 0)
+        } else {
+            g * self.model.tail(r, self.t)
+        }
+    }
+
+    /// Rewrites every explicit (materialized) weight and bucket factor for
+    /// the current slot — `O(m log m)`.  Used at rebuild time, and by wrap
+    /// resets that cannot reuse the stored values.
+    fn refresh_explicit_full(&mut self) {
+        let lazy = self.cfg.sampler == SamplerVariant::Lazy;
+        for b in 0..self.sampler.num_buckets() {
+            let factor = if lazy {
+                self.model.shape_factor(b, self.t)
+            } else {
+                1.0
+            };
+            self.sampler.set_bucket_factor(b, factor);
+            for i in 0..self.model.shape_partition().buckets[b].members.len() {
+                let r = self.model.shape_partition().buckets[b].members[i];
+                let v = self.explicit_value(r);
+                self.sampler.set_explicit_value(r, v);
+            }
+        }
+        for i in 0..self.model.shape_partition().irregular.len() {
+            let r = self.model.shape_partition().irregular[i];
+            let v = self.explicit_value(r);
+            self.sampler.set_explicit_value(r, v);
+        }
+        // Full rewrites re-derive every value exactly; rebuild the sum nodes
+        // too so decayed tails never sink below accumulated residue.
+        self.sampler.renormalize_explicit();
+    }
+
+    /// The lazy variant's per-slot refresh: one factor per shape bucket
+    /// plus an exact rewrite of the (small) irregular set — `O(b + |irr|
+    /// log m)`, never touching the bucketed member weights.
+    fn refresh_lazy_slot(&mut self) {
+        for b in 0..self.sampler.num_buckets() {
+            let factor = self.model.shape_factor(b, self.t);
+            self.sampler.set_bucket_factor(b, factor);
+        }
+        for i in 0..self.model.shape_partition().irregular.len() {
+            let r = self.model.shape_partition().irregular[i];
+            let v = self.explicit_value(r);
+            self.sampler.set_explicit_value(r, v);
+        }
+        // The refreshed values decay with the tail; keep the sum nodes
+        // exact so they never sink below update residue.
+        self.sampler.renormalize_irregular();
+    }
+
+    /// Pushes the per-class untouched counts into the sampler's
+    /// meta-entries.
+    fn sync_meta_counts(&mut self) {
+        for c in 0..self.meta_gains.len() {
+            let untouched = if self.cfg.use_meta_request {
+                self.classes.class(c).len() - self.touched_per_class[c]
+            } else {
+                0
+            };
+            self.sampler.set_meta_untouched(c, untouched);
         }
     }
 
     /// Re-derives one request's weight after its residency or allocation
-    /// changed.  Materialized requests carry their full (gain × tail)
-    /// weight; everything else carries only the gain part under the shared
-    /// residual-tail scale.
+    /// changed.  Materialized requests carry their (possibly slot-invariant)
+    /// value in the explicit layout; everything else carries only the gain
+    /// part under the shared residual-tail scale.
+    ///
+    /// The lazy bucket path multiplies the sampler's cached coefficient —
+    /// `g · tail(0)` with `tail(0)` a local load — instead of chasing the
+    /// model's per-request tail vectors, whose working set at large `m`
+    /// dwarfs the cache.
     fn refresh_request_weight(&mut self, r: RequestId) {
-        if self.model.is_materialized(r) {
-            let w = self.gain_for(r);
-            self.sampler.set_explicit_weight(r, w);
+        if self.sampler.is_explicit(r) {
+            let g = self.marginal_gain(r);
+            if self.cfg.sampler == SamplerVariant::Lazy && !self.sampler.is_irregular(r) {
+                self.sampler.set_explicit_gain(r, g);
+            } else {
+                self.sampler
+                    .set_explicit_value(r, g * self.model.tail(r, self.t));
+            }
         } else {
             let g = self.marginal_gain(r);
             self.sampler.set_shared_gain(r, g);
@@ -362,11 +594,15 @@ impl GreedyScheduler {
     }
 
     /// Incremental bookkeeping after allocating one block to `q`: the slot
-    /// index advanced (refresh the `m` materialized weights and the shared
-    /// scalar), `q`'s gain moved, an eviction may have changed another
-    /// request's resident prefix, and `q` may have left the meta group.
-    /// `O(m log m + log T)` — sub-linear in both touched-set and catalog
-    /// size.
+    /// index advanced, `q`'s gain moved, an eviction may have changed
+    /// another request's resident prefix, and `q` may have left its meta
+    /// class.
+    ///
+    /// Advancing the slot costs `O(b)` bucket-factor updates plus the small
+    /// irregular exact-refresh set under the lazy variant (`O(b log m +
+    /// log T)` total — flat in `m` for homogeneous-tail workloads), or a
+    /// full `O(m log m)` rewrite of the materialized weights under the
+    /// eager variant.
     fn refresh_after_allocation(
         &mut self,
         q: RequestId,
@@ -375,10 +611,12 @@ impl GreedyScheduler {
     ) {
         self.sampler
             .set_shared_scale(self.model.residual_tail(self.t));
-        for i in 0..self.sampler.explicit_ids().len() {
-            let r = self.sampler.explicit_ids()[i];
-            let w = self.gain_for(r);
-            self.sampler.set_explicit_weight(r, w);
+        match self.cfg.sampler {
+            SamplerVariant::Lazy => self.refresh_lazy_slot(),
+            // The PR 2 baseline: rewrite every materialized weight (the
+            // factors stay pinned at 1).
+            SamplerVariant::Eager => self.refresh_explicit_full(),
+            SamplerVariant::Scan => unreachable!("scan variant keeps no sampler state"),
         }
         self.refresh_request_weight(q);
         if let Some(old) = evicted {
@@ -387,8 +625,9 @@ impl GreedyScheduler {
             }
         }
         if newly_touched && self.cfg.use_meta_request {
+            let c = self.classes.class_of(q);
             self.sampler
-                .set_meta_members(self.model.num_requests() - self.touched.len());
+                .set_meta_untouched(c, self.classes.class(c).len() - self.touched_per_class[c]);
         }
     }
 
@@ -418,7 +657,7 @@ impl GreedyScheduler {
     /// (the probability-independent factor of its weight).
     fn marginal_gain(&self, request: RequestId) -> f64 {
         let have = self.effective_blocks(request);
-        let nb = self.catalog.num_blocks(request);
+        let nb = self.num_blocks[request.index()];
         if have >= nb {
             return 0.0;
         }
@@ -434,17 +673,19 @@ impl GreedyScheduler {
     /// Draws one request proportionally to utility gain; returns `None` when
     /// every request is saturated or has zero gain.
     fn sample_request(&mut self) -> Option<RequestId> {
-        if self.cfg.use_incremental_sampler {
+        if self.cfg.sampler.is_incremental() {
             self.sample_request_incremental()
         } else {
             self.sample_request_scan()
         }
     }
 
-    /// `O(m log m + log T)` proportional draw from the Fenwick weight
-    /// structure.  The tree layouts are deterministic (index-sorted explicit
-    /// group, reproducible slot order for the shared group), so a fixed seed
-    /// yields a deterministic schedule.
+    /// `O(b log m + log T)` (lazy) / `O(log m + log T)` (eager) proportional
+    /// draw from the Fenwick weight structure.  The segment layouts are
+    /// deterministic (partition-ordered buckets, reproducible slot order for
+    /// the shared group, class-ordered meta-entries), so a fixed seed yields
+    /// a deterministic schedule — the *same* schedule the scan variant
+    /// draws, since both walk the identical layout.
     fn sample_request_incremental(&mut self) -> Option<RequestId> {
         let total = self.sampler.total();
         if total <= 0.0 {
@@ -453,49 +694,48 @@ impl GreedyScheduler {
         let x = self.rng.gen::<f64>() * total;
         match self.sampler.locate(x) {
             Some(SampledGroup::Request(r)) => Some(r),
-            Some(SampledGroup::Meta) => self.sample_untouched(),
+            Some(SampledGroup::Meta(c)) => self.sample_untouched_in_class(c),
             None => None,
         }
     }
 
-    /// The legacy per-block scan (the Figure 16 baseline): rebuilds, sorts,
-    /// and prefix-scans the touched weights on every draw.
+    /// The legacy per-block scan (the Figure 16 baseline): recomputes and
+    /// prefix-scans every candidate weight on each draw, walking the same
+    /// canonical segment layout as the incremental variants (shape buckets →
+    /// irregular → shared order → per-class meta-entries).
     fn sample_request_scan(&mut self) -> Option<RequestId> {
-        // Weights of the touched (materialized / allocated / resident)
-        // requests.  Sorted so the cumulative-sum sampling below is fully
-        // deterministic under a fixed seed (HashSet iteration order is not).
-        let mut touched: Vec<RequestId> = self.touched.iter().copied().collect();
-        touched.sort_unstable();
-        let mut weights: Vec<(RequestId, f64)> = Vec::with_capacity(touched.len() + 1);
-        let mut total = 0.0;
-        for r in touched {
-            let w = self.gain_for(r);
-            if w > 0.0 {
-                total += w;
-                weights.push((r, w));
-            }
+        #[derive(Clone, Copy)]
+        enum Entry {
+            Request(RequestId),
+            Meta(usize),
         }
-
-        // Meta-request: all untouched requests share the residual tail and a
-        // zero allocation, so their joint weight is count * residual_gain.
-        let untouched = self.model.num_requests() - self.touched.len();
-        let mut meta_weight = 0.0;
-        if self.cfg.use_meta_request && untouched > 0 {
-            let g1 = self.meta_gain();
-            meta_weight = g1 * untouched as f64;
-            total += meta_weight;
-        } else if !self.cfg.use_meta_request {
-            // Materialize every untouched request explicitly (the unoptimized
-            // baseline measured in Figure 16 / §5.3.1's 13× comparison).
-            for i in 0..self.model.num_requests() {
-                let r = RequestId::from(i);
-                if self.touched.contains(&r) {
-                    continue;
-                }
-                let w = self.gain_for(r);
+        let scale = self.model.residual_tail(self.t);
+        let part = self.model.shape_partition();
+        let mut entries: Vec<(Entry, f64)> =
+            Vec::with_capacity(part.materialized_count() + self.shared_order.len() + 1);
+        let mut total = 0.0;
+        {
+            let mut push = |e: Entry, w: f64| {
                 if w > 0.0 {
                     total += w;
-                    weights.push((r, w));
+                    entries.push((e, w));
+                }
+            };
+            for b in &part.buckets {
+                for &r in &b.members {
+                    push(Entry::Request(r), self.gain_for(r));
+                }
+            }
+            for &r in &part.irregular {
+                push(Entry::Request(r), self.gain_for(r));
+            }
+            for &r in &self.shared_order {
+                push(Entry::Request(r), self.marginal_gain(r) * scale);
+            }
+            if self.cfg.use_meta_request {
+                for (c, &g1) in self.meta_gains.iter().enumerate() {
+                    let untouched = self.classes.class(c).len() - self.touched_per_class[c];
+                    push(Entry::Meta(c), untouched as f64 * g1 * scale);
                 }
             }
         }
@@ -504,47 +744,38 @@ impl GreedyScheduler {
             return None;
         }
         let mut x = self.rng.gen::<f64>() * total;
-        for (r, w) in &weights {
+        let mut chosen = None;
+        for &(e, w) in &entries {
+            chosen = Some(e);
             x -= w;
             if x <= 0.0 {
-                return Some(*r);
+                break;
             }
         }
-        if meta_weight > 0.0 {
-            return self.sample_untouched();
+        match chosen? {
+            Entry::Request(r) => Some(r),
+            Entry::Meta(c) => self.sample_untouched_in_class(c),
         }
-        weights.last().map(|&(r, _)| r)
     }
 
-    /// Marginal gain of the first block of a fresh (untouched) request:
-    /// the catalog-wide first-block gain bound (precomputed at
-    /// construction) times the shared residual tail.  Untouched requests
-    /// all hold zero blocks, so the bound is exact for homogeneous utility
-    /// models and a valid (uniformly applied) upper bound for heterogeneous
-    /// ones.
-    fn meta_gain(&self) -> f64 {
-        self.meta_first_gain * self.model.residual_tail(self.t)
-    }
-
-    /// Uniformly samples a request not currently touched.
-    fn sample_untouched(&mut self) -> Option<RequestId> {
-        let n = self.model.num_requests();
-        let untouched = n - self.touched.len();
-        if untouched == 0 {
+    /// Uniformly samples an untouched request of utility class `c`.
+    fn sample_untouched_in_class(&mut self, c: usize) -> Option<RequestId> {
+        let class = self.classes.class(c);
+        let len = class.len();
+        if len == self.touched_per_class[c] {
             return None;
         }
-        // Rejection sampling: the touched set is tiny compared to n in every
-        // realistic configuration, so this terminates almost immediately.  A
-        // deterministic fallback scan guards pathological cases.
+        // Rejection sampling: the touched subset of a class is tiny compared
+        // to the class in every realistic configuration, so this terminates
+        // almost immediately.  A deterministic fallback scan guards
+        // pathological cases.
         for _ in 0..64 {
-            let candidate = RequestId::from(self.rng.gen_range(0..n));
-            if !self.touched.contains(&candidate) {
+            let candidate = class.member(self.rng.gen_range(0..len));
+            if !self.touched[candidate.index()] {
                 return Some(candidate);
             }
         }
-        (0..n)
-            .map(RequestId::from)
-            .find(|r| !self.touched.contains(r))
+        class.members().find(|r| !self.touched[r.index()])
     }
 
     /// Schedules up to `count` blocks.
@@ -567,13 +798,21 @@ impl GreedyScheduler {
             let have = self.effective_blocks(q);
             let block = BlockRef::new(q, have);
             *self.allocated.entry(q).or_insert(0) += 1;
-            let newly_touched = self.touched.insert(q);
+            let newly_touched = self.mark_touched(q);
+            if newly_touched {
+                // Only a meta draw reaches an untouched request, and
+                // materialized requests are always touched.
+                debug_assert!(!self.model.is_materialized(q));
+                if self.cfg.use_meta_request {
+                    self.shared_order.push(q);
+                }
+            }
             self.t += 1;
             self.scheduled_blocks += 1;
-            self.current_schedule.push(block);
+            self.current_schedule.push(Some(block));
             let evicted = self.deliver_to_ring(block);
             out.push(block);
-            if self.cfg.use_incremental_sampler {
+            if self.cfg.sampler.is_incremental() {
                 self.refresh_after_allocation(q, evicted, newly_touched);
             }
         }
@@ -614,12 +853,78 @@ impl GreedyScheduler {
         evicted
     }
 
+    /// Resets the per-schedule allocation state after a full schedule of `C`
+    /// blocks, carrying the sampler's explicit shape buckets and shared-tail
+    /// group across the wrap instead of rebuilding from scratch.
+    ///
+    /// The horizon model is unchanged by a wrap, so bucket membership and
+    /// (with cache tracking, where gains derive from the untouched resident
+    /// prefixes) the stored bucket values are all reusable at `t = 0` — the
+    /// lazy variant's wrap costs `O(b)` factor resets plus the irregular
+    /// exact-refresh set.  The only membership change is requests whose sole
+    /// claim to the touched set was a since-cleared allocation: they return
+    /// to their meta class, and the shared segment is compacted (preserving
+    /// survivor order, identically in `shared_order` and the sampler, so all
+    /// variants keep drawing the same layout).
     fn reset_schedule(&mut self) {
         self.t = 0;
+        if self.cfg.use_meta_request {
+            // Requests touched only through the cleared allocations return
+            // to their meta class.  (With meta off, every unmaterialized
+            // request stays in the shared segment permanently.)  Only
+            // requests the finished schedule allocated to — or whose blocks
+            // it evicted — can depart, so the scan is bounded by the
+            // schedule length, never by the touched-set size.
+            let mut candidates: Vec<RequestId> = self.allocated.keys().copied().collect();
+            candidates.extend(self.eviction_log.iter().flatten().map(|b| b.request));
+            candidates.sort_unstable();
+            candidates.dedup();
+            let mut departed = false;
+            for r in candidates {
+                if !self.touched[r.index()] {
+                    continue;
+                }
+                let keep = self.model.is_materialized(r)
+                    || (self.cfg.track_client_cache && self.resident.contains_key(&r));
+                if !keep {
+                    self.touched[r.index()] = false;
+                    self.touched_per_class[self.classes.class_of(r)] -= 1;
+                    departed = true;
+                }
+            }
+            if departed {
+                let touched = &self.touched;
+                self.shared_order.retain(|r| touched[r.index()]);
+                if self.cfg.sampler.is_incremental() {
+                    self.sampler.compact_shared(|r| touched[r.index()]);
+                }
+            }
+        }
         self.allocated.clear();
         self.current_schedule.clear();
         self.eviction_log.clear();
-        self.rebuild_touched();
+        if self.cfg.sampler.is_incremental() {
+            if self.cfg.track_client_cache && self.cfg.sampler == SamplerVariant::Lazy {
+                // Gains derive from the (unchanged) resident prefixes, so
+                // the stored slot-invariant bucket values are still exact:
+                // reset the factors to s(0) (`t` is already 0) and re-derive
+                // only the irregular exact-refresh weights.
+                self.refresh_lazy_slot();
+            } else {
+                // Eager weights embed the old slot index, and without cache
+                // tracking the cleared allocations reset every gain.
+                self.refresh_explicit_full();
+            }
+            if !self.cfg.track_client_cache {
+                for i in 0..self.shared_order.len() {
+                    let r = self.shared_order[i];
+                    let g = self.marginal_gain(r);
+                    self.sampler.set_shared_gain(r, g);
+                }
+            }
+            self.sampler.set_shared_scale(self.model.residual_tail(0));
+            self.sync_meta_counts();
+        }
     }
 
     /// The scheduler's current belief about the client's per-request resident
@@ -644,9 +949,11 @@ impl GreedyScheduler {
 
 impl GreedyScheduler {
     /// Expected utility (Eq. 2) of the blocks scheduled so far in the current
-    /// schedule, starting from the cache allocation `initial`.
+    /// schedule, starting from the cache allocation `initial`.  Sender-ahead
+    /// gap slots contribute nothing but keep later blocks at their true
+    /// (lower-tail) slot indices.
     pub fn expected_utility(&self, initial: &HashMap<RequestId, u32>) -> f64 {
-        crate::scheduler::schedule_expected_utility(
+        crate::scheduler::schedule_expected_utility_slots(
             &self.current_schedule,
             &self.model,
             &self.utility,
@@ -943,7 +1250,7 @@ mod tests {
         let catalog = Arc::new(ResponseCatalog::uniform(4, 2, 1000));
         let cfg = GreedySchedulerConfig {
             cache_blocks: 8,
-            use_incremental_sampler: false,
+            sampler: SamplerVariant::Scan,
             ..Default::default()
         };
         let mut s =
@@ -956,13 +1263,19 @@ mod tests {
         }
     }
 
+    const ALL_VARIANTS: [SamplerVariant; 3] = [
+        SamplerVariant::Scan,
+        SamplerVariant::Eager,
+        SamplerVariant::Lazy,
+    ];
+
     /// Builds one scheduler per seed, applies `pred`, and returns how often
     /// the first sampled block went to `watch` and how often it went to a
     /// request that was untouched (not materialized) at draw time.
     fn first_draw_stats(
         catalog: &Arc<ResponseCatalog>,
         cache: usize,
-        incremental: bool,
+        variant: SamplerVariant,
         pred: &PredictionSummary,
         watch: RequestId,
         utility: &UtilityModel,
@@ -975,7 +1288,7 @@ mod tests {
             let mut s = GreedyScheduler::new(
                 GreedySchedulerConfig {
                     cache_blocks: cache,
-                    use_incremental_sampler: incremental,
+                    sampler: variant,
                     seed,
                     ..Default::default()
                 },
@@ -1011,43 +1324,52 @@ mod tests {
     }
 
     #[test]
-    fn incremental_and_scan_first_draw_distributions_match() {
+    fn all_variants_first_draw_distributions_match() {
         // Statistical parity: for the same prediction, the stationary
-        // first-draw distribution of the Fenwick sampler must match the
-        // legacy scan's within a seed-controlled tolerance (both paths draw
+        // first-draw distribution of every sampler variant must match the
+        // legacy scan's within a seed-controlled tolerance (all paths draw
         // from the identical weight decomposition; only the cost differs).
         let n = 100;
         let catalog = Arc::new(ResponseCatalog::uniform(n, 4, 1000));
         let utility = UtilityModel::homogeneous(&LinearUtility, 4);
         let pred = sparse_pred(n, vec![(RequestId(5), 0.4), (RequestId(9), 0.2)], 0.4);
         let seeds = 400;
-        let (inc_watch, inc_meta) =
-            first_draw_stats(&catalog, 50, true, &pred, RequestId(5), &utility, seeds);
-        let (scan_watch, scan_meta) =
-            first_draw_stats(&catalog, 50, false, &pred, RequestId(5), &utility, seeds);
-        assert!(
-            (inc_watch - scan_watch).abs() < 0.1,
-            "request-5 share diverged: incremental {inc_watch} vs scan {scan_watch}"
+        let (scan_watch, scan_meta) = first_draw_stats(
+            &catalog,
+            50,
+            SamplerVariant::Scan,
+            &pred,
+            RequestId(5),
+            &utility,
+            seeds,
         );
-        assert!(
-            (inc_meta - scan_meta).abs() < 0.1,
-            "untouched share diverged: incremental {inc_meta} vs scan {scan_meta}"
-        );
-        // Sanity: the materialized request actually dominates the residual.
-        assert!(inc_watch > 0.3, "request-5 share only {inc_watch}");
+        for variant in [SamplerVariant::Eager, SamplerVariant::Lazy] {
+            let (watch, meta) =
+                first_draw_stats(&catalog, 50, variant, &pred, RequestId(5), &utility, seeds);
+            assert!(
+                (watch - scan_watch).abs() < 0.1,
+                "request-5 share diverged: {variant:?} {watch} vs scan {scan_watch}"
+            );
+            assert!(
+                (meta - scan_meta).abs() < 0.1,
+                "untouched share diverged: {variant:?} {meta} vs scan {scan_meta}"
+            );
+            // Sanity: the materialized request actually dominates the residual.
+            assert!(watch > 0.3, "request-5 share only {watch} ({variant:?})");
+        }
     }
 
     #[test]
-    fn incremental_and_scan_agree_on_point_prediction() {
+    fn all_variants_agree_on_point_prediction() {
         // Under a point prediction the draw is deterministic regardless of
-        // sampler: both paths must allocate exactly the predicted request's
+        // sampler: every path must allocate exactly the predicted request's
         // blocks, in prefix order.
-        for incremental in [true, false] {
+        for variant in ALL_VARIANTS {
             let catalog = Arc::new(ResponseCatalog::uniform(50, 6, 1000));
             let mut s = GreedyScheduler::new(
                 GreedySchedulerConfig {
                     cache_blocks: 40,
-                    use_incremental_sampler: incremental,
+                    sampler: variant,
                     ..Default::default()
                 },
                 UtilityModel::homogeneous(&LinearUtility, 6),
@@ -1056,17 +1378,17 @@ mod tests {
             s.update_prediction(&PredictionSummary::point(50, RequestId(3), Time::ZERO), 0);
             let batch = s.next_batch(40);
             let expected: Vec<BlockRef> = (0..6).map(|j| BlockRef::new(RequestId(3), j)).collect();
-            assert_eq!(batch, expected, "incremental={incremental}");
+            assert_eq!(batch, expected, "variant={variant:?}");
         }
     }
 
     #[test]
-    fn meta_gain_uses_catalog_wide_bound() {
-        // Regression for the meta-weight bug: the untouched meta-group's
+    fn heterogeneous_meta_hedge_not_starved() {
+        // Regression for the PR 2 meta-weight bug: the untouched meta-group's
         // per-member gain used `utility.table(0).next_gain(0)`.  With a
         // heterogeneous model whose table 0 has a tiny first-block gain, that
         // under-weighted every untouched request ~50×, starving the hedge.
-        // The fix uses the catalog-wide first-block gain bound.
+        // Per-class meta-entries make the hedge exact for every class.
         let n = 40;
         let tiny_first = PiecewiseUtility::from_points(vec![(0.5, 0.01)], "tiny-first");
         let mut tables = vec![GainTable::new(&tiny_first, 2)]; // g(1) = 0.01
@@ -1074,23 +1396,69 @@ mod tests {
         let utility = UtilityModel::per_request(tables);
         // Half the mass on materialized request 1, half residual across the
         // other 39: untouched and request 1 should split the first draw
-        // roughly evenly (19.5 · residual/request ≈ 0.5 · p₁ here).
+        // roughly evenly (38 · 0.5 · residual/request ≈ 0.5 · p₁ here).
         let pred = sparse_pred(n, vec![(RequestId(1), 0.5)], 0.5);
         let catalog = Arc::new(ResponseCatalog::uniform(n, 2, 1000));
-        for incremental in [true, false] {
-            let (watch, untouched_share) = first_draw_stats(
-                &catalog,
-                30,
-                incremental,
-                &pred,
-                RequestId(1),
-                &utility,
-                300,
-            );
+        for variant in ALL_VARIANTS {
+            let (watch, untouched_share) =
+                first_draw_stats(&catalog, 30, variant, &pred, RequestId(1), &utility, 300);
             assert!(
                 untouched_share > 0.25,
                 "untouched share {untouched_share} (request-1 share {watch}) — \
-                 meta group under-weighted (incremental={incremental})"
+                 meta group under-weighted (variant={variant:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn meta_hedge_is_exact_per_class() {
+        // Two untouched utility classes of equal size under a uniform
+        // residual: class A's first-block gain is 10× class B's, so the
+        // first draw should land on class-A requests ~10× as often.  The
+        // catalog-wide bound of PR 2 weighted both classes identically (and
+        // over-weighted B 10×); per-class meta-entries restore the exact
+        // ratio.
+        let n = 40;
+        let small = PiecewiseUtility::from_points(vec![(0.5, 0.05)], "small-first"); // g(1) = 0.05
+        let tables: Vec<GainTable> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    GainTable::new(&LinearUtility, 2) // g(1) = 0.5
+                } else {
+                    GainTable::new(&small, 2)
+                }
+            })
+            .collect();
+        let utility = UtilityModel::per_request(tables);
+        let pred = PredictionSummary::uniform(n, Time::ZERO);
+        let catalog = Arc::new(ResponseCatalog::uniform(n, 2, 1000));
+        for variant in ALL_VARIANTS {
+            let mut class_a = 0usize;
+            let seeds = 600;
+            for seed in 0..seeds {
+                let mut s = GreedyScheduler::new(
+                    GreedySchedulerConfig {
+                        cache_blocks: 20,
+                        sampler: variant,
+                        seed,
+                        ..Default::default()
+                    },
+                    utility.clone(),
+                    catalog.clone(),
+                );
+                s.update_prediction(&pred, 0);
+                if let Some(first) = s.next_batch(1).first() {
+                    if first.request.index() % 2 == 0 {
+                        class_a += 1;
+                    }
+                }
+            }
+            let share = class_a as f64 / seeds as f64;
+            // Exact hedge: 0.5 / (0.5 + 0.05) ≈ 0.909.  The catalog-wide
+            // bound gave 0.5.
+            assert!(
+                share > 0.85,
+                "class-A share {share}, expected ~0.91 (variant={variant:?})"
             );
         }
     }
@@ -1142,6 +1510,128 @@ mod tests {
         assert_eq!(b3, vec![BlockRef::new(RequestId(0), 3)]);
     }
 
+    #[test]
+    fn rollback_below_sender_ahead_gap_pops_right_entries() {
+        // Satellite regression (ROADMAP): the sender reports a position
+        // beyond the scheduler's `t`, then a later prediction rolls back
+        // below the gap.  The gap slots are represented explicitly, so the
+        // rollback pops exactly one log entry per slot and the simulated
+        // ring stays exact.
+        let mut s = mk(4, 4, 12, true);
+        let pred0 = PredictionSummary::point(4, RequestId(0), Time::ZERO);
+        s.update_prediction(&pred0, 0);
+        let b1 = s.next_batch(3); // slots 0..3: request 0's prefix
+        assert_eq!(
+            b1,
+            (0..3)
+                .map(|j| BlockRef::new(RequestId(0), j))
+                .collect::<Vec<_>>()
+        );
+        // The sender claims it is at slot 6: slots 3..6 become gaps.
+        let pred1 = PredictionSummary::point(4, RequestId(1), Time::ZERO);
+        s.update_prediction(&pred1, 6);
+        assert_eq!(s.position(), 6);
+        assert_eq!(s.gap_slots(), 3);
+        let b2 = s.next_batch(2); // slots 6..8: request 1's prefix
+        assert_eq!(
+            b2,
+            (0..2)
+                .map(|j| BlockRef::new(RequestId(1), j))
+                .collect::<Vec<_>>()
+        );
+        // Roll back below the gap: everything from slot 1 on is undone —
+        // two real blocks for request 1 and three empty gap slots, leaving
+        // exactly request 0's first block.
+        s.update_prediction(&pred0, 1);
+        assert_eq!(s.position(), 1);
+        assert_eq!(s.simulated_ring(), vec![BlockRef::new(RequestId(0), 0)]);
+        // Scheduling resumes coherently at slot 1.
+        let b3 = s.next_batch(3);
+        assert_eq!(
+            b3,
+            (1..4)
+                .map(|j| BlockRef::new(RequestId(0), j))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gap_slots_lower_expected_utility_of_later_blocks() {
+        // The slot-aligned schedule log keeps post-gap blocks at their true
+        // slot indices, where the discounted tails are smaller.
+        let mk_one = || {
+            let catalog = Arc::new(ResponseCatalog::uniform(4, 8, 1000));
+            GreedyScheduler::new(
+                GreedySchedulerConfig {
+                    cache_blocks: 32,
+                    gamma: 0.9,
+                    ..Default::default()
+                },
+                UtilityModel::homogeneous(&LinearUtility, 8),
+                catalog,
+            )
+        };
+        let pred = PredictionSummary::point(4, RequestId(2), Time::ZERO);
+        let initial = HashMap::new();
+        let mut dense = mk_one();
+        dense.update_prediction(&pred, 0);
+        let _ = dense.next_batch(4);
+        let mut gapped = mk_one();
+        gapped.update_prediction(&pred, 0);
+        let _ = gapped.next_batch(1);
+        gapped.update_prediction(&pred, 8); // 7 gap slots
+        let _ = gapped.next_batch(3);
+        assert!(gapped.gap_slots() > 0);
+        assert!(
+            gapped.expected_utility(&initial) < dense.expected_utility(&initial),
+            "gap slots must push later blocks to lower-tail slots"
+        );
+    }
+
+    #[test]
+    fn wrap_carry_over_preserves_schedule_equivalence() {
+        // Forced wraps with a materialized prediction: the lazy variant
+        // carries its buckets and shared group across `reset_schedule`
+        // while the scan variant recomputes everything per draw — the
+        // schedules must stay block-for-block identical (same seed) across
+        // several wraps, for both cache-tracking settings.
+        for tracking in [true, false] {
+            let mk_variant = |variant| {
+                let catalog = Arc::new(ResponseCatalog::uniform(30, 6, 1000));
+                GreedyScheduler::new(
+                    GreedySchedulerConfig {
+                        cache_blocks: 8, // wraps every 8 blocks
+                        sampler: variant,
+                        track_client_cache: tracking,
+                        seed: 7,
+                        ..Default::default()
+                    },
+                    UtilityModel::homogeneous(&PowerUtility::new(0.5), 6),
+                    catalog,
+                )
+            };
+            let pred = sparse_pred(30, vec![(RequestId(3), 0.3), (RequestId(9), 0.2)], 0.5);
+            let mut schedules = Vec::new();
+            for variant in ALL_VARIANTS {
+                let mut s = mk_variant(variant);
+                s.update_prediction(&pred, 0);
+                // 5 batches of 8 = 40 blocks = 5 schedule wraps.
+                let mut all = Vec::new();
+                for _ in 0..5 {
+                    all.extend(s.next_batch(8));
+                }
+                schedules.push((variant, all));
+            }
+            let (_, ref baseline) = schedules[0];
+            for (variant, sched) in &schedules[1..] {
+                assert_eq!(
+                    sched, baseline,
+                    "variant {variant:?} diverged from scan across wraps (tracking={tracking})"
+                );
+            }
+        }
+    }
+
     mod property {
         use super::*;
         use proptest::prelude::*;
@@ -1149,11 +1639,13 @@ mod tests {
         /// Ground-truth replay of the client's FIFO ring: the client
         /// receives exactly the committed schedules plus the surviving
         /// (non-rolled-back) prefix of the current one, in order, through a
-        /// capacity-`C` FIFO.
+        /// capacity-`C` FIFO.  Slots the sender consumed while running
+        /// ahead of the scheduler carry no block (`None`).
         struct ClientReplay {
             cap: usize,
             history: Vec<BlockRef>,
-            current: Vec<BlockRef>,
+            /// Slot-aligned current schedule (`current.len() == t`).
+            current: Vec<Option<BlockRef>>,
             t: usize,
         }
 
@@ -1168,7 +1660,7 @@ mod tests {
             }
 
             fn commit(&mut self) {
-                self.history.append(&mut self.current);
+                self.history.extend(self.current.drain(..).flatten());
                 self.t = 0;
             }
 
@@ -1177,7 +1669,7 @@ mod tests {
                     if self.t >= self.cap {
                         self.commit();
                     }
-                    self.current.push(b);
+                    self.current.push(Some(b));
                     self.t += 1;
                 }
                 // A short batch means the scheduler ran one more loop
@@ -1191,19 +1683,22 @@ mod tests {
             fn on_update(&mut self, sender_position: usize) {
                 let pos = sender_position.min(self.cap);
                 if pos < self.t {
-                    self.current.truncate(self.current.len() - (self.t - pos));
-                    self.t = pos;
+                    self.current.truncate(pos);
                 } else {
-                    self.t = pos;
+                    // Sender-ahead gap: empty slots up to its position.
+                    while self.current.len() < pos {
+                        self.current.push(None);
+                    }
                 }
+                self.t = pos;
             }
 
             fn ring(&self) -> Vec<BlockRef> {
                 let all: Vec<BlockRef> = self
                     .history
                     .iter()
-                    .chain(self.current.iter())
                     .copied()
+                    .chain(self.current.iter().copied().flatten())
                     .collect();
                 let start = all.len().saturating_sub(self.cap);
                 all[start..].to_vec()
@@ -1215,7 +1710,7 @@ mod tests {
             blocks: u32,
             cache: usize,
             seed: u64,
-            incremental: bool,
+            variant: SamplerVariant,
             ops: &[(u8, usize, usize)],
         ) {
             let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 100));
@@ -1223,7 +1718,7 @@ mod tests {
                 GreedySchedulerConfig {
                     cache_blocks: cache,
                     seed,
-                    use_incremental_sampler: incremental,
+                    sampler: variant,
                     ..Default::default()
                 },
                 UtilityModel::homogeneous(&LinearUtility, blocks),
@@ -1238,17 +1733,26 @@ mod tests {
                         client.on_batch(k, &batch);
                     }
                     2 => {
-                        // The sender never reports a position past the
-                        // scheduler's (it can only transmit scheduled
-                        // blocks), so rollbacks are within the current tail.
+                        // A real sender reports a position within the
+                        // scheduled tail: a rollback.
                         let pos = b % (s.position() + 1);
                         let pred = PredictionSummary::point(n, RequestId::from(a % n), Time::ZERO);
                         s.update_prediction(&pred, pos);
                         client.on_update(pos);
                     }
-                    _ => {
+                    3 => {
                         let pos = b % (s.position() + 1);
                         let pred = PredictionSummary::uniform(n, Time::ZERO);
+                        s.update_prediction(&pred, pos);
+                        client.on_update(pos);
+                    }
+                    _ => {
+                        // A buggy / adversarial sender claims to be ahead of
+                        // the scheduler: the skipped slots become explicit
+                        // gaps (clamped to the horizon like the scheduler
+                        // does).
+                        let pos = (s.position() + b % 4).min(cache);
+                        let pred = PredictionSummary::point(n, RequestId::from(a % n), Time::ZERO);
                         s.update_prediction(&pred, pos);
                         client.on_update(pos);
                     }
@@ -1256,11 +1760,11 @@ mod tests {
                 prop_assert_eq!(
                     s.simulated_ring(),
                     client.ring(),
-                    "ring diverged after op ({}, {}, {}) [incremental={}]",
+                    "ring diverged after op ({}, {}, {}) [variant={:?}]",
                     kind,
                     a,
                     b,
-                    incremental
+                    variant
                 );
                 // Resident counts are a view over the ring.
                 let mut counts: HashMap<RequestId, u32> = HashMap::new();
@@ -1276,8 +1780,8 @@ mod tests {
 
             /// The greedy scheduler never emits duplicate blocks while the ring
             /// still holds them, never exceeds per-request block counts, and
-            /// always makes progress while capacity remains — on both sampling
-            /// paths.
+            /// always makes progress while capacity remains — on every sampling
+            /// path.
             #[test]
             fn schedule_is_well_formed(
                 n in 1usize..40,
@@ -1285,12 +1789,12 @@ mod tests {
                 cache in 1usize..64,
                 seed in 0u64..1000
             ) {
-                for incremental in [true, false] {
+                for variant in ALL_VARIANTS {
                     let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 100));
                     let cfg = GreedySchedulerConfig {
                         cache_blocks: cache,
                         seed,
-                        use_incremental_sampler: incremental,
+                        sampler: variant,
                         ..Default::default()
                     };
                     let mut s = GreedyScheduler::new(
@@ -1314,20 +1818,166 @@ mod tests {
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(256))]
 
-            /// Replaying any random schedule / rollback / eviction sequence,
-            /// the scheduler's simulated ring exactly equals a ground-truth
-            /// replay of the client's FIFO ring — including rollbacks of
-            /// blocks whose delivery evicted older entries.
+            /// Replaying any random schedule / rollback / sender-ahead-gap /
+            /// eviction sequence, the scheduler's simulated ring exactly
+            /// equals a ground-truth replay of the client's FIFO ring —
+            /// including rollbacks of blocks whose delivery evicted older
+            /// entries and rollbacks below sender-ahead gaps.
             #[test]
             fn simulated_ring_matches_client_replay(
                 n in 1usize..8,
                 blocks in 1u32..5,
                 cache in 1usize..10,
                 seed in 0u64..10_000,
-                ops in collection::vec((0u8..4, 0usize..64, 0usize..64), 1..20)
+                ops in collection::vec((0u8..6, 0usize..64, 0usize..64), 1..20)
             ) {
-                replay_ops(n, blocks, cache, seed, true, &ops);
-                replay_ops(n, blocks, cache, seed, false, &ops);
+                for variant in ALL_VARIANTS {
+                    replay_ops(n, blocks, cache, seed, variant, &ops);
+                }
+            }
+        }
+
+        /// A heterogeneous utility model mixing three distinct gain tables
+        /// (three utility classes).
+        fn heterogeneous_utility(n: usize, blocks: u32) -> UtilityModel {
+            let concave = PowerUtility::new(0.5);
+            let steep = PowerUtility::new(0.25);
+            let tables: Vec<GainTable> = (0..n)
+                .map(|i| match i % 3 {
+                    0 => GainTable::new(&LinearUtility, blocks),
+                    1 => GainTable::new(&concave, blocks),
+                    _ => GainTable::new(&steep, blocks),
+                })
+                .collect();
+            UtilityModel::per_request(tables)
+        }
+
+        /// Runs one scheduler of the given variant through the op sequence.
+        /// `examples/parity_check.rs` is a 400k-case standalone mirror of
+        /// this harness (same op grammar and generators) — extend both
+        /// together.
+        ///
+        /// returning every emitted block (batch boundaries preserved via
+        /// sentinel separation is unnecessary — batches are deterministic in
+        /// length given parity, which is exactly what the caller asserts).
+        #[allow(clippy::too_many_arguments)]
+        fn drive_variant(
+            variant: SamplerVariant,
+            n: usize,
+            blocks: u32,
+            cache: usize,
+            seed: u64,
+            meta: bool,
+            utility: &UtilityModel,
+            ops: &[(u8, usize, usize)],
+        ) -> (Vec<BlockRef>, Vec<BlockRef>) {
+            let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 100));
+            let mut s = GreedyScheduler::new(
+                GreedySchedulerConfig {
+                    cache_blocks: cache,
+                    seed,
+                    sampler: variant,
+                    use_meta_request: meta,
+                    ..Default::default()
+                },
+                utility.clone(),
+                catalog,
+            );
+            let mut emitted = Vec::new();
+            for &(kind, a, b) in ops {
+                match kind {
+                    // Batches large relative to the cache horizon force
+                    // schedule wraps mid-batch.
+                    0..=2 => emitted.extend(s.next_batch(a % (2 * cache) + 1)),
+                    3 => {
+                        // Sparse heterogeneous prediction: two materialized
+                        // requests plus a residual.
+                        let p1 = (a % 9 + 1) as f64 / 20.0;
+                        let p2 = (b % 7 + 1) as f64 / 30.0;
+                        let pred = sparse_pred(
+                            n,
+                            vec![(RequestId::from(a % n), p1), (RequestId::from(b % n), p2)],
+                            1.0 - p1 - p2,
+                        );
+                        let pos = b % (s.position() + 1);
+                        s.update_prediction(&pred, pos);
+                    }
+                    4 => {
+                        // Time-varying prediction: early mass on one request,
+                        // late mass on another — distinct tail shapes, so
+                        // the lazy variant exercises multiple buckets.
+                        let slices = vec![
+                            crate::distribution::HorizonSlice {
+                                delta: Duration::from_millis(10),
+                                dist: crate::distribution::SparseDistribution::from_entries(
+                                    n,
+                                    vec![(RequestId::from(a % n), 0.8)],
+                                    0.2,
+                                ),
+                            },
+                            crate::distribution::HorizonSlice {
+                                delta: Duration::from_millis(400),
+                                dist: crate::distribution::SparseDistribution::from_entries(
+                                    n,
+                                    vec![(RequestId::from(b % n), 0.7)],
+                                    0.3,
+                                ),
+                            },
+                        ];
+                        let pred = PredictionSummary::new(n, slices, Time::ZERO);
+                        let pos = a % (s.position() + 1);
+                        s.update_prediction(&pred, pos);
+                    }
+                    _ => {
+                        // Sender-ahead gap, then keep scheduling below it
+                        // later via the rollback ops above.
+                        let pos = (s.position() + b % 3).min(cache);
+                        let pred = PredictionSummary::uniform(n, Time::ZERO);
+                        s.update_prediction(&pred, pos);
+                    }
+                }
+            }
+            (emitted, s.simulated_ring())
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Block-for-block parity across all three sampler variants:
+            /// randomized heterogeneous-utility catalogs, forced schedule
+            /// wraps (cache far smaller than the block universe), sparse and
+            /// time-varying predictions (multiple tail-shape buckets),
+            /// rollbacks, and sender-ahead gaps — under a fixed seed the
+            /// legacy scan, the eager PR 2 sampler, and the lazy-bucket
+            /// sampler must emit identical schedules and identical simulated
+            /// rings.
+            #[test]
+            fn sampler_variants_emit_identical_schedules(
+                n in 2usize..14,
+                blocks in 1u32..6,
+                cache in 2usize..20,
+                seed in 0u64..10_000,
+                ops in collection::vec((0u8..6, 0usize..64, 0usize..64), 1..14)
+            ) {
+                let utility = heterogeneous_utility(n, blocks);
+                for meta in [true, false] {
+                    let (scan_blocks, scan_ring) = drive_variant(
+                        SamplerVariant::Scan, n, blocks, cache, seed, meta, &utility, &ops,
+                    );
+                    for variant in [SamplerVariant::Eager, SamplerVariant::Lazy] {
+                        let (v_blocks, v_ring) = drive_variant(
+                            variant, n, blocks, cache, seed, meta, &utility, &ops,
+                        );
+                        prop_assert_eq!(
+                            &v_blocks,
+                            &scan_blocks,
+                            "{:?} diverged from scan (meta={})",
+                            variant,
+                            meta
+                        );
+                        prop_assert_eq!(&v_ring, &scan_ring, "ring diverged ({:?})", variant);
+                    }
+                }
             }
         }
     }

@@ -28,6 +28,7 @@ use crate::distribution::PredictionSummary;
 use crate::types::{BlockRef, Duration, RequestId};
 use crate::utility::UtilityModel;
 
+pub use crate::sampling::SamplerVariant;
 pub use backend_limit::limit_distinct_requests;
 pub use greedy::{GreedyScheduler, GreedySchedulerConfig};
 pub use optimal::{BruteForceScheduler, OptimalScheduler};
@@ -118,6 +119,101 @@ pub struct HorizonModel {
     explicit: HashMap<RequestId, Vec<f64>>,
     /// Tail vector shared by every non-materialized request.
     residual: Vec<f64>,
+    /// Materialized requests grouped by tail *shape* (see
+    /// [`TailShapePartition`]), computed once at build time.
+    partition: TailShapePartition,
+}
+
+/// Maximum number of distinct shape buckets materialized per model; requests
+/// beyond this many distinct shapes fall back to the exact-refresh irregular
+/// set.  Real predictors emit a handful of horizon slices, so distinct shapes
+/// are rare; the cap only bounds adversarial inputs.
+const MAX_SHAPE_BUCKETS: usize = 16;
+
+/// Relative tolerance for declaring two normalized tails equal.  Genuinely
+/// proportional tails agree to a few ulps; anything farther apart than this
+/// is a real shape difference.
+const SHAPE_EPS: f64 = 1e-9;
+
+/// The materialized requests of a [`HorizonModel`], grouped by how their tail
+/// `tail_i(t)` evolves as the slot index advances.
+///
+/// Requests in one [`ShapeBucket`] have elementwise-proportional tail
+/// vectors: `tail_i(t) = tail_i(0) · s(t)` for a bucket-wide shape `s` with
+/// `s(0) = 1`.  A sampler can therefore represent the whole bucket's
+/// per-slot evolution with **one scalar factor** — advancing `t` multiplies
+/// the bucket, it never rewrites members.  Requests whose tails are
+/// proportional to no bucket representative (or that overflow the bucket
+/// cap) land in `irregular` and must be refreshed exactly each slot.
+///
+/// Membership lists are ascending by request id and the partition is built
+/// from the id-sorted materialized set, so the layout is deterministic — a
+/// requirement for seed-reproducible sampling.
+#[derive(Debug, Clone, Default)]
+pub struct TailShapePartition {
+    /// Shape buckets, in order of first appearance over ascending ids.
+    pub buckets: Vec<ShapeBucket>,
+    /// Materialized requests needing exact per-slot refresh, ascending.
+    pub irregular: Vec<RequestId>,
+}
+
+/// One group of materialized requests with elementwise-proportional tails.
+#[derive(Debug, Clone)]
+pub struct ShapeBucket {
+    /// The bucket's representative (its first member): the shape factor at
+    /// slot `t` is `tail(rep, t) / tail(rep, 0)`.
+    pub rep: RequestId,
+    /// Members in ascending request order (includes `rep`).
+    pub members: Vec<RequestId>,
+}
+
+impl TailShapePartition {
+    /// Total number of bucketed members plus irregular requests.
+    pub fn materialized_count(&self) -> usize {
+        self.buckets.iter().map(|b| b.members.len()).sum::<usize>() + self.irregular.len()
+    }
+
+    fn build(ids: &[RequestId], tails: &HashMap<RequestId, Vec<f64>>, horizon: usize) -> Self {
+        let mut buckets: Vec<ShapeBucket> = Vec::new();
+        let mut irregular = Vec::new();
+        'next: for &r in ids {
+            let tail = &tails[&r];
+            for b in &mut buckets {
+                if tails_proportional(&tails[&b.rep], tail, horizon) {
+                    b.members.push(r);
+                    continue 'next;
+                }
+            }
+            if buckets.len() < MAX_SHAPE_BUCKETS {
+                buckets.push(ShapeBucket {
+                    rep: r,
+                    members: vec![r],
+                });
+            } else {
+                irregular.push(r);
+            }
+        }
+        TailShapePartition { buckets, irregular }
+    }
+}
+
+/// Whether two tail vectors are elementwise proportional (share a shape).
+///
+/// Tails are non-increasing and non-negative, so `tail[0]` is the maximum;
+/// comparing the `tail[t] / tail[0]` ratios (both in `[0, 1]`) against an
+/// absolute epsilon is a relative comparison in disguise.  All-zero tails
+/// are proportional to everything (their weight is identically zero).
+fn tails_proportional(a: &[f64], b: &[f64], horizon: usize) -> bool {
+    let (a0, b0) = (a[0], b[0]);
+    if a0 <= 0.0 || b0 <= 0.0 {
+        return a0 <= 0.0 && b0 <= 0.0;
+    }
+    for t in 1..horizon {
+        if (a[t] / a0 - b[t] / b0).abs() > SHAPE_EPS {
+            return false;
+        }
+    }
+    true
 }
 
 impl HorizonModel {
@@ -136,7 +232,7 @@ impl HorizonModel {
         assert!(horizon > 0, "horizon must be positive");
         assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
         let n = summary.num_requests();
-        let materialized = summary.materialized_requests();
+        let materialized = summary.materialized_requests(); // sorted ascending
 
         // Per-slot probabilities for each materialized request and for the
         // residual tail, evaluated at the midpoint of each slot.
@@ -163,10 +259,11 @@ impl HorizonModel {
         };
 
         let mut explicit = HashMap::with_capacity(materialized.len());
-        for (mi, r) in materialized.into_iter().enumerate() {
+        for (mi, &r) in materialized.iter().enumerate() {
             explicit.insert(r, suffix(&per_slot[mi]));
         }
         let residual = suffix(&residual_slot);
+        let partition = TailShapePartition::build(&materialized, &explicit, horizon);
 
         HorizonModel {
             n,
@@ -175,6 +272,7 @@ impl HorizonModel {
             gamma,
             explicit,
             residual,
+            partition,
         }
     }
 
@@ -219,6 +317,24 @@ impl HorizonModel {
         self.explicit.contains_key(&request)
     }
 
+    /// The materialized requests grouped by tail shape (see
+    /// [`TailShapePartition`]).
+    pub fn shape_partition(&self) -> &TailShapePartition {
+        &self.partition
+    }
+
+    /// The shape factor `s(t) = tail(rep, t) / tail(rep, 0)` of shape bucket
+    /// `b` at slot `t` (`0` for all-zero buckets).
+    pub fn shape_factor(&self, b: usize, t: usize) -> f64 {
+        let rep = self.partition.buckets[b].rep;
+        let base = self.tail(rep, 0);
+        if base <= 0.0 {
+            0.0
+        } else {
+            self.tail(rep, t) / base
+        }
+    }
+
     /// Tail mass of `request` from slot `t` (clamped to the horizon) onward.
     pub fn tail(&self, request: RequestId, t: usize) -> f64 {
         let t = t.min(self.horizon);
@@ -259,9 +375,34 @@ pub fn schedule_expected_utility(
     utility: &UtilityModel,
     initial: &HashMap<RequestId, u32>,
 ) -> f64 {
+    expected_utility_over(schedule.iter().map(|&b| Some(b)), model, utility, initial)
+}
+
+/// Slot-aligned variant of [`schedule_expected_utility`]: entry `k` is the
+/// block scheduled for slot `k`, with `None` marking a slot the sender
+/// consumed without a scheduled block (e.g. it ran ahead of the scheduler —
+/// see [`greedy::GreedyScheduler::update_prediction`]).  Empty slots
+/// contribute nothing but still advance the slot index, so later blocks keep
+/// their correct (later, lower-tail) probability coefficients.
+pub fn schedule_expected_utility_slots(
+    schedule: &[Option<BlockRef>],
+    model: &HorizonModel,
+    utility: &UtilityModel,
+    initial: &HashMap<RequestId, u32>,
+) -> f64 {
+    expected_utility_over(schedule.iter().copied(), model, utility, initial)
+}
+
+fn expected_utility_over(
+    slots: impl Iterator<Item = Option<BlockRef>>,
+    model: &HorizonModel,
+    utility: &UtilityModel,
+    initial: &HashMap<RequestId, u32>,
+) -> f64 {
     let mut held: HashMap<RequestId, u32> = initial.clone();
     let mut total = 0.0;
-    for (k, b) in schedule.iter().enumerate().take(model.horizon()) {
+    for (k, slot) in slots.enumerate().take(model.horizon()) {
+        let Some(b) = slot else { continue };
         let have = held.entry(b.request).or_insert(0);
         *have += 1;
         let blocks_now = *have;
@@ -390,5 +531,146 @@ mod tests {
     #[should_panic(expected = "horizon")]
     fn zero_horizon_rejected() {
         HorizonModel::uniform(4, 0, Duration::from_millis(1), 1.0);
+    }
+
+    /// A summary whose slices all share one distribution: every materialized
+    /// tail is proportional (per-slot probability is constant over slots).
+    fn flat_summary(n: usize, entries: Vec<(RequestId, f64)>, residual: f64) -> PredictionSummary {
+        let dist = SparseDistribution::from_entries(n, entries, residual);
+        let slices = PredictionSummary::default_deltas()
+            .into_iter()
+            .map(|delta| HorizonSlice {
+                delta,
+                dist: dist.clone(),
+            })
+            .collect();
+        PredictionSummary::new(n, slices, Time::ZERO)
+    }
+
+    #[test]
+    fn homogeneous_tails_share_one_bucket() {
+        let s = flat_summary(
+            100,
+            vec![
+                (RequestId(3), 0.4),
+                (RequestId(11), 0.2),
+                (RequestId(40), 0.1),
+            ],
+            0.3,
+        );
+        let m = HorizonModel::build(&s, 64, Duration::from_millis(5), 0.9);
+        let p = m.shape_partition();
+        assert_eq!(p.buckets.len(), 1, "{:?}", p);
+        assert!(p.irregular.is_empty());
+        assert_eq!(p.buckets[0].rep, RequestId(3));
+        assert_eq!(
+            p.buckets[0].members,
+            vec![RequestId(3), RequestId(11), RequestId(40)]
+        );
+        assert_eq!(p.materialized_count(), m.materialized_count());
+        // Factors recover the tails of every member, not just the rep.
+        for t in 0..64 {
+            for &r in &p.buckets[0].members {
+                let lazy = m.tail(r, 0) * m.shape_factor(0, t);
+                assert!((lazy - m.tail(r, t)).abs() <= 1e-12 * m.tail(r, 0).max(1.0));
+            }
+        }
+        assert!((m.shape_factor(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_varying_tails_split_buckets() {
+        // Request 0's mass decays over the horizon while request 1's grows:
+        // their tails cannot be proportional, so they land in two buckets.
+        let slices = vec![
+            HorizonSlice {
+                delta: Duration::from_millis(10),
+                dist: SparseDistribution::point(4, RequestId(0)),
+            },
+            HorizonSlice {
+                delta: Duration::from_millis(400),
+                dist: SparseDistribution::point(4, RequestId(1)),
+            },
+        ];
+        let s = PredictionSummary::new(4, slices, Time::ZERO);
+        let m = HorizonModel::build(&s, 40, Duration::from_millis(10), 1.0);
+        let p = m.shape_partition();
+        assert_eq!(p.buckets.len(), 2);
+        assert!(p.irregular.is_empty());
+    }
+
+    #[test]
+    fn bucket_cap_overflows_to_irregular() {
+        // Each request's per-slot probability interpolates between a
+        // distinct pair of (early, late) weights, so all shapes differ and
+        // the bucket cap forces the overflow into the irregular set.
+        let n = 24;
+        let early = SparseDistribution::from_weights(
+            n,
+            (0..n)
+                .map(|i| (RequestId::from(i), (i + 1) as f64))
+                .collect(),
+        );
+        let late = SparseDistribution::from_weights(
+            n,
+            (0..n)
+                .map(|i| (RequestId::from(i), (n - i) as f64 * ((i % 7) + 1) as f64))
+                .collect(),
+        );
+        let slices = vec![
+            HorizonSlice {
+                delta: Duration::from_millis(10),
+                dist: early,
+            },
+            HorizonSlice {
+                delta: Duration::from_millis(500),
+                dist: late,
+            },
+        ];
+        let s = PredictionSummary::new(n, slices, Time::ZERO);
+        let m = HorizonModel::build(&s, 50, Duration::from_millis(10), 1.0);
+        let p = m.shape_partition();
+        assert_eq!(p.buckets.len(), super::MAX_SHAPE_BUCKETS);
+        assert!(!p.irregular.is_empty());
+        assert_eq!(p.materialized_count(), n);
+        // Irregular ids stay ascending (deterministic layout).
+        let mut sorted = p.irregular.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, p.irregular);
+    }
+
+    #[test]
+    fn slot_aligned_expected_utility_skips_gaps() {
+        let n = 4;
+        let m = HorizonModel::build(
+            &summary_point(n, RequestId(1)),
+            4,
+            Duration::from_millis(10),
+            0.5,
+        );
+        let u = UtilityModel::homogeneous(&LinearUtility, 4);
+        let empty = HashMap::new();
+        let with_gap = [
+            Some(BlockRef::new(RequestId(1), 0)),
+            None,
+            Some(BlockRef::new(RequestId(1), 1)),
+        ];
+        let v = schedule_expected_utility_slots(&with_gap, &m, &u, &empty);
+        // Same blocks at the same slots, expressed densely with a dummy
+        // zero-probability filler, give the same value.
+        let dense = [
+            BlockRef::new(RequestId(1), 0),
+            BlockRef::new(RequestId(0), 0),
+            BlockRef::new(RequestId(1), 1),
+        ];
+        let vd = schedule_expected_utility(&dense, &m, &u, &empty);
+        assert!((v - vd).abs() < 1e-12);
+        // The gap shifts the second block to a lower-tail slot: packing the
+        // blocks densely scores strictly higher.
+        let packed = [
+            BlockRef::new(RequestId(1), 0),
+            BlockRef::new(RequestId(1), 1),
+        ];
+        assert!(schedule_expected_utility(&packed, &m, &u, &empty) > v);
     }
 }

@@ -10,6 +10,8 @@
 
 use std::sync::Arc;
 
+use crate::types::RequestId;
+
 /// A monotonically increasing utility function over the fraction of blocks
 /// received.
 ///
@@ -283,11 +285,163 @@ impl UtilityModel {
     /// path).  For [`UtilityModel::PerRequest`] models the maximum over all
     /// tables is taken once; callers should compute this at construction and
     /// cache it rather than re-deriving it per scheduling step.
+    ///
+    /// The greedy scheduler no longer hedges against this catalog-wide bound:
+    /// [`UtilityModel::class_catalog`] groups requests by identical gain
+    /// table, so each utility class carries its *exact* first-block gain.
+    /// The bound remains the right tool for single-number summaries.
     pub fn max_first_block_gain(&self) -> f64 {
         match self {
             UtilityModel::Homogeneous(t) => t.next_gain(0),
             UtilityModel::PerRequest(ts) => ts.iter().map(|t| t.next_gain(0)).fold(0.0, f64::max),
         }
+    }
+
+    /// Groups the `n` requests of the catalog into utility classes — one per
+    /// *distinct* gain table — and records each class's exact first-block
+    /// gain `g(1)`.
+    ///
+    /// This is the per-class gain-bound catalog behind the greedy scheduler's
+    /// heterogeneous meta-request hedge: untouched requests of class `c` all
+    /// hold zero blocks, so their joint sampling weight is exactly
+    /// `|untouched_c| · g_c(1) · residual(t)` — no catalog-wide upper bound
+    /// involved.  Homogeneous models produce a single implicit class in
+    /// `O(1)` space; per-request models dedup tables by value (the number of
+    /// distinct tables is assumed small — one per media type, not one per
+    /// request).
+    pub fn class_catalog(&self, n: usize) -> UtilityClassCatalog {
+        match self {
+            UtilityModel::Homogeneous(t) => UtilityClassCatalog {
+                class_of: None,
+                classes: vec![UtilityClass {
+                    first_gain: t.next_gain(0),
+                    members: ClassMembers::All(n),
+                }],
+            },
+            UtilityModel::PerRequest(ts) => {
+                assert!(
+                    ts.len() >= n,
+                    "per-request model has {} tables for {} requests",
+                    ts.len(),
+                    n
+                );
+                let mut reps: Vec<&GainTable> = Vec::new();
+                let mut class_of = Vec::with_capacity(n);
+                let mut members: Vec<Vec<u32>> = Vec::new();
+                for (i, table) in ts.iter().take(n).enumerate() {
+                    let c = match reps.iter().position(|r| *r == table) {
+                        Some(c) => c,
+                        None => {
+                            reps.push(table);
+                            members.push(Vec::new());
+                            reps.len() - 1
+                        }
+                    };
+                    class_of.push(c as u32);
+                    members[c].push(i as u32);
+                }
+                let classes = reps
+                    .iter()
+                    .zip(members)
+                    .map(|(rep, m)| UtilityClass {
+                        first_gain: rep.next_gain(0),
+                        members: ClassMembers::Subset(m),
+                    })
+                    .collect();
+                UtilityClassCatalog {
+                    class_of: Some(class_of),
+                    classes,
+                }
+            }
+        }
+    }
+}
+
+/// Requests belonging to one utility class.
+#[derive(Debug, Clone)]
+enum ClassMembers {
+    /// Every request in a space of this size (the homogeneous fast path; no
+    /// member list is materialized).
+    All(usize),
+    /// An explicit ascending member list.
+    Subset(Vec<u32>),
+}
+
+/// One utility class: the requests sharing a single gain table, plus that
+/// table's exact first-block gain.
+#[derive(Debug, Clone)]
+pub struct UtilityClass {
+    first_gain: f64,
+    members: ClassMembers,
+}
+
+impl UtilityClass {
+    /// The class's exact first-block marginal gain `g(1)`.
+    pub fn first_gain(&self) -> f64 {
+        self.first_gain
+    }
+
+    /// Number of requests in the class.
+    pub fn len(&self) -> usize {
+        match &self.members {
+            ClassMembers::All(n) => *n,
+            ClassMembers::Subset(m) => m.len(),
+        }
+    }
+
+    /// Whether the class has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `idx`-th member in ascending request order (`idx < len`).
+    pub fn member(&self, idx: usize) -> RequestId {
+        match &self.members {
+            ClassMembers::All(n) => {
+                debug_assert!(idx < *n);
+                RequestId::from(idx)
+            }
+            ClassMembers::Subset(m) => RequestId::from(m[idx] as usize),
+        }
+    }
+
+    /// Iterates the members in ascending request order.
+    pub fn members(&self) -> impl Iterator<Item = RequestId> + '_ {
+        (0..self.len()).map(move |i| self.member(i))
+    }
+}
+
+/// Per-utility-class view of a request space: see
+/// [`UtilityModel::class_catalog`].
+#[derive(Debug, Clone)]
+pub struct UtilityClassCatalog {
+    /// `None` means homogeneous: every request is class 0.
+    class_of: Option<Vec<u32>>,
+    classes: Vec<UtilityClass>,
+}
+
+impl UtilityClassCatalog {
+    /// Number of distinct utility classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The class `request` belongs to.
+    pub fn class_of(&self, request: RequestId) -> usize {
+        match &self.class_of {
+            None => 0,
+            Some(v) => v[request.index()] as usize,
+        }
+    }
+
+    /// The class with index `c`.
+    pub fn class(&self, c: usize) -> &UtilityClass {
+        &self.classes[c]
+    }
+
+    /// Iterates the classes in index order.
+    pub fn classes(&self) -> impl Iterator<Item = &UtilityClass> + '_ {
+        self.classes.iter()
     }
 }
 
@@ -400,6 +554,48 @@ mod tests {
         let m = UtilityModel::per_request(tables);
         assert!((m.table(0).next_gain(0) - 0.01).abs() < 1e-12);
         assert!((m.max_first_block_gain() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_catalog_homogeneous_single_class() {
+        let m = UtilityModel::homogeneous(&LinearUtility, 4);
+        let cat = m.class_catalog(1000);
+        assert_eq!(cat.num_classes(), 1);
+        assert_eq!(cat.class_of(RequestId(999)), 0);
+        let c = cat.class(0);
+        assert_eq!(c.len(), 1000);
+        assert!((c.first_gain() - 0.25).abs() < 1e-12);
+        assert_eq!(c.member(7), RequestId(7));
+    }
+
+    #[test]
+    fn class_catalog_dedups_identical_tables() {
+        // Tables 0 and 2 are identical by value; 1 and 3 each get their own
+        // class.  Classes are numbered in first-appearance order.
+        let tables = vec![
+            GainTable::new(&LinearUtility, 4),
+            GainTable::new(&PowerUtility::new(0.5), 4),
+            GainTable::new(&LinearUtility, 4),
+            GainTable::new(&PowerUtility::new(0.25), 4),
+        ];
+        let m = UtilityModel::per_request(tables);
+        let cat = m.class_catalog(4);
+        assert_eq!(cat.num_classes(), 3);
+        assert_eq!(cat.class_of(RequestId(0)), 0);
+        assert_eq!(cat.class_of(RequestId(1)), 1);
+        assert_eq!(cat.class_of(RequestId(2)), 0);
+        assert_eq!(cat.class_of(RequestId(3)), 2);
+        let c0 = cat.class(0);
+        assert_eq!(c0.len(), 2);
+        assert_eq!(
+            c0.members().collect::<Vec<_>>(),
+            vec![RequestId(0), RequestId(2)]
+        );
+        assert!((c0.first_gain() - 0.25).abs() < 1e-12);
+        // Per-class first gains are exact, not a shared bound.
+        assert!((cat.class(1).first_gain() - 0.5).abs() < 1e-12);
+        let total: usize = cat.classes().map(|c| c.len()).sum();
+        assert_eq!(total, 4);
     }
 
     mod property {

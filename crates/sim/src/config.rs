@@ -6,6 +6,7 @@
 //! knobs the paper sweeps (bandwidth 1.5–15 MB/s, cache 10–100 MB, request
 //! latency 20–400 ms, think time 10–200 ms).
 
+use khameleon_core::sampling::SamplerVariant;
 use khameleon_core::types::{Bandwidth, Bytes, Duration};
 use khameleon_net::cellular::RateTrace;
 
@@ -50,10 +51,12 @@ pub struct ExperimentConfig {
     pub prediction_interval: Duration,
     /// Discount factor γ for the scheduler.
     pub gamma: f64,
-    /// Use the incrementally maintained Fenwick gain sampler in the greedy
-    /// scheduler (`true`, the default) or the legacy per-block scan (the
-    /// Figure 16 baseline ablation).
-    pub incremental_sampler: bool,
+    /// Which greedy-scheduler sampling implementation to use: the default
+    /// lazy shape-bucket sampler, the eager Fenwick sampler, or the legacy
+    /// per-block scan (the Figure 16 baseline ablation).  All variants draw
+    /// identical schedules under a fixed seed; only the per-block cost
+    /// differs.
+    pub sampler: SamplerVariant,
     /// RNG seed for the scheduler / baselines.
     pub seed: u64,
 }
@@ -68,7 +71,7 @@ impl ExperimentConfig {
             request_latency: Duration::from_millis(100),
             prediction_interval: Duration::from_millis(150),
             gamma: 1.0,
-            incremental_sampler: true,
+            sampler: SamplerVariant::default(),
             seed: 0x5eed,
         }
     }
@@ -142,10 +145,11 @@ impl ExperimentConfig {
         self
     }
 
-    /// Selects between the incremental Fenwick gain sampler and the legacy
-    /// per-block scan in the greedy scheduler (the sampling ablation).
-    pub fn with_incremental_sampler(mut self, incremental: bool) -> Self {
-        self.incremental_sampler = incremental;
+    /// Selects the greedy scheduler's sampling implementation (the sampling
+    /// ablation knob): [`SamplerVariant::Lazy`] (default),
+    /// [`SamplerVariant::Eager`], or [`SamplerVariant::Scan`].
+    pub fn with_sampler(mut self, sampler: SamplerVariant) -> Self {
+        self.sampler = sampler;
         self
     }
 }
@@ -183,13 +187,16 @@ mod tests {
             .with_cache_bytes(1_000_000)
             .with_request_latency(Duration::from_millis(400))
             .with_prediction_interval(Duration::from_millis(50))
-            .with_incremental_sampler(false);
+            .with_sampler(SamplerVariant::Scan);
         assert_eq!(c.bandwidth.nominal().as_mbps(), 2.0);
         assert_eq!(c.cache_bytes, 1_000_000);
         assert_eq!(c.request_latency, Duration::from_millis(400));
         assert_eq!(c.prediction_interval, Duration::from_millis(50));
-        assert!(!c.incremental_sampler);
-        assert!(ExperimentConfig::paper_default().incremental_sampler);
+        assert_eq!(c.sampler, SamplerVariant::Scan);
+        assert_eq!(
+            ExperimentConfig::paper_default().sampler,
+            SamplerVariant::Lazy
+        );
     }
 
     #[test]

@@ -24,8 +24,9 @@ use khameleon_core::predictor::{
 use khameleon_core::protocol::{ClientMessage, ServerEvent};
 use khameleon_core::scheduler::GreedySchedulerConfig;
 use khameleon_core::server::{KhameleonServer, ServerBuilder, ServerConfig};
-use khameleon_core::types::{Bandwidth, Duration, RequestId, Time};
+use khameleon_core::types::{Duration, RequestId, Time};
 use khameleon_core::utility::UtilityModel;
+use khameleon_net::estimator::ReceiveRateMeter;
 use khameleon_net::link::{BandwidthModel, ConstantRate, Link};
 
 use crate::config::{BandwidthSpec, ExperimentConfig};
@@ -110,7 +111,7 @@ pub fn run_khameleon(
         scheduler: GreedySchedulerConfig {
             cache_blocks,
             gamma: cfg.gamma,
-            use_incremental_sampler: cfg.incremental_sampler,
+            sampler: cfg.sampler,
             seed: cfg.seed,
             ..Default::default()
         },
@@ -147,8 +148,11 @@ pub fn run_khameleon(
     let mut inflight_queries: Vec<(Time, usize)> = Vec::new(); // (done_at, queries)
 
     // --- bookkeeping ---
-    let mut bytes_since_report: u64 = 0;
-    let mut last_report_at = Time::ZERO;
+    // Receive-rate reporting goes through the shared client-side meter; the
+    // simulated client's connection opens at `Time::ZERO`, so the window is
+    // explicitly anchored there (a hand-rolled `Time::ZERO`-anchored window
+    // used to live here, pre-dating the meter's late-joiner fix).
+    let mut rate_meter = ReceiveRateMeter::with_start(cfg.prediction_interval, Time::ZERO);
     let mut sample_idx = 0usize;
     let mut convergence: Vec<(Duration, f64)> = Vec::new();
     let pause_at = trace.requests.last().map(|r| r.0).unwrap_or(Time::ZERO);
@@ -190,17 +194,6 @@ pub fn run_khameleon(
                         now + propagation,
                         Event::Uplink(ClientMessage::Predictor(state)),
                     );
-                }
-                // Receive-rate report (same uplink message cadence).
-                let window = now.saturating_sub(last_report_at);
-                if window > Duration::ZERO && bytes_since_report > 0 {
-                    let rate = Bandwidth(bytes_since_report as f64 / window.as_secs_f64());
-                    queue.schedule(
-                        now + propagation,
-                        Event::Uplink(ClientMessage::RateReport(rate)),
-                    );
-                    bytes_since_report = 0;
-                    last_report_at = now;
                 }
                 queue.schedule(now + cfg.prediction_interval, Event::PredictionPoll);
             }
@@ -252,7 +245,14 @@ pub fn run_khameleon(
                 }
             }
             Event::BlockArrive(meta) => {
-                bytes_since_report += meta.size;
+                // One receive-rate report per elapsed meter interval, sent
+                // over the same uplink path as the predictions (§5.4).
+                if let Some(rate) = rate_meter.on_receive(meta.size, now) {
+                    queue.schedule(
+                        now + propagation,
+                        Event::Uplink(ClientMessage::RateReport(rate)),
+                    );
+                }
                 let request = meta.block.request;
                 let _ = client.on_block(meta, now);
                 if let Some(probe) = options.convergence_probe {
@@ -411,30 +411,33 @@ mod tests {
 
     #[test]
     fn sampler_ablation_knob_is_wired_end_to_end() {
-        // Both sampling paths drive a full simulated deployment and end up
-        // in the same performance regime: the Fenwick sampler is a cost
-        // optimization, not a policy change.
+        // All three sampling paths drive a full simulated deployment and end
+        // up in the same performance regime: the incremental samplers are
+        // cost optimizations, not policy changes.
+        use khameleon_core::sampling::SamplerVariant;
         let (app, trace) = small_setup();
         let base = ExperimentConfig::paper_default()
             .with_bandwidth(Bandwidth::from_mbps(15.0))
             .with_cache_bytes(100_000_000);
-        let incremental = run(&app, &trace, &base, PredictorKind::Kalman);
-        let scan = run(
-            &app,
-            &trace,
-            &base.clone().with_incremental_sampler(false),
-            PredictorKind::Kalman,
-        );
-        assert!(incremental.summary.requests > 20);
-        assert_eq!(incremental.summary.requests, scan.summary.requests);
-        assert!(
-            (incremental.summary.cache_hit_rate - scan.summary.cache_hit_rate).abs() < 0.25,
-            "hit rates diverged: incremental {} vs scan {}",
-            incremental.summary.cache_hit_rate,
-            scan.summary.cache_hit_rate
-        );
-        assert!(incremental.summary.cache_hit_rate > 0.5);
-        assert!(scan.summary.cache_hit_rate > 0.5);
+        let lazy = run(&app, &trace, &base, PredictorKind::Kalman);
+        assert!(lazy.summary.requests > 20);
+        assert!(lazy.summary.cache_hit_rate > 0.5);
+        for variant in [SamplerVariant::Eager, SamplerVariant::Scan] {
+            let other = run(
+                &app,
+                &trace,
+                &base.clone().with_sampler(variant),
+                PredictorKind::Kalman,
+            );
+            assert_eq!(lazy.summary.requests, other.summary.requests);
+            assert!(
+                (lazy.summary.cache_hit_rate - other.summary.cache_hit_rate).abs() < 0.25,
+                "hit rates diverged: lazy {} vs {variant:?} {}",
+                lazy.summary.cache_hit_rate,
+                other.summary.cache_hit_rate
+            );
+            assert!(other.summary.cache_hit_rate > 0.5);
+        }
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Exhaustive randomized parity check across sampler variants (dev tool).
+//!
+//! This is a standalone, higher-volume (400k cases) companion to the
+//! in-tree `sampler_variants_emit_identical_schedules` proptest in
+//! `crates/core/src/scheduler/greedy.rs` — the op grammar (`drive`) and
+//! generators (`het`, `sparse_pred`) mirror that test's `drive_variant` /
+//! `heterogeneous_utility` and the two must be extended together.
+use std::sync::Arc;
+
+use khameleon_core::block::ResponseCatalog;
+use khameleon_core::distribution::{HorizonSlice, PredictionSummary, SparseDistribution};
+use khameleon_core::scheduler::{GreedyScheduler, GreedySchedulerConfig, SamplerVariant};
+use khameleon_core::types::{BlockRef, Duration, RequestId, Time};
+use khameleon_core::utility::{GainTable, LinearUtility, PowerUtility, UtilityModel};
+
+fn het(n: usize, blocks: u32) -> UtilityModel {
+    let concave = PowerUtility::new(0.5);
+    let steep = PowerUtility::new(0.25);
+    let tables: Vec<GainTable> = (0..n)
+        .map(|i| match i % 3 {
+            0 => GainTable::new(&LinearUtility, blocks),
+            1 => GainTable::new(&concave, blocks),
+            _ => GainTable::new(&steep, blocks),
+        })
+        .collect();
+    UtilityModel::per_request(tables)
+}
+
+fn sparse_pred(n: usize, entries: Vec<(RequestId, f64)>, residual: f64) -> PredictionSummary {
+    let dist = SparseDistribution::from_entries(n, entries, residual);
+    let slices = PredictionSummary::default_deltas()
+        .into_iter()
+        .map(|delta| HorizonSlice {
+            delta,
+            dist: dist.clone(),
+        })
+        .collect();
+    PredictionSummary::new(n, slices, Time::ZERO)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    variant: SamplerVariant,
+    n: usize,
+    blocks: u32,
+    cache: usize,
+    seed: u64,
+    meta: bool,
+    tracking: bool,
+    utility: &UtilityModel,
+    ops: &[(u8, usize, usize)],
+) -> (Vec<BlockRef>, Vec<BlockRef>) {
+    let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 100));
+    let mut s = GreedyScheduler::new(
+        GreedySchedulerConfig {
+            cache_blocks: cache,
+            seed,
+            sampler: variant,
+            use_meta_request: meta,
+            track_client_cache: tracking,
+            ..Default::default()
+        },
+        utility.clone(),
+        catalog,
+    );
+    let mut emitted = Vec::new();
+    for &(kind, a, b) in ops {
+        match kind {
+            0..=2 => emitted.extend(s.next_batch(a % (2 * cache) + 1)),
+            3 => {
+                let p1 = (a % 9 + 1) as f64 / 20.0;
+                let p2 = (b % 7 + 1) as f64 / 30.0;
+                let pred = sparse_pred(
+                    n,
+                    vec![(RequestId::from(a % n), p1), (RequestId::from(b % n), p2)],
+                    1.0 - p1 - p2,
+                );
+                let pos = b % (s.position() + 1);
+                s.update_prediction(&pred, pos);
+            }
+            4 => {
+                let slices = vec![
+                    HorizonSlice {
+                        delta: Duration::from_millis(10),
+                        dist: SparseDistribution::from_entries(
+                            n,
+                            vec![(RequestId::from(a % n), 0.8)],
+                            0.2,
+                        ),
+                    },
+                    HorizonSlice {
+                        delta: Duration::from_millis(400),
+                        dist: SparseDistribution::from_entries(
+                            n,
+                            vec![(RequestId::from(b % n), 0.7)],
+                            0.3,
+                        ),
+                    },
+                ];
+                let pred = PredictionSummary::new(n, slices, Time::ZERO);
+                let pos = a % (s.position() + 1);
+                s.update_prediction(&pred, pos);
+            }
+            _ => {
+                let pos = (s.position() + b % 3).min(cache);
+                let pred = PredictionSummary::uniform(n, Time::ZERO);
+                s.update_prediction(&pred, pos);
+            }
+        }
+    }
+    (emitted, s.simulated_ring())
+}
+
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn main() {
+    let mut found = 0u32;
+    let mut lcg = Lcg(98765);
+    for case in 0..400_000u64 {
+        let n = (lcg.next() as usize % 12) + 2;
+        let blocks = (lcg.next() as u32 % 5) + 1;
+        let cache = (lcg.next() as usize % 18) + 2;
+        let seed = lcg.next() % 10_000;
+        let meta = lcg.next().is_multiple_of(2);
+        let tracking = !lcg.next().is_multiple_of(4);
+        let len = (lcg.next() as usize % 13) + 1;
+        let ops: Vec<(u8, usize, usize)> = (0..len)
+            .map(|_| {
+                (
+                    (lcg.next() % 6) as u8,
+                    lcg.next() as usize % 64,
+                    lcg.next() as usize % 64,
+                )
+            })
+            .collect();
+        let u = het(n, blocks);
+        let sc = drive(
+            SamplerVariant::Scan,
+            n,
+            blocks,
+            cache,
+            seed,
+            meta,
+            tracking,
+            &u,
+            &ops,
+        );
+        for v in [SamplerVariant::Eager, SamplerVariant::Lazy] {
+            let e = drive(v, n, blocks, cache, seed, meta, tracking, &u, &ops);
+            if e != sc {
+                println!("MISMATCH case={case} {v:?} n={n} blocks={blocks} cache={cache} seed={seed} meta={meta} tracking={tracking} ops={ops:?}");
+                found += 1;
+            }
+        }
+        if found > 2 {
+            std::process::exit(1);
+        }
+    }
+    if found == 0 {
+        println!("parity ok over 400k randomized cases");
+    } else {
+        std::process::exit(1);
+    }
+}
