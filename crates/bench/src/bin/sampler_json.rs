@@ -29,18 +29,25 @@ use khameleon_core::utility::{PowerUtility, UtilityModel};
 
 /// One measured configuration.
 struct Case {
-    /// `"steady"` (single schedule) or `"wrap"` (horizon ≪ batch).
+    /// `"steady"` (single schedule), `"wrap"` (horizon ≪ batch), or
+    /// `"update-diff"` / `"update-rebuild"` (prediction-update throughput
+    /// with the diff path on / forced full rebuilds).
     case: &'static str,
     variant: SamplerVariant,
     /// Materialized-set size.
     m: usize,
     /// Catalog size.
     n: usize,
-    /// Blocks scheduled per measured iteration.
+    /// Blocks scheduled (or prediction updates applied) per measured
+    /// iteration.
     blocks_per_iter: usize,
     iters: usize,
     elapsed_ms: f64,
+    /// Work units per second of the fastest iteration; see `metric`.
     blocks_per_sec: f64,
+    /// What `blocks_per_sec` counts: `"blocks_per_sec"` or
+    /// `"updates_per_sec"`.
+    metric: &'static str,
 }
 
 fn prediction(n: usize, materialized: usize) -> PredictionSummary {
@@ -122,6 +129,134 @@ fn measure(
         iters,
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
         blocks_per_sec: batch as f64 / best.max(1e-12),
+        metric: "blocks_per_sec",
+    }
+}
+
+/// A drifting normalized prediction over `m` explicit entries whose
+/// *unchanged* entries keep bit-identical probabilities across rounds (the
+/// explicit weights plus the compensating residual sum to exactly 1.0, so
+/// `from_entries` divides by 1.0) — each round rescales one rotating ~1%
+/// segment, the small-diff regime the diff path is built for.
+struct DriftingPrediction {
+    n: usize,
+    weights: Vec<f64>,
+    round: usize,
+}
+
+impl DriftingPrediction {
+    fn new(n: usize, m: usize) -> Self {
+        // Explicit mass ≈ 0.5 (kept within [0.25, 0.75] so `1.0 - mass` is
+        // exact by Sterbenz and the distribution total is exactly 1.0).
+        let weights = (0..m)
+            .map(|i| 0.5 / m as f64 * (1.0 + (i % 7) as f64 * 0.05))
+            .collect();
+        DriftingPrediction {
+            n,
+            weights,
+            round: 0,
+        }
+    }
+
+    fn summary(&self) -> PredictionSummary {
+        let entries: Vec<(RequestId, f64)> = self
+            .weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (RequestId::from(i), w))
+            .collect();
+        let mass: f64 = self.weights.iter().sum();
+        assert!((0.25..=0.75).contains(&mass), "mass drifted: {mass}");
+        let dist = SparseDistribution::from_entries(self.n, entries, 1.0 - mass);
+        let slices = PredictionSummary::default_deltas()
+            .into_iter()
+            .map(|delta| HorizonSlice {
+                delta,
+                dist: dist.clone(),
+            })
+            .collect();
+        PredictionSummary::new(self.n, slices, Time::ZERO)
+    }
+
+    /// Rescales the next ~1% segment (alternating up/down so the explicit
+    /// mass stays bounded) and returns the new summary.
+    fn advance(&mut self) -> PredictionSummary {
+        let m = self.weights.len();
+        let seg = (m / 100).max(1);
+        let start = (self.round * seg) % m;
+        let factor = if (self.round / (m / seg).max(1)).is_multiple_of(2) {
+            1.25
+        } else {
+            0.75
+        };
+        for i in start..(start + seg).min(m) {
+            self.weights[i] *= factor;
+        }
+        self.round += 1;
+        self.summary()
+    }
+}
+
+/// Measures prediction-update throughput: many re-predictions, few blocks
+/// each (the push-based client's hot path).  Each timed iteration applies
+/// `updates` drifting summaries (~1% of entries changed per update),
+/// scheduling a tiny batch after each.
+fn measure_updates(m: usize, cache: usize, diff: bool, updates: usize, iters: usize) -> Case {
+    let n = 2 * m;
+    let blocks = 50u32;
+    let catalog = Arc::new(ResponseCatalog::uniform(n, blocks, 10_000));
+    let mut s = GreedyScheduler::new(
+        GreedySchedulerConfig {
+            cache_blocks: cache,
+            slot_duration: Duration::from_millis(1),
+            sampler: SamplerVariant::Lazy,
+            prediction_diff: diff,
+            ..Default::default()
+        },
+        UtilityModel::homogeneous(&PowerUtility::new(0.5), blocks),
+        catalog,
+    );
+    let mut drift = DriftingPrediction::new(n, m);
+    // Warm up: the first update joins all `m` requests (a full rebuild
+    // regardless of the knob); steady state is the ~1%-diff regime.
+    s.update_prediction(&drift.summary(), 0);
+    let _ = s.next_batch(4);
+    let mut elapsed = std::time::Duration::ZERO;
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        for _ in 0..updates {
+            let pred = drift.advance();
+            s.update_prediction(&pred, s.position());
+            let got = s.next_batch(4);
+            assert!(!got.is_empty(), "scheduler stalled mid-update-sweep");
+        }
+        let dt = start.elapsed();
+        elapsed += dt;
+        best = best.min(dt.as_secs_f64());
+    }
+    if diff {
+        assert!(
+            s.diff_applied_updates() > 0,
+            "diff path never engaged on the update-heavy case"
+        );
+    } else {
+        assert_eq!(s.diff_applied_updates(), 0, "diff knob not honoured");
+    }
+    Case {
+        case: if diff {
+            "update-diff"
+        } else {
+            "update-rebuild"
+        },
+        variant: SamplerVariant::Lazy,
+        m,
+        n,
+        blocks_per_iter: updates,
+        iters,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        blocks_per_sec: updates as f64 / best.max(1e-12),
+        metric: "updates_per_sec",
     }
 }
 
@@ -167,6 +302,14 @@ fn main() {
             iters,
         ));
     }
+    // Update-heavy: many re-predictions (~1% of entries changed each), few
+    // blocks per update — the push-based client's hot path.  Diff-based
+    // updates vs. the forced-full-rebuild baseline.
+    let update_m = if quick { 2_000 } else { 10_000 };
+    let update_rounds = if quick { 16 } else { 32 };
+    for diff in [true, false] {
+        cases.push(measure_updates(update_m, 512, diff, update_rounds, iters));
+    }
 
     let mut json = String::new();
     json.push_str(
@@ -175,7 +318,7 @@ fn main() {
     for (i, c) in cases.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"case\": \"{}\", \"variant\": \"{}\", \"m\": {}, \"n\": {}, \"blocks_per_iter\": {}, \"iters\": {}, \"elapsed_ms\": {:.3}, \"blocks_per_sec\": {:.1}}}{}",
+            "    {{\"case\": \"{}\", \"variant\": \"{}\", \"m\": {}, \"n\": {}, \"blocks_per_iter\": {}, \"iters\": {}, \"elapsed_ms\": {:.3}, \"blocks_per_sec\": {:.1}, \"metric\": \"{}\"}}{}",
             c.case,
             c.variant.label(),
             c.m,
@@ -184,6 +327,7 @@ fn main() {
             c.iters,
             c.elapsed_ms,
             c.blocks_per_sec,
+            c.metric,
             if i + 1 == cases.len() { "" } else { "," }
         );
     }
@@ -192,17 +336,29 @@ fn main() {
 
     println!("wrote {out_path}");
     println!(
-        "{:<8} {:<8} {:>8} {:>14} {:>12}",
-        "case", "variant", "m", "blocks/sec", "elapsed_ms"
+        "{:<14} {:<8} {:>8} {:>14} {:>12}",
+        "case", "variant", "m", "units/sec", "elapsed_ms"
     );
     for c in &cases {
         println!(
-            "{:<8} {:<8} {:>8} {:>14.0} {:>12.2}",
+            "{:<14} {:<8} {:>8} {:>14.0} {:>12.2}",
             c.case,
             c.variant.label(),
             c.m,
             c.blocks_per_sec,
             c.elapsed_ms
+        );
+    }
+    let rate = |case: &str| {
+        cases
+            .iter()
+            .find(|c| c.case == case)
+            .map(|c| c.blocks_per_sec)
+    };
+    if let (Some(diff), Some(rebuild)) = (rate("update-diff"), rate("update-rebuild")) {
+        println!(
+            "prediction-update speedup (diff vs rebuild, m={update_m}): {:.1}x",
+            diff / rebuild.max(1e-12)
         );
     }
 }

@@ -133,8 +133,8 @@ pub use predictor::{
 pub use protocol::{ClientMessage, ServerEvent, SessionId};
 pub use sampling::{FenwickTree, GainSampler, SampledGroup, SamplerVariant};
 pub use scheduler::{
-    BruteForceScheduler, GreedyScheduler, GreedySchedulerConfig, HorizonModel, OptimalScheduler,
-    Scheduler, ShapeBucket, TailShapePartition,
+    BruteForceScheduler, ExplicitPlacement, GreedyContext, GreedyScheduler, GreedySchedulerConfig,
+    HorizonModel, ModelDiff, OptimalScheduler, Scheduler, ShapeBucket, TailShapePartition,
 };
 pub use server::{Backend, CatalogBackend, KhameleonServer, ServerBuilder, ServerConfig};
 pub use session::{

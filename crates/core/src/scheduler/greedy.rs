@@ -61,8 +61,20 @@
 //! identically, so a fixed seed yields block-for-block identical schedules
 //! across variants (enforced by a 256-case parity proptest below).
 //!
-//! Two further hot-path properties:
+//! Three further hot-path properties:
 //!
+//! * **Diff-based prediction updates**: the client re-sends its whole
+//!   predicted distribution on every interaction, so `update_prediction` is
+//!   the hot path once per-block cost is flat.  Successive predictions
+//!   usually share most materialized requests, so the update is applied as
+//!   a diff ([`HorizonModel::apply_update`]): unchanged requests keep their
+//!   tails, bucket membership, and Fenwick entries; shape-preserving
+//!   changes are `O(1)` coefficient rescales; only the structurally changed
+//!   set is recomputed, reclassified, and mirrored into the sampler as
+//!   point updates (tombstoned removals + appends).  Oversized diffs,
+//!   changed horizon parameters, and bucket-cap pressure fall back to the
+//!   full rebuild ([`GreedySchedulerConfig::prediction_diff`] disables the
+//!   path entirely for the ablation baseline).
 //! * **Wrap carry-over**: when a schedule completes (`t` reaches `C`) the
 //!   horizon model is unchanged and tails are reusable at `t = 0`, so
 //!   [`reset_schedule`](GreedyScheduler::next_batch) carries the explicit
@@ -73,11 +85,12 @@
 //! * **Sender-ahead slot gaps**: a `sender_position` beyond the scheduler's
 //!   `t` (the sender drained its queue past the planner) is represented as
 //!   explicit empty slots in the slot-aligned schedule log, so a later
-//!   rollback below the gap pops exactly the right entries.
+//!   rollback below the gap pops exactly the right entries; per-update gap
+//!   creation is rate-limited ([`GreedySchedulerConfig::max_gap_fraction`])
+//!   so an adversarial sender repeatedly claiming positions near `C`
+//!   cannot force a schedule wrap per update.
 
-#[cfg(test)]
-use std::collections::HashSet;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -119,8 +132,29 @@ pub struct GreedySchedulerConfig {
     /// schedules under a fixed seed; only the per-block cost differs (see
     /// the module docs).
     pub sampler: SamplerVariant,
+    /// Apply prediction updates as diffs against the previous prediction
+    /// ([`HorizonModel::apply_update`]) instead of rebuilding the model and
+    /// sampler from scratch.  Falls back to a full rebuild automatically
+    /// when the diff is too large; disable only to measure the rebuild
+    /// baseline.
+    pub prediction_diff: bool,
+    /// Cap on sender-ahead gap-slot creation per prediction update, as a
+    /// fraction of the schedule horizon.  A buggy or adversarial sender
+    /// repeatedly claiming positions near `C` would otherwise force a
+    /// schedule wrap per update; positions beyond the cap are clamped and
+    /// counted in [`GreedyScheduler::rejected_gap_slots`].
+    pub max_gap_fraction: f64,
     /// RNG seed for the proportional sampling, for reproducibility.
     pub seed: u64,
+}
+
+impl GreedySchedulerConfig {
+    /// Maximum sender-ahead gap slots one prediction update may create (at
+    /// least 1, at most the horizon).
+    pub fn max_gap_slots(&self) -> usize {
+        ((self.cache_blocks as f64 * self.max_gap_fraction).ceil() as usize)
+            .clamp(1, self.cache_blocks)
+    }
 }
 
 impl Default for GreedySchedulerConfig {
@@ -133,8 +167,57 @@ impl Default for GreedySchedulerConfig {
             use_meta_request: true,
             track_client_cache: true,
             sampler: SamplerVariant::Lazy,
+            prediction_diff: true,
+            max_gap_fraction: 0.5,
             seed: 0x5eed,
         }
+    }
+}
+
+/// Catalog- and utility-derived scheduler state that is identical for every
+/// scheduler built over the same `(UtilityModel, ResponseCatalog)` pair: the
+/// utility-class catalog, per-class first-block gains, and per-request block
+/// counts.  Multi-session servers share one instance via `Arc` (see
+/// [`SessionManager`](crate::session::SessionManager)) instead of
+/// re-deriving `O(n)` state per client.
+#[derive(Debug)]
+pub struct GreedyContext {
+    /// The utility model the context was derived from, kept so
+    /// [`GreedyScheduler::with_context`] can reject a context paired with a
+    /// different model (same-sized catalogs would otherwise be silently
+    /// mis-priced).
+    utility: UtilityModel,
+    /// Per-utility-class view of the catalog (one class per distinct gain
+    /// table): exact first-block gains for the per-class meta-entries.
+    classes: UtilityClassCatalog,
+    /// Exact first-block gain of each utility class, in class order.
+    meta_gains: Vec<f64>,
+    /// Per-request block counts, copied out of the catalog into one dense
+    /// array: the per-block gain computation reads a 4-byte entry instead
+    /// of chasing the catalog's per-request layout structs.
+    num_blocks: Vec<u32>,
+}
+
+impl GreedyContext {
+    /// Derives the shared context for a utility model over a catalog.
+    pub fn new(utility: &UtilityModel, catalog: &ResponseCatalog) -> Self {
+        let num_requests = catalog.num_requests();
+        let num_blocks: Vec<u32> = (0..num_requests)
+            .map(|i| catalog.num_blocks(RequestId::from(i)))
+            .collect();
+        let classes = utility.class_catalog(num_requests);
+        let meta_gains: Vec<f64> = classes.classes().map(|c| c.first_gain()).collect();
+        GreedyContext {
+            utility: utility.clone(),
+            classes,
+            meta_gains,
+            num_blocks,
+        }
+    }
+
+    /// Number of requests the context was derived for.
+    pub fn num_requests(&self) -> usize {
+        self.num_blocks.len()
     }
 }
 
@@ -183,29 +266,29 @@ pub struct GreedyScheduler {
     /// directly; the incremental sampler's shared group mirrors it slot for
     /// slot, which is what makes the variants draw identically.
     shared_order: Vec<RequestId>,
-    /// Per-utility-class view of the catalog (one class per distinct gain
-    /// table): exact first-block gains for the per-class meta-entries.
-    classes: UtilityClassCatalog,
-    /// Exact first-block gain of each utility class, in class order.
-    meta_gains: Vec<f64>,
-    /// Per-request block counts, copied out of the catalog into one dense
-    /// array: the per-block gain computation reads a 4-byte entry instead
-    /// of chasing the catalog's per-request layout structs.
-    num_blocks: Vec<u32>,
+    /// Shared catalog/utility-derived state (classes, meta gains, block
+    /// counts) — one `Arc` per `(utility, catalog)` pair across sessions.
+    ctx: Arc<GreedyContext>,
     /// Touched-request count per utility class; the complement (against the
     /// class size) is each meta-entry's untouched member count.
     touched_per_class: Vec<usize>,
     /// Incrementally maintained gain weights (the `Eager` / `Lazy`
     /// variants); kept in sync by `rebuild_sampler` /
-    /// `refresh_after_allocation` / the wrap carry-over.
+    /// `refresh_after_allocation` / the wrap carry-over / the diff path.
     sampler: GainSampler,
     /// Number of prediction updates received (for instrumentation).
     updates: u64,
+    /// Prediction updates applied through the diff path (the rest fell back
+    /// to a full rebuild).
+    diff_updates: u64,
     /// Total blocks scheduled since creation (for instrumentation).
     scheduled_blocks: u64,
     /// Schedule slots skipped because the sender reported a position ahead
     /// of the scheduler (for instrumentation).
     gap_slots: u64,
+    /// Sender-ahead gap slots rejected by the per-update cap
+    /// ([`GreedySchedulerConfig::max_gap_fraction`]).
+    gap_slots_rejected: u64,
 }
 
 impl GreedyScheduler {
@@ -215,22 +298,36 @@ impl GreedyScheduler {
         utility: UtilityModel,
         catalog: Arc<ResponseCatalog>,
     ) -> Self {
+        let ctx = Arc::new(GreedyContext::new(&utility, &catalog));
+        Self::with_context(cfg, utility, catalog, ctx)
+    }
+
+    /// Creates a scheduler reusing a shared [`GreedyContext`] (derived from
+    /// the same utility model and catalog) instead of computing its own —
+    /// the multi-session path, where N sessions over one catalog share one
+    /// `O(n)` context.
+    pub fn with_context(
+        cfg: GreedySchedulerConfig,
+        utility: UtilityModel,
+        catalog: Arc<ResponseCatalog>,
+        ctx: Arc<GreedyContext>,
+    ) -> Self {
         assert!(cfg.cache_blocks > 0, "cache must hold at least one block");
         assert!(cfg.batch_size > 0, "batch size must be positive");
-        let model = HorizonModel::uniform(
-            catalog.num_requests(),
-            cfg.cache_blocks,
-            cfg.slot_duration,
-            cfg.gamma,
-        );
-        let rng = StdRng::seed_from_u64(cfg.seed);
         let num_requests = catalog.num_requests();
-        let num_blocks: Vec<u32> = (0..num_requests)
-            .map(|i| catalog.num_blocks(RequestId::from(i)))
-            .collect();
-        let classes = utility.class_catalog(num_requests);
-        let meta_gains: Vec<f64> = classes.classes().map(|c| c.first_gain()).collect();
-        let touched_per_class = vec![0; classes.num_classes()];
+        assert_eq!(
+            ctx.num_requests(),
+            num_requests,
+            "shared context derived for a different catalog"
+        );
+        assert!(
+            ctx.utility.same_tables(&utility),
+            "shared context derived for a different utility model"
+        );
+        let model =
+            HorizonModel::uniform(num_requests, cfg.cache_blocks, cfg.slot_duration, cfg.gamma);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let touched_per_class = vec![0; ctx.classes.num_classes()];
         let mut s = GreedyScheduler {
             cfg,
             utility,
@@ -244,17 +341,22 @@ impl GreedyScheduler {
             resident: HashMap::new(),
             touched: vec![false; num_requests],
             shared_order: Vec::new(),
-            classes,
-            meta_gains,
-            num_blocks,
+            ctx,
             touched_per_class,
             sampler: GainSampler::new(),
             updates: 0,
+            diff_updates: 0,
             scheduled_blocks: 0,
             gap_slots: 0,
+            gap_slots_rejected: 0,
         };
         s.rebuild_touched();
         s
+    }
+
+    /// The shared catalog/utility context backing this scheduler.
+    pub fn context(&self) -> &Arc<GreedyContext> {
+        &self.ctx
     }
 
     /// The configuration in use.
@@ -284,6 +386,77 @@ impl GreedyScheduler {
         self.gap_slots
     }
 
+    /// Sender-ahead gap slots *rejected* by the per-update creation cap
+    /// ([`GreedySchedulerConfig::max_gap_fraction`]): claimed positions the
+    /// scheduler refused to materialize as empty slots.
+    pub fn rejected_gap_slots(&self) -> u64 {
+        self.gap_slots_rejected
+    }
+
+    /// Prediction updates applied through the diff path (the remainder of
+    /// [`GreedyScheduler::prediction_updates`] fell back to a full rebuild).
+    pub fn diff_applied_updates(&self) -> u64 {
+        self.diff_updates
+    }
+
+    /// The scan variant's draw layout (requests in walk order with weights)
+    /// and the sampler's mirrored layout.  Diagnostic only.
+    #[doc(hidden)]
+    #[allow(clippy::type_complexity)]
+    pub fn debug_layouts(&self) -> (Vec<(RequestId, f64)>, Vec<(RequestId, f64)>) {
+        let scale = self.model.residual_tail(self.t);
+        let part = self.model.shape_partition();
+        let mut scan = Vec::new();
+        for b in &part.buckets {
+            for &r in &b.members {
+                scan.push((r, self.gain_for(r)));
+            }
+        }
+        for &r in &part.irregular {
+            scan.push((r, self.gain_for(r)));
+        }
+        for &r in &self.shared_order {
+            scan.push((r, self.marginal_gain(r) * scale));
+        }
+        (scan, self.sampler.debug_layout())
+    }
+
+    /// Compares the incrementally maintained sampler weights against a
+    /// from-scratch recomputation of every candidate weight (the scan
+    /// variant's view), returning the mismatches.  Diagnostic only.
+    #[doc(hidden)]
+    pub fn debug_weight_divergence(&self) -> Vec<(RequestId, f64, f64)> {
+        if !self.cfg.sampler.is_incremental() {
+            return Vec::new();
+        }
+        let scale = self.model.residual_tail(self.t);
+        let mut out = Vec::new();
+        let mut check = |r: RequestId, want: f64, got: Option<f64>| {
+            let got = got.unwrap_or(f64::NAN);
+            let tol = 1e-9 * want.abs().max(1e-9);
+            if (got - want).abs() > tol {
+                out.push((r, want, got));
+            }
+        };
+        let part = self.model.shape_partition();
+        for b in &part.buckets {
+            for &r in &b.members {
+                check(r, self.gain_for(r), self.sampler.debug_weight(r));
+            }
+        }
+        for &r in &part.irregular {
+            check(r, self.gain_for(r), self.sampler.debug_weight(r));
+        }
+        for &r in &self.shared_order {
+            check(
+                r,
+                self.marginal_gain(r) * scale,
+                self.sampler.debug_weight(r),
+            );
+        }
+        out
+    }
+
     /// Updates the bandwidth-derived slot duration.  Takes effect on the next
     /// prediction update (the current materialized horizon is kept).
     pub fn set_slot_duration(&mut self, slot: Duration) {
@@ -307,15 +480,28 @@ impl GreedyScheduler {
     /// invariant is debug-asserted), instead of mispairing blocks with
     /// slots.
     pub fn update_prediction(&mut self, summary: &PredictionSummary, sender_position: usize) {
-        self.model = HorizonModel::build(
-            summary,
-            self.cfg.cache_blocks,
-            self.cfg.slot_duration,
-            self.cfg.gamma,
-        );
         self.updates += 1;
         let sender_position = sender_position.min(self.cfg.cache_blocks);
+        // Rate-limit sender-ahead gap creation: a sender repeatedly claiming
+        // positions near `C` would force a schedule wrap per update, so each
+        // update may open at most `max_gap_slots` new gaps; the excess is
+        // rejected (and counted) rather than materialized.
+        let sender_position = if sender_position > self.t {
+            let allowed = (self.t + self.cfg.max_gap_slots()).min(self.cfg.cache_blocks);
+            if sender_position > allowed {
+                self.gap_slots_rejected += (sender_position - allowed) as u64;
+                allowed
+            } else {
+                sender_position
+            }
+        } else {
+            sender_position
+        };
         self.debug_assert_slot_aligned();
+        // Requests whose allocations or simulated residency the rollback
+        // touches; their gains must be re-derived even when the prediction
+        // diff leaves them untouched.
+        let mut rolled: Vec<RequestId> = Vec::new();
         if sender_position < self.t {
             // Roll back the not-yet-sent tail of the current schedule.
             while self.t > sender_position {
@@ -332,6 +518,10 @@ impl GreedyScheduler {
                         } else {
                             None
                         };
+                        rolled.push(block.request);
+                        if let Some(old) = evicted {
+                            rolled.push(old.request);
+                        }
                         self.undo_ring_delivery(block, evicted);
                     }
                     Some(None) => {
@@ -362,7 +552,173 @@ impl GreedyScheduler {
             }
         }
         self.debug_assert_slot_aligned();
-        self.rebuild_touched();
+        // Diff the new prediction against the previous one and apply point
+        // updates; fall back to the full rebuild when the model can't (too
+        // large a diff, changed horizon parameters, bucket-cap pressure).
+        let diff = if self.cfg.prediction_diff
+            && self.model.horizon() == self.cfg.cache_blocks
+            && self.model.slot_duration() == self.cfg.slot_duration
+            && self.model.gamma() == self.cfg.gamma
+        {
+            self.model.apply_update(summary)
+        } else {
+            None
+        };
+        match diff {
+            Some(diff) => {
+                self.diff_updates += 1;
+                rolled.sort_unstable();
+                rolled.dedup();
+                self.apply_model_diff(&diff, &rolled);
+            }
+            None => {
+                self.model = HorizonModel::build(
+                    summary,
+                    self.cfg.cache_blocks,
+                    self.cfg.slot_duration,
+                    self.cfg.gamma,
+                );
+                self.rebuild_touched();
+            }
+        }
+    }
+
+    /// Mirrors a [`ModelDiff`] into the scheduler's touched/shared
+    /// bookkeeping and (for the incremental variants) the sampler's weight
+    /// structure, with point updates only — the whole point of diffing.
+    /// `rolled` lists the requests whose allocations/residency the preceding
+    /// rollback changed, ascending and deduplicated.
+    fn apply_model_diff(&mut self, diff: &crate::scheduler::ModelDiff, rolled: &[RequestId]) {
+        use crate::scheduler::ExplicitPlacement;
+        let incremental = self.cfg.sampler.is_incremental();
+        if incremental {
+            for _ in 0..diff.buckets_added {
+                self.sampler.push_bucket();
+            }
+            for &r in &diff.removed {
+                self.sampler.remove_explicit(r);
+            }
+            for &(r, p) in &diff.placed {
+                match p {
+                    ExplicitPlacement::Bucket(b) => self.sampler.append_bucket_member(b, r),
+                    ExplicitPlacement::Irregular => self.sampler.append_irregular(r),
+                }
+            }
+        }
+        // Touched-set and shared-segment membership.  With the meta-request
+        // optimization on, the shared segment holds exactly the touched
+        // unmaterialized requests; with it off, *every* unmaterialized
+        // request (so joins always leave it and departures always enter it).
+        let mut drop_from_shared: Vec<RequestId> = Vec::new();
+        let mut add_to_shared: Vec<RequestId> = Vec::new();
+        for &r in &diff.joined {
+            let newly = self.mark_touched(r);
+            if !newly || !self.cfg.use_meta_request {
+                drop_from_shared.push(r);
+            }
+        }
+        for &r in &diff.departed {
+            let keep = self.allocated.contains_key(&r)
+                || (self.cfg.track_client_cache && self.resident.contains_key(&r));
+            if !keep {
+                self.untouch(r);
+            }
+            if keep || !self.cfg.use_meta_request {
+                add_to_shared.push(r);
+            }
+        }
+        // Rolled-back requests can cross the touched boundary in either
+        // direction: one whose only claim was a now-undone allocation
+        // returns to its meta class, while one whose evicted blocks the
+        // rollback *restored* becomes resident — hence touched — again.
+        for &r in rolled {
+            if self.model.is_materialized(r) {
+                continue;
+            }
+            let keep = self.allocated.contains_key(&r)
+                || (self.cfg.track_client_cache && self.resident.contains_key(&r));
+            if keep && !self.touched[r.index()] {
+                self.mark_touched(r);
+                if self.cfg.use_meta_request {
+                    add_to_shared.push(r);
+                }
+            } else if !keep && self.touched[r.index()] {
+                self.untouch(r);
+                if self.cfg.use_meta_request {
+                    drop_from_shared.push(r);
+                }
+            }
+        }
+        if !drop_from_shared.is_empty() {
+            let dead: HashSet<RequestId> = drop_from_shared.iter().copied().collect();
+            self.shared_order.retain(|r| !dead.contains(r));
+            if incremental {
+                self.sampler.compact_shared(|r| !dead.contains(&r));
+            }
+        }
+        for &r in &add_to_shared {
+            self.shared_order.push(r);
+            if incremental {
+                let g = self.marginal_gain(r);
+                self.sampler.set_shared_gain(r, g);
+            }
+        }
+        if !incremental {
+            return;
+        }
+        match self.cfg.sampler {
+            SamplerVariant::Lazy => {
+                // Point updates for the changed explicit entries, then the
+                // O(b + |irr|) slot refresh.
+                for &(r, _) in &diff.placed {
+                    self.refresh_explicit_entry(r);
+                }
+                for &r in &diff.rescaled {
+                    self.refresh_explicit_entry(r);
+                }
+                for &r in rolled {
+                    if self.sampler.is_explicit(r) {
+                        self.refresh_explicit_entry(r);
+                    }
+                }
+                self.refresh_lazy_slot();
+            }
+            // The eager baseline rewrites every materialized weight anyway.
+            SamplerVariant::Eager => self.refresh_explicit_full(),
+            SamplerVariant::Scan => unreachable!("scan variant keeps no sampler state"),
+        }
+        // Rolled-back shared members: their gain part changed.
+        for &r in rolled {
+            if !self.sampler.is_explicit(r)
+                && (self.touched[r.index()] || !self.cfg.use_meta_request)
+            {
+                let g = self.marginal_gain(r);
+                self.sampler.set_shared_gain(r, g);
+            }
+        }
+        self.sampler
+            .set_shared_scale(self.model.residual_tail(self.t));
+        self.sync_meta_counts();
+    }
+
+    /// Clears `r`'s touched flag (no-op if already untouched), maintaining
+    /// the per-class tallies.
+    fn untouch(&mut self, r: RequestId) {
+        if self.touched[r.index()] {
+            self.touched[r.index()] = false;
+            self.touched_per_class[self.ctx.classes.class_of(r)] -= 1;
+        }
+    }
+
+    /// Re-derives one explicit (materialized) entry's cached coefficient and
+    /// stored value from the current model — the point update behind diff
+    /// placements and rescales.
+    fn refresh_explicit_entry(&mut self, r: RequestId) {
+        if self.cfg.sampler == SamplerVariant::Lazy && !self.sampler.is_irregular(r) {
+            self.sampler.set_explicit_coef(r, self.model.tail(r, 0));
+        }
+        let v = self.explicit_value(r);
+        self.sampler.set_explicit_value(r, v);
     }
 
     /// Debug-only check of the schedule-log invariants: one log entry per
@@ -422,7 +778,7 @@ impl GreedyScheduler {
             return false;
         }
         self.touched[r.index()] = true;
-        self.touched_per_class[self.classes.class_of(r)] += 1;
+        self.touched_per_class[self.ctx.classes.class_of(r)] += 1;
         true
     }
 
@@ -472,7 +828,7 @@ impl GreedyScheduler {
         }
         self.sampler.rebuild(
             self.model.shape_partition(),
-            &self.meta_gains,
+            &self.ctx.meta_gains,
             self.model.num_requests(),
         );
         if self.cfg.sampler == SamplerVariant::Lazy {
@@ -497,29 +853,50 @@ impl GreedyScheduler {
         self.sync_meta_counts();
     }
 
+    /// The per-slot storage rescale `γ^t`: stored slot-dependent weights are
+    /// divided by it (with the matching scale applied at draw time), so
+    /// magnitudes stay O(1) across the schedule no matter how deep the
+    /// `γ^t` tails decay — the Fenwick delta-update residue can never dwarf
+    /// the live values, replacing the exact `rebuild_sums` the eager path
+    /// used to need after every rewrite.  Degenerate discounts (γ of 0 or 1,
+    /// or an underflowed power — where the tails themselves are exactly 0)
+    /// fall back to no rescale.
+    fn slot_scale(&self) -> f64 {
+        let g = self.cfg.gamma;
+        if g > 0.0 && g < 1.0 {
+            let s = g.powi(self.t as i32);
+            if s > 0.0 {
+                return s;
+            }
+        }
+        1.0
+    }
+
     /// The value stored in the explicit layout for materialized request `r`:
     /// the slot-invariant `g · tail(0)` for lazily-scaled bucket members,
-    /// the full current weight `g · tail(t)` otherwise (irregular members,
-    /// and everything under the eager variant).
+    /// the rescaled current weight `g · tail(t) · γ^{-t}` otherwise
+    /// (irregular members, and everything under the eager variant).
     fn explicit_value(&self, r: RequestId) -> f64 {
         let g = self.marginal_gain(r);
         if self.cfg.sampler == SamplerVariant::Lazy && !self.sampler.is_irregular(r) {
             g * self.model.tail(r, 0)
         } else {
-            g * self.model.tail(r, self.t)
+            g * self.model.tail(r, self.t) / self.slot_scale()
         }
     }
 
     /// Rewrites every explicit (materialized) weight and bucket factor for
-    /// the current slot — `O(m log m)`.  Used at rebuild time, and by wrap
-    /// resets that cannot reuse the stored values.
+    /// the current slot — `O(m log m)`.  Used at rebuild time, by the eager
+    /// per-slot refresh, and by wrap resets that cannot reuse the stored
+    /// values.
     fn refresh_explicit_full(&mut self) {
         let lazy = self.cfg.sampler == SamplerVariant::Lazy;
+        let scale = self.slot_scale();
         for b in 0..self.sampler.num_buckets() {
             let factor = if lazy {
                 self.model.shape_factor(b, self.t)
             } else {
-                1.0
+                scale
             };
             self.sampler.set_bucket_factor(b, factor);
             for i in 0..self.model.shape_partition().buckets[b].members.len() {
@@ -528,14 +905,12 @@ impl GreedyScheduler {
                 self.sampler.set_explicit_value(r, v);
             }
         }
+        self.sampler.set_irregular_scale(scale);
         for i in 0..self.model.shape_partition().irregular.len() {
             let r = self.model.shape_partition().irregular[i];
             let v = self.explicit_value(r);
             self.sampler.set_explicit_value(r, v);
         }
-        // Full rewrites re-derive every value exactly; rebuild the sum nodes
-        // too so decayed tails never sink below accumulated residue.
-        self.sampler.renormalize_explicit();
     }
 
     /// The lazy variant's per-slot refresh: one factor per shape bucket
@@ -546,22 +921,20 @@ impl GreedyScheduler {
             let factor = self.model.shape_factor(b, self.t);
             self.sampler.set_bucket_factor(b, factor);
         }
+        self.sampler.set_irregular_scale(self.slot_scale());
         for i in 0..self.model.shape_partition().irregular.len() {
             let r = self.model.shape_partition().irregular[i];
             let v = self.explicit_value(r);
             self.sampler.set_explicit_value(r, v);
         }
-        // The refreshed values decay with the tail; keep the sum nodes
-        // exact so they never sink below update residue.
-        self.sampler.renormalize_irregular();
     }
 
     /// Pushes the per-class untouched counts into the sampler's
     /// meta-entries.
     fn sync_meta_counts(&mut self) {
-        for c in 0..self.meta_gains.len() {
+        for c in 0..self.ctx.meta_gains.len() {
             let untouched = if self.cfg.use_meta_request {
-                self.classes.class(c).len() - self.touched_per_class[c]
+                self.ctx.classes.class(c).len() - self.touched_per_class[c]
             } else {
                 0
             };
@@ -580,12 +953,12 @@ impl GreedyScheduler {
     /// dwarfs the cache.
     fn refresh_request_weight(&mut self, r: RequestId) {
         if self.sampler.is_explicit(r) {
-            let g = self.marginal_gain(r);
             if self.cfg.sampler == SamplerVariant::Lazy && !self.sampler.is_irregular(r) {
+                let g = self.marginal_gain(r);
                 self.sampler.set_explicit_gain(r, g);
             } else {
-                self.sampler
-                    .set_explicit_value(r, g * self.model.tail(r, self.t));
+                let v = self.explicit_value(r);
+                self.sampler.set_explicit_value(r, v);
             }
         } else {
             let g = self.marginal_gain(r);
@@ -625,9 +998,11 @@ impl GreedyScheduler {
             }
         }
         if newly_touched && self.cfg.use_meta_request {
-            let c = self.classes.class_of(q);
-            self.sampler
-                .set_meta_untouched(c, self.classes.class(c).len() - self.touched_per_class[c]);
+            let c = self.ctx.classes.class_of(q);
+            self.sampler.set_meta_untouched(
+                c,
+                self.ctx.classes.class(c).len() - self.touched_per_class[c],
+            );
         }
     }
 
@@ -657,7 +1032,7 @@ impl GreedyScheduler {
     /// (the probability-independent factor of its weight).
     fn marginal_gain(&self, request: RequestId) -> f64 {
         let have = self.effective_blocks(request);
-        let nb = self.num_blocks[request.index()];
+        let nb = self.ctx.num_blocks[request.index()];
         if have >= nb {
             return 0.0;
         }
@@ -733,8 +1108,8 @@ impl GreedyScheduler {
                 push(Entry::Request(r), self.marginal_gain(r) * scale);
             }
             if self.cfg.use_meta_request {
-                for (c, &g1) in self.meta_gains.iter().enumerate() {
-                    let untouched = self.classes.class(c).len() - self.touched_per_class[c];
+                for (c, &g1) in self.ctx.meta_gains.iter().enumerate() {
+                    let untouched = self.ctx.classes.class(c).len() - self.touched_per_class[c];
                     push(Entry::Meta(c), untouched as f64 * g1 * scale);
                 }
             }
@@ -760,7 +1135,7 @@ impl GreedyScheduler {
 
     /// Uniformly samples an untouched request of utility class `c`.
     fn sample_untouched_in_class(&mut self, c: usize) -> Option<RequestId> {
-        let class = self.classes.class(c);
+        let class = self.ctx.classes.class(c);
         let len = class.len();
         if len == self.touched_per_class[c] {
             return None;
@@ -888,7 +1263,7 @@ impl GreedyScheduler {
                     || (self.cfg.track_client_cache && self.resident.contains_key(&r));
                 if !keep {
                     self.touched[r.index()] = false;
-                    self.touched_per_class[self.classes.class_of(r)] -= 1;
+                    self.touched_per_class[self.ctx.classes.class_of(r)] -= 1;
                     departed = true;
                 }
             }
@@ -1556,6 +1931,157 @@ mod tests {
     }
 
     #[test]
+    fn sender_ahead_gap_creation_is_rate_limited() {
+        // Satellite regression (ROADMAP): a sender repeatedly claiming
+        // positions near `C` must not force a schedule wrap per update.
+        // With the default cap of half the horizon, each update opens at
+        // most `C/2` gaps; the excess is rejected and counted.
+        let mut s = mk(10, 4, 20, true); // max_gap_slots = 10
+        let pred = PredictionSummary::point(10, RequestId(1), Time::ZERO);
+        s.update_prediction(&pred, 20);
+        assert_eq!(s.position(), 10, "gap creation must be clamped");
+        assert_eq!(s.gap_slots(), 10);
+        assert_eq!(s.rejected_gap_slots(), 10);
+        // From t=10 the same claim fits the budget: no further rejections.
+        s.update_prediction(&pred, 20);
+        assert_eq!(s.position(), 20);
+        assert_eq!(s.gap_slots(), 20);
+        assert_eq!(s.rejected_gap_slots(), 10);
+        // A fraction of 1.0 disables the limit (the pre-cap behaviour).
+        let catalog = Arc::new(ResponseCatalog::uniform(10, 4, 1000));
+        let mut s = GreedyScheduler::new(
+            GreedySchedulerConfig {
+                cache_blocks: 20,
+                max_gap_fraction: 1.0,
+                ..Default::default()
+            },
+            UtilityModel::homogeneous(&LinearUtility, 4),
+            catalog,
+        );
+        s.update_prediction(&pred, 20);
+        assert_eq!(s.position(), 20);
+        assert_eq!(s.rejected_gap_slots(), 0);
+    }
+
+    #[test]
+    fn overlapping_predictions_take_the_diff_path() {
+        let mut s = mk(50, 4, 30, true);
+        let p1 = sparse_pred(50, vec![(RequestId(5), 0.4), (RequestId(9), 0.2)], 0.4);
+        s.update_prediction(&p1, 0);
+        let _ = s.next_batch(10);
+        // Overlapping re-prediction: reweight 5, drop 9, join 11.
+        let p2 = sparse_pred(50, vec![(RequestId(5), 0.3), (RequestId(11), 0.3)], 0.4);
+        s.update_prediction(&p2, 4);
+        assert_eq!(s.diff_applied_updates(), 2, "both updates should diff");
+        // An incompatible slice layout falls back to the full rebuild.
+        let slices = vec![crate::distribution::HorizonSlice {
+            delta: Duration::from_millis(10),
+            dist: crate::distribution::SparseDistribution::point(50, RequestId(2)),
+        }];
+        s.update_prediction(&PredictionSummary::new(50, slices, Time::ZERO), 0);
+        assert_eq!(s.diff_applied_updates(), 2);
+        assert_eq!(s.prediction_updates(), 3);
+        // Disabling the knob forces rebuilds.
+        let catalog = Arc::new(ResponseCatalog::uniform(50, 4, 1000));
+        let mut off = GreedyScheduler::new(
+            GreedySchedulerConfig {
+                cache_blocks: 30,
+                prediction_diff: false,
+                ..Default::default()
+            },
+            UtilityModel::homogeneous(&LinearUtility, 4),
+            catalog,
+        );
+        off.update_prediction(&p1, 0);
+        off.update_prediction(&p2, 0);
+        assert_eq!(off.diff_applied_updates(), 0);
+    }
+
+    #[test]
+    fn diff_updates_match_full_rebuild_state() {
+        // Drive a diff-enabled and a rebuild-every-time scheduler through
+        // the same overlapping update sequence (with scheduling and
+        // rollbacks in between) and compare the *semantic* sampling state:
+        // every candidate weight as the scan walk derives it.  (The two may
+        // legally emit different blocks — the diffed layout appends where a
+        // rebuild re-sorts — so block-level equality is checked separately
+        // against the scan variant by the parity proptest.)
+        let n = 40;
+        let mk_one = |diff: bool| {
+            let catalog = Arc::new(ResponseCatalog::uniform(n, 4, 1000));
+            GreedyScheduler::new(
+                GreedySchedulerConfig {
+                    cache_blocks: 24,
+                    prediction_diff: diff,
+                    seed: 11,
+                    ..Default::default()
+                },
+                UtilityModel::homogeneous(&PowerUtility::new(0.5), 4),
+                catalog,
+            )
+        };
+        let updates = [
+            sparse_pred(n, vec![(RequestId(3), 0.4), (RequestId(7), 0.2)], 0.4),
+            sparse_pred(
+                n,
+                vec![
+                    (RequestId(3), 0.3),
+                    (RequestId(7), 0.1),
+                    (RequestId(12), 0.2),
+                ],
+                0.4,
+            ),
+            sparse_pred(n, vec![(RequestId(12), 0.5), (RequestId(20), 0.1)], 0.4),
+            sparse_pred(n, vec![(RequestId(12), 0.45), (RequestId(20), 0.2)], 0.35),
+        ];
+        let mut with_diff = mk_one(true);
+        let mut rebuild = mk_one(false);
+        for (i, pred) in updates.iter().enumerate() {
+            // Updates-only (identical observable state on both sides):
+            // compare every candidate weight.
+            with_diff.update_prediction(pred, 0);
+            rebuild.update_prediction(pred, 0);
+            assert!(
+                with_diff.debug_weight_divergence().is_empty(),
+                "diffed sampler inconsistent after update {i}: {:?}",
+                with_diff.debug_weight_divergence()
+            );
+            for r in (0..n).map(RequestId::from) {
+                let scale_d = with_diff.model.residual_tail(with_diff.t);
+                let scale_r = rebuild.model.residual_tail(rebuild.t);
+                let wd = if with_diff.model.is_materialized(r) {
+                    with_diff.gain_for(r)
+                } else {
+                    with_diff.marginal_gain(r) * scale_d
+                };
+                let wr = if rebuild.model.is_materialized(r) {
+                    rebuild.gain_for(r)
+                } else {
+                    rebuild.marginal_gain(r) * scale_r
+                };
+                assert!(
+                    (wd - wr).abs() <= 1e-9 * wr.abs().max(1e-9),
+                    "weight({r:?}) diverged after update {i}: diff {wd} vs rebuild {wr}"
+                );
+            }
+        }
+        assert_eq!(with_diff.diff_applied_updates(), 4);
+        assert_eq!(rebuild.diff_applied_updates(), 0);
+        // With scheduling and rollbacks interleaved, the diffed sampler must
+        // stay internally consistent with its own model.
+        let mut s = mk_one(true);
+        for (i, pred) in updates.iter().enumerate() {
+            let _ = s.next_batch(10);
+            s.update_prediction(pred, i % (s.position() + 1));
+            assert!(
+                s.debug_weight_divergence().is_empty(),
+                "inconsistent after interleaved update {i}: {:?}",
+                s.debug_weight_divergence()
+            );
+        }
+    }
+
+    #[test]
     fn gap_slots_lower_expected_utility_of_later_blocks() {
         // The slot-aligned schedule log keeps post-gap blocks at their true
         // slot indices, where the discounted tails are smaller.
@@ -1749,12 +2275,14 @@ mod tests {
                     _ => {
                         // A buggy / adversarial sender claims to be ahead of
                         // the scheduler: the skipped slots become explicit
-                        // gaps (clamped to the horizon like the scheduler
-                        // does).
+                        // gaps, clamped to the horizon and rate-limited per
+                        // update like the scheduler does — the client replay
+                        // mirrors the *effective* position the scheduler
+                        // settled on.
                         let pos = (s.position() + b % 4).min(cache);
                         let pred = PredictionSummary::point(n, RequestId::from(a % n), Time::ZERO);
                         s.update_prediction(&pred, pos);
-                        client.on_update(pos);
+                        client.on_update(s.position());
                     }
                 }
                 prop_assert_eq!(
@@ -1884,6 +2412,10 @@ mod tests {
                 catalog,
             );
             let mut emitted = Vec::new();
+            // Drifting prediction state for the overlapping-update ops
+            // (kinds 6–7): successive summaries share most entries, so the
+            // scheduler's diff path — not the full rebuild — is exercised.
+            let mut evolving: Vec<(usize, f64)> = vec![(0, 0.3), (1 % n, 0.2)];
             for &(kind, a, b) in ops {
                 match kind {
                     // Batches large relative to the cache horizon force
@@ -1928,15 +2460,88 @@ mod tests {
                         let pos = a % (s.position() + 1);
                         s.update_prediction(&pred, pos);
                     }
-                    _ => {
+                    5 => {
                         // Sender-ahead gap, then keep scheduling below it
                         // later via the rollback ops above.
                         let pos = (s.position() + b % 3).min(cache);
                         let pred = PredictionSummary::uniform(n, Time::ZERO);
                         s.update_prediction(&pred, pos);
                     }
+                    6 => {
+                        // Overlapping re-prediction: mutate ONE entry of the
+                        // drifting prediction (add / remove / reweight) and
+                        // re-send — the add/remove/reweight grammar of the
+                        // diff path.
+                        match a % 3 {
+                            0 => {
+                                let r = b % n;
+                                let p = (b % 9 + 1) as f64 / 30.0;
+                                match evolving.iter_mut().find(|e| e.0 == r) {
+                                    Some(e) => e.1 = p,
+                                    None => evolving.push((r, p)),
+                                }
+                            }
+                            1 if evolving.len() > 1 => {
+                                evolving.remove(b % evolving.len());
+                            }
+                            _ => {
+                                let i = b % evolving.len();
+                                evolving[i].1 *= (a % 5 + 1) as f64 / 3.0;
+                            }
+                        }
+                        let entries: Vec<(RequestId, f64)> = evolving
+                            .iter()
+                            .map(|&(r, p)| (RequestId::from(r), p))
+                            .collect();
+                        let mass: f64 = evolving.iter().map(|e| e.1).sum();
+                        let pred = sparse_pred(n, entries, (1.0 - mass).max(0.1));
+                        let pos = a % (s.position() + 1);
+                        s.update_prediction(&pred, pos);
+                    }
+                    _ => {
+                        // Overlapping *shape-changing* re-prediction over
+                        // the same slice offsets: early mass follows `a`,
+                        // late mass follows the drifting entries, so
+                        // successive updates move requests between shape
+                        // buckets through the diff path.
+                        let early = crate::distribution::SparseDistribution::from_entries(
+                            n,
+                            vec![(RequestId::from(a % n), 0.6)],
+                            0.4,
+                        );
+                        let entries: Vec<(RequestId, f64)> = evolving
+                            .iter()
+                            .map(|&(r, p)| (RequestId::from(r), p))
+                            .collect();
+                        let mass: f64 = evolving.iter().map(|e| e.1).sum();
+                        let late = crate::distribution::SparseDistribution::from_entries(
+                            n,
+                            entries,
+                            (1.0 - mass).max(0.1),
+                        );
+                        let slices = PredictionSummary::default_deltas()
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, delta)| crate::distribution::HorizonSlice {
+                                delta,
+                                dist: if i < 2 { early.clone() } else { late.clone() },
+                            })
+                            .collect();
+                        let pred = PredictionSummary::new(n, slices, Time::ZERO);
+                        let pos = b % (s.position() + 1);
+                        s.update_prediction(&pred, pos);
+                    }
                 }
             }
+            // The incremental weight structure must agree with a
+            // from-scratch recomputation of every candidate weight after any
+            // op sequence — the diff path may never leave stale state.
+            assert!(
+                s.debug_weight_divergence().is_empty(),
+                "sampler diverged from model ({:?}): {:?}",
+                variant,
+                s.debug_weight_divergence()
+            );
             (emitted, s.simulated_ring())
         }
 
@@ -1947,17 +2552,18 @@ mod tests {
             /// randomized heterogeneous-utility catalogs, forced schedule
             /// wraps (cache far smaller than the block universe), sparse and
             /// time-varying predictions (multiple tail-shape buckets),
-            /// rollbacks, and sender-ahead gaps — under a fixed seed the
-            /// legacy scan, the eager PR 2 sampler, and the lazy-bucket
-            /// sampler must emit identical schedules and identical simulated
-            /// rings.
+            /// rollbacks, sender-ahead gaps, and *sequences of overlapping
+            /// prediction updates* (add / remove / reweight / shape-change,
+            /// exercising the diff path) — under a fixed seed the legacy
+            /// scan, the eager PR 2 sampler, and the lazy-bucket sampler
+            /// must emit identical schedules and identical simulated rings.
             #[test]
             fn sampler_variants_emit_identical_schedules(
                 n in 2usize..14,
                 blocks in 1u32..6,
                 cache in 2usize..20,
                 seed in 0u64..10_000,
-                ops in collection::vec((0u8..6, 0usize..64, 0usize..64), 1..14)
+                ops in collection::vec((0u8..8, 0usize..64, 0usize..64), 1..14)
             ) {
                 let utility = heterogeneous_utility(n, blocks);
                 for meta in [true, false] {

@@ -30,7 +30,7 @@ use crate::utility::UtilityModel;
 
 pub use crate::sampling::SamplerVariant;
 pub use backend_limit::limit_distinct_requests;
-pub use greedy::{GreedyScheduler, GreedySchedulerConfig};
+pub use greedy::{GreedyContext, GreedyScheduler, GreedySchedulerConfig};
 pub use optimal::{BruteForceScheduler, OptimalScheduler};
 
 /// An ordered sequence of blocks for the sender to push, most urgent first.
@@ -108,20 +108,105 @@ pub trait Scheduler: Send {
 /// is what the user wants during slots `t..horizon`.  Requests without an
 /// explicit (materialized) entry all share the same tail, which is what makes
 /// the greedy scheduler's meta-request optimization possible (§5.3.1).
+///
+/// Bucketed requests store only a scalar coefficient against their bucket's
+/// shared shape vector (`tail_i(t) = coef_i · shape_b(t)`), so the model's
+/// memory is `O(b · horizon + m)` instead of `O(m · horizon)` and a
+/// magnitude-only prediction change is a single scalar update (see
+/// [`HorizonModel::apply_update`]).  Only irregular requests keep a full
+/// per-slot vector.
 #[derive(Debug, Clone)]
 pub struct HorizonModel {
     n: usize,
     horizon: usize,
     slot_duration: Duration,
     gamma: f64,
-    /// Materialized per-request tails: request -> tail vector of length
-    /// `horizon + 1` (index `horizon` is 0, simplifying loops).
-    explicit: HashMap<RequestId, Vec<f64>>,
+    /// Materialized per-request tails (scalar-vs-shape for bucket members,
+    /// full vectors of length `horizon + 1` for irregular requests; index
+    /// `horizon` is 0, simplifying loops).
+    explicit: HashMap<RequestId, ExplicitTail>,
     /// Tail vector shared by every non-materialized request.
     residual: Vec<f64>,
     /// Materialized requests grouped by tail *shape* (see
-    /// [`TailShapePartition`]), computed once at build time.
+    /// [`TailShapePartition`]), computed at build time and maintained under
+    /// diff updates.
     partition: TailShapePartition,
+    /// Materialized requests in ascending order (the diff walks old vs. new
+    /// sorted sets in one merge pass).
+    materialized_ids: Vec<RequestId>,
+    /// Per-request prediction signature: equal signatures imply identical
+    /// per-slot probabilities, hence identical tails.
+    signatures: HashMap<RequestId, TailSignature>,
+    /// The slice offsets of the summary this model was built from; a summary
+    /// with different offsets cannot be diffed against this model.
+    slice_deltas: Vec<Duration>,
+}
+
+/// Tail storage of one materialized request.
+#[derive(Debug, Clone)]
+enum ExplicitTail {
+    /// Member of shape bucket `bucket`: `tail(t) = coef · shape[t]`.
+    Scaled { bucket: u32, coef: f64 },
+    /// Irregular request with an exact per-slot tail vector.
+    Full(Vec<f64>),
+}
+
+/// A materialized request's identity under prediction diffing: its
+/// probability at every slice of the summary (falling back to the slice's
+/// residual-per-request, exactly like interpolation does) plus which slices
+/// carry an explicit entry for it.  Two summaries assigning a request equal
+/// signatures assign it identical per-slot probabilities (up to the global
+/// renormalization noise of the interpolation, which is `O(ε)` for
+/// normalized inputs).
+#[derive(Debug, Clone, PartialEq)]
+struct TailSignature {
+    /// `prob(r)` at each slice, in slice order.
+    probs: Vec<f64>,
+    /// Bit `i` set when slice `i` has an explicit entry for the request.
+    explicit_mask: u32,
+}
+
+/// Where a materialized request sits in the explicit layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplicitPlacement {
+    /// Member of shape bucket `b`.
+    Bucket(usize),
+    /// Member of the irregular exact-refresh set.
+    Irregular,
+}
+
+/// The result of one incremental prediction update
+/// ([`HorizonModel::apply_update`]): exactly which requests entered, left,
+/// moved within, or rescaled inside the explicit layout, so a sampler
+/// mirroring the layout can apply point updates instead of rebuilding.
+///
+/// All request lists are ascending; `removed` covers every structural
+/// removal (departures plus moves) and `placed` every structural insertion
+/// (joins plus moves), in the order they were applied to the partition.
+#[derive(Debug, Clone, Default)]
+pub struct ModelDiff {
+    /// Requests that left the materialized set entirely.
+    pub departed: Vec<RequestId>,
+    /// Requests that entered the materialized set.
+    pub joined: Vec<RequestId>,
+    /// Requests removed from their explicit spot (departures + moves).
+    pub removed: Vec<RequestId>,
+    /// Requests placed into an explicit spot (joins + moves).
+    pub placed: Vec<(RequestId, ExplicitPlacement)>,
+    /// Requests whose tail changed magnitude (or, for irregular members,
+    /// values) without changing their spot in the layout.
+    pub rescaled: Vec<RequestId>,
+    /// Shape buckets appended to the partition by this update.
+    pub buckets_added: usize,
+}
+
+impl ModelDiff {
+    /// Number of structurally changed requests (everything except in-place
+    /// rescales), each counted once: `departed` holds the removed-only
+    /// requests and `placed` the joins plus moves.
+    pub fn structural_changes(&self) -> usize {
+        self.departed.len() + self.placed.len()
+    }
 }
 
 /// Maximum number of distinct shape buckets materialized per model; requests
@@ -143,28 +228,36 @@ const SHAPE_EPS: f64 = 1e-9;
 /// `s(0) = 1`.  A sampler can therefore represent the whole bucket's
 /// per-slot evolution with **one scalar factor** — advancing `t` multiplies
 /// the bucket, it never rewrites members.  Requests whose tails are
-/// proportional to no bucket representative (or that overflow the bucket
-/// cap) land in `irregular` and must be refreshed exactly each slot.
+/// proportional to no bucket shape (or that overflow the bucket cap) land in
+/// `irregular` and must be refreshed exactly each slot.
 ///
-/// Membership lists are ascending by request id and the partition is built
-/// from the id-sorted materialized set, so the layout is deterministic — a
-/// requirement for seed-reproducible sampling.
+/// At build time membership lists are ascending by request id (the
+/// partition is built from the id-sorted materialized set); under diff
+/// updates ([`HorizonModel::apply_update`]) joiners are appended, so lists
+/// stay deterministic — a function of the update sequence — but not sorted.
+/// Determinism of the layout, not sortedness, is what seed-reproducible
+/// sampling requires.
 #[derive(Debug, Clone, Default)]
 pub struct TailShapePartition {
-    /// Shape buckets, in order of first appearance over ascending ids.
+    /// Shape buckets, in order of first appearance.
     pub buckets: Vec<ShapeBucket>,
-    /// Materialized requests needing exact per-slot refresh, ascending.
+    /// Materialized requests needing exact per-slot refresh.
     pub irregular: Vec<RequestId>,
 }
 
 /// One group of materialized requests with elementwise-proportional tails.
 #[derive(Debug, Clone)]
 pub struct ShapeBucket {
-    /// The bucket's representative (its first member): the shape factor at
-    /// slot `t` is `tail(rep, t) / tail(rep, 0)`.
+    /// The bucket's representative: its first member at creation time.  The
+    /// shape is *stored* (see [`ShapeBucket::shape`]), so the representative
+    /// departing under a diff update does not invalidate the bucket.
     pub rep: RequestId,
-    /// Members in ascending request order (includes `rep`).
+    /// Members in insertion order (ascending at build time).
     pub members: Vec<RequestId>,
+    /// The bucket's normalized tail shape `s(t) = tail(rep, t) /
+    /// tail(rep, 0)` at creation (length `horizon + 1`, `s[0] = 1`; all
+    /// zeros for the zero-tail bucket).
+    pub shape: Vec<f64>,
 }
 
 impl TailShapePartition {
@@ -188,6 +281,7 @@ impl TailShapePartition {
                 buckets.push(ShapeBucket {
                     rep: r,
                     members: vec![r],
+                    shape: normalized_shape(tail),
                 });
             } else {
                 irregular.push(r);
@@ -195,6 +289,27 @@ impl TailShapePartition {
         }
         TailShapePartition { buckets, irregular }
     }
+}
+
+/// Normalizes a tail vector into a shape (`shape[0] = 1`, or all zeros for a
+/// zero tail).
+fn normalized_shape(tail: &[f64]) -> Vec<f64> {
+    let t0 = tail[0];
+    if t0 <= 0.0 {
+        vec![0.0; tail.len()]
+    } else {
+        tail.iter().map(|&v| v / t0).collect()
+    }
+}
+
+/// Whether a tail vector matches a stored normalized bucket shape (same
+/// tolerance as [`tails_proportional`]).
+fn tail_matches_shape(tail: &[f64], shape: &[f64], horizon: usize) -> bool {
+    let t0 = tail[0];
+    if t0 <= 0.0 || shape[0] <= 0.0 {
+        return t0 <= 0.0 && shape[0] <= 0.0;
+    }
+    (1..horizon).all(|t| (tail[t] / t0 - shape[t]).abs() <= SHAPE_EPS)
 }
 
 /// Whether two tail vectors are elementwise proportional (share a shape).
@@ -258,12 +373,39 @@ impl HorizonModel {
             tail
         };
 
-        let mut explicit = HashMap::with_capacity(materialized.len());
+        let mut tails = HashMap::with_capacity(materialized.len());
         for (mi, &r) in materialized.iter().enumerate() {
-            explicit.insert(r, suffix(&per_slot[mi]));
+            tails.insert(r, suffix(&per_slot[mi]));
         }
         let residual = suffix(&residual_slot);
-        let partition = TailShapePartition::build(&materialized, &explicit, horizon);
+        let partition = TailShapePartition::build(&materialized, &tails, horizon);
+
+        // Compress bucketed tails to scalar coefficients against the shared
+        // shape; only irregular requests keep their full vector.
+        let mut explicit = HashMap::with_capacity(materialized.len());
+        for (bi, b) in partition.buckets.iter().enumerate() {
+            for &r in &b.members {
+                let coef = tails[&r][0];
+                explicit.insert(
+                    r,
+                    ExplicitTail::Scaled {
+                        bucket: bi as u32,
+                        coef,
+                    },
+                );
+            }
+        }
+        for &r in &partition.irregular {
+            let full = tails.remove(&r).expect("irregular request has a tail");
+            explicit.insert(r, ExplicitTail::Full(full));
+        }
+
+        let slices = summary.slices();
+        let signatures = materialized
+            .iter()
+            .map(|&r| (r, signature_of(slices, r)))
+            .collect();
+        let slice_deltas = slices.iter().map(|s| s.delta).collect();
 
         HorizonModel {
             n,
@@ -273,6 +415,9 @@ impl HorizonModel {
             explicit,
             residual,
             partition,
+            materialized_ids: materialized,
+            signatures,
+            slice_deltas,
         }
     }
 
@@ -323,25 +468,30 @@ impl HorizonModel {
         &self.partition
     }
 
-    /// The shape factor `s(t) = tail(rep, t) / tail(rep, 0)` of shape bucket
-    /// `b` at slot `t` (`0` for all-zero buckets).
+    /// The shape factor `s(t)` of shape bucket `b` at slot `t` (`0` for
+    /// all-zero buckets).
     pub fn shape_factor(&self, b: usize, t: usize) -> f64 {
-        let rep = self.partition.buckets[b].rep;
-        let base = self.tail(rep, 0);
-        if base <= 0.0 {
-            0.0
-        } else {
-            self.tail(rep, t) / base
-        }
+        self.partition.buckets[b].shape[t.min(self.horizon)]
     }
 
     /// Tail mass of `request` from slot `t` (clamped to the horizon) onward.
     pub fn tail(&self, request: RequestId, t: usize) -> f64 {
         let t = t.min(self.horizon);
         match self.explicit.get(&request) {
-            Some(v) => v[t],
+            Some(&ExplicitTail::Scaled { bucket, coef }) => {
+                coef * self.partition.buckets[bucket as usize].shape[t]
+            }
+            Some(ExplicitTail::Full(v)) => v[t],
             None => self.residual[t],
         }
+    }
+
+    /// Where `request` sits in the explicit layout, if materialized.
+    pub fn placement(&self, request: RequestId) -> Option<ExplicitPlacement> {
+        self.explicit.get(&request).map(|e| match e {
+            ExplicitTail::Scaled { bucket, .. } => ExplicitPlacement::Bucket(*bucket as usize),
+            ExplicitTail::Full(_) => ExplicitPlacement::Irregular,
+        })
     }
 
     /// Tail mass of a single non-materialized (residual) request.
@@ -360,6 +510,463 @@ impl HorizonModel {
             return 0.0;
         }
         (self.tail(request, k) - self.tail(request, k + 1)) / d
+    }
+
+    /// Applies a fresh prediction *incrementally*: diffs `summary` against
+    /// the summary this model was built from, keeps tails and bucket
+    /// membership for requests whose signature is unchanged, rescales
+    /// shape-preserving changes in `O(1)`, and recomputes + reclassifies only
+    /// the structurally changed set.  Returns the [`ModelDiff`] a sampler
+    /// mirroring the layout needs to apply matching point updates.
+    ///
+    /// Returns `None` — leaving the model untouched — when the update cannot
+    /// be applied as a small diff and the caller must fall back to
+    /// [`HorizonModel::build`]: a changed horizon / slot duration / γ /
+    /// slice-offset set, a structurally changed set larger than
+    /// `max(64, m/4)`, or a new tail shape arriving while the bucket cap is
+    /// reached with stale (empty) buckets worth reclaiming.
+    pub fn apply_update(&mut self, summary: &PredictionSummary) -> Option<ModelDiff> {
+        let slices = summary.slices();
+        if self.n != summary.num_requests()
+            || slices.len() > 32
+            || slices.len() != self.slice_deltas.len()
+            || slices
+                .iter()
+                .zip(&self.slice_deltas)
+                .any(|(s, &d)| s.delta != d)
+        {
+            return None;
+        }
+        let horizon = self.horizon;
+        let new_ids = summary.materialized_requests();
+
+        // --- phase 1: plan (read-only; any bail-out leaves `self` intact) ---
+        let new_sigs: HashMap<RequestId, TailSignature> = new_ids
+            .iter()
+            .map(|&r| (r, signature_of(slices, r)))
+            .collect();
+        let mut departed = Vec::new();
+        let mut joined = Vec::new();
+        let mut pending = Vec::new(); // joins + non-trivial changes, ascending
+        let mut fast_rescale: Vec<(RequestId, f64)> = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.materialized_ids.len() || j < new_ids.len() {
+            let old = self.materialized_ids.get(i).copied();
+            let new = new_ids.get(j).copied();
+            match (old, new) {
+                (Some(o), Some(nw)) if o == nw => {
+                    let old_sig = &self.signatures[&o];
+                    let new_sig = &new_sigs[&o];
+                    if old_sig != new_sig {
+                        match sig_scale(old_sig, new_sig) {
+                            Some(c) => fast_rescale.push((o, c)),
+                            None => pending.push(o),
+                        }
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(o), Some(nw)) if o < nw => {
+                    departed.push(o);
+                    i += 1;
+                }
+                (Some(_), None) => {
+                    departed.push(self.materialized_ids[i]);
+                    i += 1;
+                }
+                (_, Some(nw)) => {
+                    joined.push(nw);
+                    pending.push(nw);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        let max_changed = (new_ids.len() / 4).max(64);
+        if departed.len() + joined.len() + pending.len() > max_changed {
+            return None;
+        }
+
+        let plan = SlotPlan::new(summary, horizon, self.slot_duration);
+
+        // Classify the recomputed tails against existing bucket shapes (and
+        // shapes created earlier in this same update).
+        let mut new_buckets: Vec<(RequestId, Vec<f64>)> = Vec::new(); // (rep, shape)
+        let mut placed: Vec<(RequestId, ExplicitPlacement)> = Vec::new();
+        let mut removed_moves: Vec<RequestId> = Vec::new();
+        let mut rescaled: Vec<RequestId> = Vec::new();
+        let mut pending_tails: Vec<(RequestId, Vec<f64>)> = Vec::with_capacity(pending.len());
+        for &r in &pending {
+            pending_tails.push((r, plan.tail_for(&new_sigs[&r], self.gamma)));
+        }
+        let any_empty_bucket = self.partition.buckets.iter().any(|b| b.members.is_empty());
+        for (r, tail) in &pending_tails {
+            let old = self.placement(*r);
+            let target = self
+                .partition
+                .buckets
+                .iter()
+                .map(|b| b.shape.as_slice())
+                .chain(new_buckets.iter().map(|(_, s)| s.as_slice()))
+                .position(|shape| tail_matches_shape(tail, shape, horizon));
+            match (old, target) {
+                (Some(ExplicitPlacement::Bucket(b)), Some(tb)) if tb == b => rescaled.push(*r),
+                (old, Some(tb)) => {
+                    if old.is_some() {
+                        removed_moves.push(*r);
+                    }
+                    placed.push((*r, ExplicitPlacement::Bucket(tb)));
+                }
+                (old, None) => {
+                    if self.partition.buckets.len() + new_buckets.len() < MAX_SHAPE_BUCKETS {
+                        let tb = self.partition.buckets.len() + new_buckets.len();
+                        new_buckets.push((*r, normalized_shape(tail)));
+                        if old.is_some() {
+                            removed_moves.push(*r);
+                        }
+                        placed.push((*r, ExplicitPlacement::Bucket(tb)));
+                    } else if any_empty_bucket {
+                        // The cap is hit but stale shapes are hogging it: a
+                        // full rebuild reclaims them.
+                        return None;
+                    } else {
+                        match old {
+                            Some(ExplicitPlacement::Irregular) => rescaled.push(*r),
+                            Some(ExplicitPlacement::Bucket(_)) => {
+                                removed_moves.push(*r);
+                                placed.push((*r, ExplicitPlacement::Irregular));
+                            }
+                            None => placed.push((*r, ExplicitPlacement::Irregular)),
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- phase 2: apply ---
+        // Structural removals (departures + moves), grouped by spot.
+        let mut removed: Vec<RequestId> = Vec::with_capacity(departed.len() + removed_moves.len());
+        removed.extend(departed.iter().copied());
+        removed.extend(removed_moves.iter().copied());
+        if !removed.is_empty() {
+            let mut from_bucket: Vec<Vec<RequestId>> =
+                vec![Vec::new(); self.partition.buckets.len()];
+            let mut from_irregular: Vec<RequestId> = Vec::new();
+            for &r in &removed {
+                match self.placement(r).expect("removed request is materialized") {
+                    ExplicitPlacement::Bucket(b) => from_bucket[b].push(r),
+                    ExplicitPlacement::Irregular => from_irregular.push(r),
+                }
+            }
+            for (b, dead) in from_bucket.into_iter().enumerate() {
+                if !dead.is_empty() {
+                    self.partition.buckets[b]
+                        .members
+                        .retain(|r| !dead.contains(r));
+                }
+            }
+            if !from_irregular.is_empty() {
+                self.partition
+                    .irregular
+                    .retain(|r| !from_irregular.contains(r));
+            }
+        }
+        for &r in &departed {
+            self.explicit.remove(&r);
+            self.signatures.remove(&r);
+        }
+        for (rep, shape) in new_buckets.iter().cloned() {
+            self.partition.buckets.push(ShapeBucket {
+                rep,
+                members: Vec::new(),
+                shape,
+            });
+        }
+        // Placements (joins + moves): append membership, install tails.
+        let mut pending_tails: HashMap<RequestId, Vec<f64>> = pending_tails.into_iter().collect();
+        for &(r, p) in &placed {
+            let tail = pending_tails.remove(&r).expect("placed request has a tail");
+            match p {
+                ExplicitPlacement::Bucket(b) => {
+                    self.partition.buckets[b].members.push(r);
+                    self.explicit.insert(
+                        r,
+                        ExplicitTail::Scaled {
+                            bucket: b as u32,
+                            coef: tail[0],
+                        },
+                    );
+                }
+                ExplicitPlacement::Irregular => {
+                    self.partition.irregular.push(r);
+                    self.explicit.insert(r, ExplicitTail::Full(tail));
+                }
+            }
+            self.signatures.insert(r, new_sigs[&r].clone());
+        }
+        // In-place recomputed rescales (same spot, new exact tail).
+        for &r in &rescaled {
+            if let Some(tail) = pending_tails.remove(&r) {
+                match self
+                    .explicit
+                    .get_mut(&r)
+                    .expect("rescaled request is materialized")
+                {
+                    ExplicitTail::Scaled { coef, .. } => *coef = tail[0],
+                    ExplicitTail::Full(v) => *v = tail,
+                }
+                self.signatures.insert(r, new_sigs[&r].clone());
+            }
+        }
+        // O(1) shape-preserving rescales.
+        for &(r, c) in &fast_rescale {
+            match self
+                .explicit
+                .get_mut(&r)
+                .expect("rescaled request is materialized")
+            {
+                ExplicitTail::Scaled { coef, .. } => *coef *= c,
+                ExplicitTail::Full(v) => v.iter_mut().for_each(|x| *x *= c),
+            }
+            self.signatures.insert(r, new_sigs[&r].clone());
+            rescaled.push(r);
+        }
+        rescaled.sort_unstable();
+        self.residual = plan.residual_tail(self.gamma);
+        self.materialized_ids = new_ids;
+
+        Some(ModelDiff {
+            departed,
+            joined,
+            removed,
+            placed,
+            rescaled,
+            buckets_added: new_buckets.len(),
+        })
+    }
+}
+
+/// Builds the per-slice signature of `r` under `slices`.
+fn signature_of(slices: &[crate::distribution::HorizonSlice], r: RequestId) -> TailSignature {
+    let mut probs = Vec::with_capacity(slices.len());
+    let mut explicit_mask = 0u32;
+    for (i, s) in slices.iter().enumerate() {
+        if s.dist
+            .explicit_entries()
+            .binary_search_by_key(&r, |&(x, _)| x)
+            .is_ok()
+        {
+            // Summaries with more than 32 slices are refused by
+            // `apply_update`, so the saturating mask is never consulted.
+            explicit_mask |= 1u32.checked_shl(i as u32).unwrap_or(0);
+        }
+        probs.push(s.dist.prob(r));
+    }
+    TailSignature {
+        probs,
+        explicit_mask,
+    }
+}
+
+/// Detects a shape-preserving signature change: `new ≈ c · old` elementwise
+/// for a single scalar `c > 0`, within a tight tolerance (so repeated `O(1)`
+/// coefficient rescales cannot drift).  Returns the scale on success.
+fn sig_scale(old: &TailSignature, new: &TailSignature) -> Option<f64> {
+    if old.explicit_mask != new.explicit_mask {
+        return None;
+    }
+    let (anchor, &p_anchor) = old
+        .probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))?;
+    if p_anchor <= 0.0 {
+        // All-zero old signature: proportional only to an all-zero new one.
+        return new.probs.iter().all(|&q| q == 0.0).then_some(1.0);
+    }
+    let c = new.probs[anchor] / p_anchor;
+    if !(c.is_finite() && c > 0.0) {
+        return None;
+    }
+    let tol = 1e-12 * c * p_anchor;
+    old.probs
+        .iter()
+        .zip(&new.probs)
+        .all(|(&p, &q)| (q - c * p).abs() <= tol)
+        .then_some(c)
+}
+
+/// Scalar per-slot interpolation plan over a prediction summary: recovers
+/// per-slot probabilities, renormalization totals, and residuals without
+/// materializing an interpolated distribution per slot — the diff path's
+/// `O(m · slices + horizon)` replacement for calling
+/// [`PredictionSummary::at`] on every slot.
+struct SlotPlan {
+    n: usize,
+    /// `(a, b, frac)` per slot: bracketing slice indices and blend fraction;
+    /// `a == b` means the slot clamps to slice `a` (no renormalization).
+    slots: Vec<(u32, u32, f64)>,
+    /// Per-slot renormalization total (what `from_entries` divides by).
+    totals: Vec<f64>,
+    /// Per-slot residual-per-request after renormalization.
+    resid_pp: Vec<f64>,
+    /// Slots whose interpolated mass degenerated to zero (uniform fallback).
+    uniform: Vec<bool>,
+}
+
+impl SlotPlan {
+    fn new(summary: &PredictionSummary, horizon: usize, slot_duration: Duration) -> Self {
+        let slices = summary.slices();
+        let n = summary.num_requests();
+        let count: Vec<usize> = slices
+            .iter()
+            .map(|s| s.dist.explicit_entries().len())
+            .collect();
+        let mass: Vec<f64> = slices
+            .iter()
+            .map(|s| s.dist.explicit_entries().iter().map(|&(_, p)| p).sum())
+            .collect();
+        let rpp: Vec<f64> = slices
+            .iter()
+            .map(|s| s.dist.residual_per_request())
+            .collect();
+        // Adjacent-pair scalars: |A ∪ B| and each side's probability mass
+        // over the union (explicit mass plus residual coverage of the other
+        // side's extra entries).
+        struct Pair {
+            union: usize,
+            sum_a: f64,
+            sum_b: f64,
+        }
+        let pairs: Vec<Pair> = slices
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let (ea, eb) = (w[0].dist.explicit_entries(), w[1].dist.explicit_entries());
+                let mut union = 0usize;
+                let (mut x, mut y) = (0usize, 0usize);
+                while x < ea.len() || y < eb.len() {
+                    union += 1;
+                    match (ea.get(x), eb.get(y)) {
+                        (Some(&(ra, _)), Some(&(rb, _))) => {
+                            if ra == rb {
+                                x += 1;
+                                y += 1;
+                            } else if ra < rb {
+                                x += 1;
+                            } else {
+                                y += 1;
+                            }
+                        }
+                        (Some(_), None) => x += 1,
+                        (None, _) => y += 1,
+                    }
+                }
+                Pair {
+                    union,
+                    sum_a: mass[i] + (union - count[i]) as f64 * rpp[i],
+                    sum_b: mass[i + 1] + (union - count[i + 1]) as f64 * rpp[i + 1],
+                }
+            })
+            .collect();
+
+        let mut slots = Vec::with_capacity(horizon);
+        let mut totals = Vec::with_capacity(horizon);
+        let mut resid_pp = Vec::with_capacity(horizon);
+        let mut uniform = vec![false; horizon];
+        for (k, uniform_k) in uniform.iter_mut().enumerate() {
+            let delta = Duration::from_micros(
+                slot_duration.as_micros() * (k as u64) + slot_duration.as_micros() / 2,
+            );
+            let mut clamped = None;
+            if delta <= slices[0].delta {
+                clamped = Some(0usize);
+            }
+            let mut resolved = false;
+            if clamped.is_none() {
+                for (pi, w) in slices.windows(2).enumerate() {
+                    if delta <= w[1].delta {
+                        let span = (w[1].delta.as_micros() - w[0].delta.as_micros()) as f64;
+                        let frac = if span <= 0.0 {
+                            1.0
+                        } else {
+                            (delta.as_micros() - w[0].delta.as_micros()) as f64 / span
+                        };
+                        let p = &pairs[pi];
+                        let e = (1.0 - frac) * p.sum_a + frac * p.sum_b;
+                        let resid_raw = if p.union >= n {
+                            0.0
+                        } else {
+                            (1.0 - e).max(0.0)
+                        };
+                        let total = e + resid_raw;
+                        slots.push((pi as u32, (pi + 1) as u32, frac));
+                        if total <= 0.0 {
+                            *uniform_k = true;
+                            totals.push(1.0);
+                            resid_pp.push(1.0 / n as f64);
+                        } else {
+                            totals.push(total);
+                            resid_pp.push(if p.union >= n {
+                                0.0
+                            } else {
+                                (resid_raw / total) / (n - p.union) as f64
+                            });
+                        }
+                        resolved = true;
+                        break;
+                    }
+                }
+                if !resolved {
+                    clamped = Some(slices.len() - 1);
+                }
+            }
+            if let Some(s) = clamped {
+                slots.push((s as u32, s as u32, 0.0));
+                totals.push(1.0);
+                resid_pp.push(rpp[s]);
+            }
+        }
+        SlotPlan {
+            n,
+            slots,
+            totals,
+            resid_pp,
+            uniform,
+        }
+    }
+
+    /// The discounted residual tail (`suffix` of the per-slot residuals).
+    fn residual_tail(&self, gamma: f64) -> Vec<f64> {
+        let horizon = self.slots.len();
+        let mut tail = vec![0.0; horizon + 1];
+        for t in (0..horizon).rev() {
+            tail[t] = tail[t + 1] + gamma.powi(t as i32) * self.resid_pp[t];
+        }
+        tail
+    }
+
+    /// The discounted tail of a request with signature `sig`.
+    fn tail_for(&self, sig: &TailSignature, gamma: f64) -> Vec<f64> {
+        let horizon = self.slots.len();
+        let mut tail = vec![0.0; horizon + 1];
+        for t in (0..horizon).rev() {
+            let p = if self.uniform[t] {
+                1.0 / self.n as f64
+            } else {
+                let (a, b, frac) = self.slots[t];
+                let (a, b) = (a as usize, b as usize);
+                if a == b {
+                    sig.probs[a]
+                } else if sig.explicit_mask & ((1 << a) | (1 << b)) != 0 {
+                    ((1.0 - frac) * sig.probs[a] + frac * sig.probs[b]) / self.totals[t]
+                } else {
+                    self.resid_pp[t]
+                }
+            };
+            tail[t] = tail[t + 1] + gamma.powi(t as i32) * p;
+        }
+        tail
     }
 }
 
@@ -637,6 +1244,179 @@ mod tests {
         let mut sorted = p.irregular.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, p.irregular);
+    }
+
+    /// A summary over the default four deltas whose first two slices use
+    /// `early` and last two use `late` — time-varying, so requests whose
+    /// early/late balance changes change tail *shape*, not just magnitude.
+    fn varying_summary(
+        n: usize,
+        early: Vec<(RequestId, f64)>,
+        late: Vec<(RequestId, f64)>,
+    ) -> PredictionSummary {
+        let e = SparseDistribution::from_entries(n, early, 0.3);
+        let l = SparseDistribution::from_entries(n, late, 0.3);
+        let slices = PredictionSummary::default_deltas()
+            .into_iter()
+            .enumerate()
+            .map(|(i, delta)| HorizonSlice {
+                delta,
+                dist: if i < 2 { e.clone() } else { l.clone() },
+            })
+            .collect();
+        PredictionSummary::new(n, slices, Time::ZERO)
+    }
+
+    /// Asserts `diffed` (a model evolved via `apply_update`) agrees with a
+    /// fresh build of the same summary on every tail, the residual, and the
+    /// materialized set.
+    fn assert_model_equiv(diffed: &HorizonModel, fresh: &HorizonModel) {
+        assert_eq!(diffed.num_requests(), fresh.num_requests());
+        let mut dm: Vec<RequestId> = diffed.materialized().collect();
+        let mut fm: Vec<RequestId> = fresh.materialized().collect();
+        dm.sort_unstable();
+        fm.sort_unstable();
+        assert_eq!(dm, fm, "materialized sets diverged");
+        for t in 0..=diffed.horizon() {
+            let (a, b) = (diffed.residual_tail(t), fresh.residual_tail(t));
+            assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1e-9),
+                "residual tail diverged at t={t}: {a} vs {b}"
+            );
+            for r in 0..diffed.num_requests() {
+                let r = RequestId::from(r);
+                let (a, b) = (diffed.tail(r, t), fresh.tail(r, t));
+                assert!(
+                    (a - b).abs() <= 1e-9 * b.abs().max(1e-9),
+                    "tail({r:?}, {t}) diverged: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_update_matches_fresh_build_across_overlapping_updates() {
+        let n = 30;
+        let horizon = 48;
+        let slot = Duration::from_millis(5);
+        // A drifting sequence: reweights (shape-preserving), joins,
+        // departures, and a shape change (early/late balance flip).
+        let summaries = [
+            flat_summary(n, vec![(RequestId(3), 0.4), (RequestId(7), 0.2)], 0.4),
+            // Reweight 3, join 12, keep 7.
+            flat_summary(
+                n,
+                vec![
+                    (RequestId(3), 0.3),
+                    (RequestId(7), 0.2),
+                    (RequestId(12), 0.1),
+                ],
+                0.4,
+            ),
+            // Depart 7; 3 and 12 change magnitude only.
+            flat_summary(n, vec![(RequestId(3), 0.5), (RequestId(12), 0.2)], 0.3),
+            // Shape change: 3 becomes late-heavy, 12 early-heavy; 5 joins
+            // with its own shape.
+            varying_summary(
+                n,
+                vec![(RequestId(12), 0.5), (RequestId(5), 0.1)],
+                vec![(RequestId(3), 0.6)],
+            ),
+            // Back to a flat overlap.
+            flat_summary(n, vec![(RequestId(3), 0.4), (RequestId(5), 0.3)], 0.3),
+        ];
+        let mut model = HorizonModel::build(&summaries[0], horizon, slot, 0.9);
+        let mut diff_applied = 0;
+        for s in &summaries[1..] {
+            match model.apply_update(s) {
+                Some(_) => diff_applied += 1,
+                None => model = HorizonModel::build(s, horizon, slot, 0.9),
+            }
+            assert_model_equiv(&model, &HorizonModel::build(s, horizon, slot, 0.9));
+            // The partition's member lists and the per-request placements
+            // stay mutually consistent under diffing.
+            let p = model.shape_partition();
+            assert_eq!(p.materialized_count(), model.materialized_count());
+            for (bi, b) in p.buckets.iter().enumerate() {
+                for &r in &b.members {
+                    assert_eq!(
+                        model.placement(r),
+                        Some(super::ExplicitPlacement::Bucket(bi))
+                    );
+                }
+            }
+            for &r in &p.irregular {
+                assert_eq!(
+                    model.placement(r),
+                    Some(super::ExplicitPlacement::Irregular)
+                );
+            }
+        }
+        assert_eq!(diff_applied, 4, "every update should take the diff path");
+    }
+
+    #[test]
+    fn apply_update_reports_structural_diff() {
+        let n = 20;
+        // Horizon spans all four slice offsets (640 ms > 500 ms), so the
+        // early/late balance actually shapes the tails.
+        let horizon = 64;
+        let slot = Duration::from_millis(10);
+        let s1 = flat_summary(n, vec![(RequestId(2), 0.3), (RequestId(9), 0.2)], 0.5);
+        let mut model = HorizonModel::build(&s1, horizon, slot, 0.9);
+        // Join 4, depart 9, reweight 2 — all same (flat) shape.
+        let s2 = flat_summary(n, vec![(RequestId(2), 0.4), (RequestId(4), 0.2)], 0.4);
+        let diff = model.apply_update(&s2).expect("small diff");
+        assert_eq!(diff.joined, vec![RequestId(4)]);
+        assert_eq!(diff.departed, vec![RequestId(9)]);
+        assert!(diff.rescaled.contains(&RequestId(2)));
+        assert_eq!(diff.buckets_added, 0, "flat shapes share the one bucket");
+        // A time-varying update moves 2 into a new shape bucket.
+        let s3 = varying_summary(n, vec![(RequestId(4), 0.4)], vec![(RequestId(2), 0.5)]);
+        let diff = model.apply_update(&s3).expect("small diff");
+        assert!(diff.buckets_added > 0, "new shapes need new buckets");
+        assert!(
+            diff.removed.contains(&RequestId(2)) || diff.rescaled.contains(&RequestId(2)),
+            "request 2 must be re-placed or rescaled: {diff:?}"
+        );
+        assert_model_equiv(&model, &HorizonModel::build(&s3, horizon, slot, 0.9));
+    }
+
+    #[test]
+    fn apply_update_falls_back_on_incompatible_or_large_diffs() {
+        let n = 400;
+        let horizon = 16;
+        let slot = Duration::from_millis(5);
+        let s1 = flat_summary(n, vec![(RequestId(1), 0.5)], 0.5);
+        let mut model = HorizonModel::build(&s1, horizon, slot, 0.9);
+        // Different slice offsets: no diff.
+        let two_slice = PredictionSummary::new(
+            n,
+            vec![
+                HorizonSlice {
+                    delta: Duration::from_millis(10),
+                    dist: SparseDistribution::point(n, RequestId(1)),
+                },
+                HorizonSlice {
+                    delta: Duration::from_millis(300),
+                    dist: SparseDistribution::point(n, RequestId(2)),
+                },
+            ],
+            Time::ZERO,
+        );
+        assert!(model.apply_update(&two_slice).is_none());
+        // A different request-space size: no diff.
+        let smaller = flat_summary(n - 1, vec![(RequestId(1), 0.5)], 0.5);
+        assert!(model.apply_update(&smaller).is_none());
+        // More structural changes than max(64, m/4): no diff.
+        let big = flat_summary(
+            n,
+            (0..100usize).map(|i| (RequestId::from(i), 0.005)).collect(),
+            0.5,
+        );
+        assert!(model.apply_update(&big).is_none());
+        // The refusals left the model untouched.
+        assert_model_equiv(&model, &HorizonModel::build(&s1, horizon, slot, 0.9));
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crate::block::{BlockMeta, ResponseCatalog};
 use crate::predictor::simple::SimpleServerPredictor;
 use crate::predictor::{PredictorState, ServerPredictor};
 use crate::protocol::{ClientMessage, ServerEvent, SessionId};
-use crate::scheduler::{limit_distinct_requests, GreedyScheduler, Scheduler};
+use crate::scheduler::{limit_distinct_requests, GreedyContext, GreedyScheduler, Scheduler};
 use crate::server::{Backend, ServerConfig};
 use crate::types::{Bandwidth, BlockRef, Duration, RequestId, Time};
 use crate::utility::UtilityModel;
@@ -253,6 +253,11 @@ pub struct SessionBuilder {
     catalog: Arc<ResponseCatalog>,
     scheduler: Option<Box<dyn Scheduler>>,
     predictor: Option<Box<dyn ServerPredictor>>,
+    /// Shared catalog/utility-derived scheduler context; when absent the
+    /// default greedy scheduler derives its own.  [`SessionManager`] fills
+    /// this from its per-`(utility, catalog)` cache so N sessions share one
+    /// `O(n)` context.
+    greedy_context: Option<Arc<GreedyContext>>,
     weight: f64,
 }
 
@@ -266,6 +271,7 @@ impl SessionBuilder {
             catalog,
             scheduler: None,
             predictor: None,
+            greedy_context: None,
             weight: 1.0,
         }
     }
@@ -286,6 +292,14 @@ impl SessionBuilder {
     /// [`SimpleServerPredictor`].
     pub fn predictor(mut self, predictor: Box<dyn ServerPredictor>) -> Self {
         self.predictor = Some(predictor);
+        self
+    }
+
+    /// Reuses a shared [`GreedyContext`] (derived from the same utility
+    /// model and catalog) for the default greedy scheduler instead of
+    /// deriving a per-session copy.
+    pub fn greedy_context(mut self, ctx: Arc<GreedyContext>) -> Self {
+        self.greedy_context = Some(ctx);
         self
     }
 
@@ -316,6 +330,7 @@ impl SessionBuilder {
             catalog,
             scheduler,
             predictor,
+            greedy_context,
             weight,
         } = self;
         let mut bandwidth = BandwidthEstimator::new(cfg.initial_bandwidth);
@@ -329,10 +344,13 @@ impl SessionBuilder {
             None => {
                 let mut scheduler_cfg = cfg.scheduler.clone();
                 scheduler_cfg.slot_duration = slot;
-                Box::new(GreedyScheduler::new(
+                let ctx = greedy_context
+                    .unwrap_or_else(|| Arc::new(GreedyContext::new(&utility, &catalog)));
+                Box::new(GreedyScheduler::with_context(
                     scheduler_cfg,
                     utility,
                     catalog.clone(),
+                    ctx,
                 ))
             }
         };
@@ -470,6 +488,11 @@ pub struct SessionManager {
     backend: Box<dyn Backend>,
     policy: Box<dyn SharePolicy>,
     shared_bandwidth: BandwidthEstimator,
+    /// One shared [`GreedyContext`] per distinct `(utility, catalog)` pair:
+    /// the utility-class catalog and per-request block counts are
+    /// session-independent, so N sessions over the same catalog share one
+    /// `O(n)` derivation instead of each computing its own.
+    context_cache: Vec<(UtilityModel, Arc<ResponseCatalog>, Arc<GreedyContext>)>,
     /// Rotates the backend-concurrency remainder between sessions across
     /// [`next_event`](SessionManager::next_event) calls.
     budget_rotor: usize,
@@ -486,6 +509,7 @@ impl SessionManager {
             backend,
             policy,
             shared_bandwidth: BandwidthEstimator::new(ServerConfig::default().initial_bandwidth),
+            context_cache: Vec::new(),
             budget_rotor: 0,
             blocks_sent: 0,
             bytes_sent: 0,
@@ -520,9 +544,12 @@ impl SessionManager {
     /// frontier and would otherwise drag every later joiner's anchor down
     /// with it; active sessions under fair arbitration all sit within one
     /// block of the frontier anyway.
-    pub fn add_session(&mut self, builder: SessionBuilder) -> SessionId {
+    pub fn add_session(&mut self, mut builder: SessionBuilder) -> SessionId {
         let id = SessionId(self.next_id);
         self.next_id += 1;
+        if builder.scheduler.is_none() && builder.greedy_context.is_none() {
+            builder.greedy_context = Some(self.context_for(&builder.utility, &builder.catalog));
+        }
         let mut session = builder.build();
         let virtual_time = self
             .sessions
@@ -535,6 +562,36 @@ impl SessionManager {
         self.sessions.push((id, session));
         self.redivide_bandwidth();
         id
+    }
+
+    /// The shared scheduler context for `(utility, catalog)`, derived once
+    /// and cached by storage identity (`Arc` pointer equality).
+    fn context_for(
+        &mut self,
+        utility: &UtilityModel,
+        catalog: &Arc<ResponseCatalog>,
+    ) -> Arc<GreedyContext> {
+        // Drop entries no scheduler holds any more (only the cache's own
+        // Arc left): without this, a server whose clients each bring a
+        // fresh catalog Arc would pin every dead context — and its catalog
+        // — forever.
+        self.context_cache
+            .retain(|(_, _, ctx)| Arc::strong_count(ctx) > 1);
+        for (u, c, ctx) in &self.context_cache {
+            if u.same_tables(utility) && Arc::ptr_eq(c, catalog) {
+                return ctx.clone();
+            }
+        }
+        let ctx = Arc::new(GreedyContext::new(utility, catalog));
+        self.context_cache
+            .push((utility.clone(), catalog.clone(), ctx.clone()));
+        ctx
+    }
+
+    /// Number of distinct shared scheduler contexts derived so far
+    /// (diagnostic; one per distinct `(utility, catalog)` pair).
+    pub fn shared_context_count(&self) -> usize {
+        self.context_cache.len()
     }
 
     /// Removes a session.  Returns `true` if it existed.
@@ -1160,6 +1217,45 @@ mod tests {
                 "session {id} drove {distinct} distinct requests into the backend despite allowance 1"
             );
         }
+    }
+
+    #[test]
+    fn sessions_share_one_scheduler_context_per_catalog() {
+        // The utility-class catalog / block-count context is derived from
+        // `(utility, catalog)` only; sessions sharing both (by storage
+        // identity) must share one Arc'd context instead of re-deriving
+        // O(n) state each.
+        let cat = catalog(50, 4);
+        let shared_utility = utility(4);
+        let mut mgr = SessionManager::round_robin(Box::new(CatalogBackend::new(cat.clone())));
+        for _ in 0..3 {
+            mgr.add_session(Session::builder(shared_utility.clone(), cat.clone()));
+        }
+        assert_eq!(mgr.shared_context_count(), 1);
+        // One Arc held by the cache plus one per session's scheduler.
+        assert_eq!(Arc::strong_count(&mgr.context_cache[0].2), 4);
+        // A distinct utility (different table storage) gets its own context;
+        // a distinct catalog Arc likewise.
+        mgr.add_session(Session::builder(utility(4), cat.clone()));
+        assert_eq!(mgr.shared_context_count(), 2);
+        let other_cat = catalog(50, 4);
+        mgr.add_session(Session::builder(shared_utility.clone(), other_cat));
+        assert_eq!(mgr.shared_context_count(), 3);
+        // Sessions with an explicit custom scheduler never touch the cache.
+        let custom = GreedyScheduler::new(
+            GreedySchedulerConfig::default(),
+            shared_utility.clone(),
+            cat.clone(),
+        );
+        mgr.add_session(Session::builder(shared_utility, cat).scheduler(Box::new(custom)));
+        assert_eq!(mgr.shared_context_count(), 3);
+        // Removing every session releases the contexts; the next derivation
+        // prunes the dead entries instead of pinning them forever.
+        for id in mgr.session_ids() {
+            mgr.remove_session(id);
+        }
+        mgr.add_session(Session::builder(utility(4), catalog(50, 4)));
+        assert_eq!(mgr.shared_context_count(), 1);
     }
 
     #[test]

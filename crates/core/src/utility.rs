@@ -258,6 +258,17 @@ impl UtilityModel {
         UtilityModel::PerRequest(Arc::new(tables))
     }
 
+    /// Whether two models share the *same* underlying gain-table storage
+    /// (`Arc` identity, not value equality).  Sessions whose models pass
+    /// this test can share one catalog-derived scheduler context.
+    pub fn same_tables(&self, other: &UtilityModel) -> bool {
+        match (self, other) {
+            (UtilityModel::Homogeneous(a), UtilityModel::Homogeneous(b)) => Arc::ptr_eq(a, b),
+            (UtilityModel::PerRequest(a), UtilityModel::PerRequest(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
     /// The gain table for `request` (by dense index).
     pub fn table(&self, request: usize) -> &GainTable {
         match self {
@@ -327,13 +338,13 @@ impl UtilityModel {
                 );
                 let mut reps: Vec<&GainTable> = Vec::new();
                 let mut class_of = Vec::with_capacity(n);
-                let mut members: Vec<Vec<u32>> = Vec::new();
+                let mut members: Vec<IntervalSet> = Vec::new();
                 for (i, table) in ts.iter().take(n).enumerate() {
                     let c = match reps.iter().position(|r| *r == table) {
                         Some(c) => c,
                         None => {
                             reps.push(table);
-                            members.push(Vec::new());
+                            members.push(IntervalSet::default());
                             reps.len() - 1
                         }
                     };
@@ -345,7 +356,7 @@ impl UtilityModel {
                     .zip(members)
                     .map(|(rep, m)| UtilityClass {
                         first_gain: rep.next_gain(0),
-                        members: ClassMembers::Subset(m),
+                        members: ClassMembers::Intervals(m),
                     })
                     .collect();
                 UtilityClassCatalog {
@@ -357,14 +368,53 @@ impl UtilityModel {
     }
 }
 
+/// An ascending set of request ids compressed into contiguous runs.
+///
+/// Per-request utility models usually assign tables per media type, so a
+/// class's members are a handful of contiguous id ranges; storing `(start,
+/// len)` runs plus a prefix-count index keeps the catalog `O(runs)` instead
+/// of materializing an `O(n)` member vector per class, while `member(idx)`
+/// stays a binary search over the runs.
+#[derive(Debug, Clone, Default)]
+struct IntervalSet {
+    /// `(start, len)` runs, ascending and non-overlapping.
+    runs: Vec<(u32, u32)>,
+    /// `cum[i]` = number of members before run `i` (same length as `runs`).
+    cum: Vec<u32>,
+    /// Total member count.
+    total: usize,
+}
+
+impl IntervalSet {
+    /// Appends `id`, which must be strictly greater than every member so
+    /// far; coalesces into the last run when contiguous.
+    fn push(&mut self, id: u32) {
+        match self.runs.last_mut() {
+            Some((start, len)) if *start + *len == id => *len += 1,
+            _ => {
+                self.cum.push(self.total as u32);
+                self.runs.push((id, 1));
+            }
+        }
+        self.total += 1;
+    }
+
+    fn get(&self, idx: usize) -> u32 {
+        debug_assert!(idx < self.total);
+        let run = self.cum.partition_point(|&c| c as usize <= idx) - 1;
+        let (start, _) = self.runs[run];
+        start + (idx as u32 - self.cum[run])
+    }
+}
+
 /// Requests belonging to one utility class.
 #[derive(Debug, Clone)]
 enum ClassMembers {
     /// Every request in a space of this size (the homogeneous fast path; no
     /// member list is materialized).
     All(usize),
-    /// An explicit ascending member list.
-    Subset(Vec<u32>),
+    /// Interval-compressed ascending member set.
+    Intervals(IntervalSet),
 }
 
 /// One utility class: the requests sharing a single gain table, plus that
@@ -385,13 +435,22 @@ impl UtilityClass {
     pub fn len(&self) -> usize {
         match &self.members {
             ClassMembers::All(n) => *n,
-            ClassMembers::Subset(m) => m.len(),
+            ClassMembers::Intervals(m) => m.total,
         }
     }
 
     /// Whether the class has no members.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of contiguous id runs backing the member set (1 for the
+    /// homogeneous fast path) — the catalog's actual memory footprint.
+    pub fn span_count(&self) -> usize {
+        match &self.members {
+            ClassMembers::All(n) => usize::from(*n > 0),
+            ClassMembers::Intervals(m) => m.runs.len(),
+        }
     }
 
     /// The `idx`-th member in ascending request order (`idx < len`).
@@ -401,7 +460,7 @@ impl UtilityClass {
                 debug_assert!(idx < *n);
                 RequestId::from(idx)
             }
-            ClassMembers::Subset(m) => RequestId::from(m[idx] as usize),
+            ClassMembers::Intervals(m) => RequestId::from(m.get(idx) as usize),
         }
     }
 
@@ -596,6 +655,69 @@ mod tests {
         assert!((cat.class(1).first_gain() - 0.5).abs() < 1e-12);
         let total: usize = cat.classes().map(|c| c.len()).sum();
         assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn class_catalog_interval_compresses_contiguous_ranges() {
+        // Two contiguous halves: one run per class instead of an O(n)
+        // member vector.
+        let n = 100usize;
+        let tables: Vec<GainTable> = (0..n)
+            .map(|i| {
+                if i < 50 {
+                    GainTable::new(&LinearUtility, 4)
+                } else {
+                    GainTable::new(&PowerUtility::new(0.5), 4)
+                }
+            })
+            .collect();
+        let cat = UtilityModel::per_request(tables).class_catalog(n);
+        assert_eq!(cat.num_classes(), 2);
+        for c in 0..2 {
+            assert_eq!(cat.class(c).span_count(), 1);
+            assert_eq!(cat.class(c).len(), 50);
+        }
+        for i in 0..50 {
+            assert_eq!(cat.class(0).member(i), RequestId::from(i));
+            assert_eq!(cat.class(1).member(i), RequestId::from(50 + i));
+        }
+    }
+
+    #[test]
+    fn class_catalog_interval_lookup_across_scattered_runs() {
+        // Runs of irregular lengths: member(idx) must binary-search the run
+        // boundaries correctly.  Class A owns [0,3), [5,6), [9,12); class B
+        // the rest of [0,12).
+        let a = [0, 1, 2, 5, 9, 10, 11];
+        let tables: Vec<GainTable> = (0..12)
+            .map(|i| {
+                if a.contains(&i) {
+                    GainTable::new(&LinearUtility, 2)
+                } else {
+                    GainTable::new(&PowerUtility::new(0.5), 2)
+                }
+            })
+            .collect();
+        let cat = UtilityModel::per_request(tables).class_catalog(12);
+        assert_eq!(cat.num_classes(), 2);
+        let ca = cat.class(0);
+        assert_eq!(ca.span_count(), 3);
+        assert_eq!(ca.len(), a.len());
+        let got: Vec<usize> = ca.members().map(|r| r.index()).collect();
+        assert_eq!(got, a.to_vec());
+        for (idx, &id) in a.iter().enumerate() {
+            assert_eq!(ca.member(idx), RequestId::from(id));
+        }
+        let cb = cat.class(1);
+        assert_eq!(
+            cb.members().map(|r| r.index()).collect::<Vec<_>>(),
+            vec![3, 4, 6, 7, 8]
+        );
+        // class_of stays the exact inverse of the member sets.
+        for i in 0..12 {
+            let expect = usize::from(!a.contains(&i));
+            assert_eq!(cat.class_of(RequestId::from(i)), expect);
+        }
     }
 
     mod property {

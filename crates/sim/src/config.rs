@@ -57,6 +57,11 @@ pub struct ExperimentConfig {
     /// identical schedules under a fixed seed; only the per-block cost
     /// differs.
     pub sampler: SamplerVariant,
+    /// Apply client re-predictions as diffs against the previous prediction
+    /// instead of rebuilding the scheduler's probability model and sampler
+    /// from scratch (the default; disable for the rebuild-baseline
+    /// ablation).
+    pub prediction_diff: bool,
     /// RNG seed for the scheduler / baselines.
     pub seed: u64,
 }
@@ -72,6 +77,7 @@ impl ExperimentConfig {
             prediction_interval: Duration::from_millis(150),
             gamma: 1.0,
             sampler: SamplerVariant::default(),
+            prediction_diff: true,
             seed: 0x5eed,
         }
     }
@@ -150,6 +156,13 @@ impl ExperimentConfig {
     /// [`SamplerVariant::Eager`], or [`SamplerVariant::Scan`].
     pub fn with_sampler(mut self, sampler: SamplerVariant) -> Self {
         self.sampler = sampler;
+        self
+    }
+
+    /// Toggles diff-based prediction updates (the re-prediction ablation
+    /// knob; on by default).
+    pub fn with_prediction_diff(mut self, diff: bool) -> Self {
+        self.prediction_diff = diff;
         self
     }
 }

@@ -112,6 +112,7 @@ pub fn run_khameleon(
             cache_blocks,
             gamma: cfg.gamma,
             sampler: cfg.sampler,
+            prediction_diff: cfg.prediction_diff,
             seed: cfg.seed,
             ..Default::default()
         },
@@ -438,6 +439,33 @@ mod tests {
             );
             assert!(other.summary.cache_hit_rate > 0.5);
         }
+    }
+
+    #[test]
+    fn prediction_diff_knob_is_wired_end_to_end() {
+        // Diff-based prediction updates are a cost optimization, not a
+        // policy change: a full simulated deployment with the diff path
+        // disabled lands in the same performance regime.
+        let (app, trace) = small_setup();
+        let base = ExperimentConfig::paper_default()
+            .with_bandwidth(Bandwidth::from_mbps(15.0))
+            .with_cache_bytes(100_000_000);
+        let diffed = run(&app, &trace, &base, PredictorKind::Kalman);
+        let rebuilt = run(
+            &app,
+            &trace,
+            &base.clone().with_prediction_diff(false),
+            PredictorKind::Kalman,
+        );
+        assert_eq!(diffed.summary.requests, rebuilt.summary.requests);
+        assert!(diffed.summary.cache_hit_rate > 0.5);
+        assert!(rebuilt.summary.cache_hit_rate > 0.5);
+        assert!(
+            (diffed.summary.cache_hit_rate - rebuilt.summary.cache_hit_rate).abs() < 0.25,
+            "hit rates diverged: diff {} vs rebuild {}",
+            diffed.summary.cache_hit_rate,
+            rebuilt.summary.cache_hit_rate
+        );
     }
 
     #[test]

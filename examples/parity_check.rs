@@ -64,6 +64,9 @@ fn drive(
         catalog,
     );
     let mut emitted = Vec::new();
+    // Drifting prediction state for the overlapping-update ops (kinds 6–7),
+    // mirroring the in-tree proptest's diff-path grammar.
+    let mut evolving: Vec<(usize, f64)> = vec![(0, 0.3), (1 % n, 0.2)];
     for &(kind, a, b) in ops {
         match kind {
             0..=2 => emitted.extend(s.next_batch(a % (2 * cache) + 1)),
@@ -101,13 +104,72 @@ fn drive(
                 let pos = a % (s.position() + 1);
                 s.update_prediction(&pred, pos);
             }
-            _ => {
+            5 => {
                 let pos = (s.position() + b % 3).min(cache);
                 let pred = PredictionSummary::uniform(n, Time::ZERO);
                 s.update_prediction(&pred, pos);
             }
+            6 => {
+                // Overlapping re-prediction: mutate one entry of the
+                // drifting prediction (add / remove / reweight) — the diff
+                // path's point-update grammar.
+                match a % 3 {
+                    0 => {
+                        let r = b % n;
+                        let p = (b % 9 + 1) as f64 / 30.0;
+                        match evolving.iter_mut().find(|e| e.0 == r) {
+                            Some(e) => e.1 = p,
+                            None => evolving.push((r, p)),
+                        }
+                    }
+                    1 if evolving.len() > 1 => {
+                        evolving.remove(b % evolving.len());
+                    }
+                    _ => {
+                        let i = b % evolving.len();
+                        evolving[i].1 *= (a % 5 + 1) as f64 / 3.0;
+                    }
+                }
+                let entries: Vec<(RequestId, f64)> = evolving
+                    .iter()
+                    .map(|&(r, p)| (RequestId::from(r), p))
+                    .collect();
+                let mass: f64 = evolving.iter().map(|e| e.1).sum();
+                let pred = sparse_pred(n, entries, (1.0 - mass).max(0.1));
+                let pos = a % (s.position() + 1);
+                s.update_prediction(&pred, pos);
+            }
+            _ => {
+                // Overlapping shape-changing re-prediction over the default
+                // slice offsets: moves requests between shape buckets
+                // through the diff path.
+                let early =
+                    SparseDistribution::from_entries(n, vec![(RequestId::from(a % n), 0.6)], 0.4);
+                let entries: Vec<(RequestId, f64)> = evolving
+                    .iter()
+                    .map(|&(r, p)| (RequestId::from(r), p))
+                    .collect();
+                let mass: f64 = evolving.iter().map(|e| e.1).sum();
+                let late = SparseDistribution::from_entries(n, entries, (1.0 - mass).max(0.1));
+                let slices = PredictionSummary::default_deltas()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, delta)| HorizonSlice {
+                        delta,
+                        dist: if i < 2 { early.clone() } else { late.clone() },
+                    })
+                    .collect();
+                let pred = PredictionSummary::new(n, slices, Time::ZERO);
+                let pos = b % (s.position() + 1);
+                s.update_prediction(&pred, pos);
+            }
         }
     }
+    assert!(
+        s.debug_weight_divergence().is_empty(),
+        "sampler diverged from model: {:?}",
+        s.debug_weight_divergence()
+    );
     (emitted, s.simulated_ring())
 }
 
@@ -136,7 +198,7 @@ fn main() {
         let ops: Vec<(u8, usize, usize)> = (0..len)
             .map(|_| {
                 (
-                    (lcg.next() % 6) as u8,
+                    (lcg.next() % 8) as u8,
                     lcg.next() as usize % 64,
                     lcg.next() as usize % 64,
                 )
