@@ -1,0 +1,472 @@
+//! A minimal Rust tokenizer: just enough lexical structure for the lint
+//! rules in [`crate::rules`].
+//!
+//! The lexer strips comments, string/char literals and doc comments (so a
+//! `HashMap` mentioned in prose never trips a rule), tracks line numbers,
+//! distinguishes float from integer literals (`1.0` vs the `0` in a tuple
+//! access `e.0`), and records `// lint:allow(...)` directives found in line
+//! comments.  It is deliberately not a parser: rules pattern-match over the
+//! flat token stream, which is robust to rustfmt line breaks (a per-line
+//! regex would miss `self.resident\n    .iter()`).
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including hex/octal/binary).
+    Int,
+    /// Float literal (`1.0`, `1e-9`, `2f64`).
+    Float,
+    /// Punctuation / operator; multi-char operators (`::`, `==`, `..`) are
+    /// fused into a single token.
+    Punct,
+    /// Lifetime (`'a`) — kept so char-literal detection stays honest.
+    Lifetime,
+}
+
+/// One token plus its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is(&self, text: &str) -> bool {
+        self.text == text
+    }
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+}
+
+/// A `// lint:allow(rule-a, rule-b) -- reason` directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Rule ids listed inside the parentheses.
+    pub ids: Vec<String>,
+    /// Whether a `-- reason` clause was present (required).
+    pub has_reason: bool,
+    /// Raw comment text (for diagnostics about the directive itself).
+    pub raw: String,
+}
+
+/// Lexer output: the token stream plus any allow directives.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Multi-character operators fused into single punct tokens, longest first.
+const MULTI_OPS: &[&str] = &[
+    "..=", "::", "..", "==", "!=", "<=", ">=", "->", "=>", "&&", "||", "+=", "-=", "*=", "/=",
+];
+
+/// Tokenize `src`.  Never fails: unrecognized bytes are skipped (the scanner
+/// lints source that already compiles, so this is only a safety net).
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($slice:expr) => {
+            for &b in $slice {
+                if b == b'\n' {
+                    line += 1;
+                }
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let comment = &src[start..i];
+                if let Some(dir) = parse_allow(comment, line) {
+                    out.allows.push(dir);
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Nested block comments, as in real Rust.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let end = skip_string(bytes, i);
+                bump_lines!(&bytes[i..end]);
+                i = end;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let end = skip_raw_or_byte_string(bytes, i);
+                bump_lines!(&bytes[i..end]);
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime or char literal.
+                if is_char_literal(bytes, i) {
+                    let end = skip_char_literal(bytes, i);
+                    bump_lines!(&bytes[i..end]);
+                    i = end;
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && is_ident_char(bytes[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let (end, is_float) = scan_number(bytes, i);
+                out.tokens.push(Tok {
+                    kind: if is_float {
+                        TokKind::Float
+                    } else {
+                        TokKind::Int
+                    },
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                let rest = &src[i..];
+                let mut matched = false;
+                for op in MULTI_OPS {
+                    if rest.starts_with(op) {
+                        out.tokens.push(Tok {
+                            kind: TokKind::Punct,
+                            text: (*op).to_string(),
+                            line,
+                        });
+                        i += op.len();
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    out.tokens.push(Tok {
+                        kind: TokKind::Punct,
+                        text: (c as char).to_string(),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Skip a regular `"..."` string starting at `i` (which points at `"`).
+fn skip_string(bytes: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Is `r"`, `r#"`, `b"`, `br"`, `br#"` starting at `i`?
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if j < bytes.len() && bytes[j] == b'"' {
+            return true; // b"..."
+        }
+    }
+    if j < bytes.len() && bytes[j] == b'r' {
+        j += 1;
+        while j < bytes.len() && bytes[j] == b'#' {
+            j += 1;
+        }
+        return j < bytes.len() && bytes[j] == b'"';
+    }
+    false
+}
+
+/// Skip `r#"..."#` / `b"..."` / `br##"..."##` starting at `i`.
+fn skip_raw_or_byte_string(bytes: &[u8], mut i: usize) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+        if i < bytes.len() && bytes[i] == b'"' {
+            return skip_string(bytes, i); // byte string: escapes apply
+        }
+    }
+    // raw string: r, then hashes, then quote; no escapes inside.
+    i += 1; // past 'r'
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // past opening quote
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut k = i + 1;
+            let mut seen = 0usize;
+            while k < bytes.len() && bytes[k] == b'#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Distinguish `'a'` (char literal) from `'a` (lifetime): a literal closes
+/// with `'` after one (possibly escaped) character.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    if i + 1 >= bytes.len() {
+        return false;
+    }
+    if bytes[i + 1] == b'\\' {
+        return true;
+    }
+    // 'x' where the char after x is a closing quote.  Also covers
+    // non-ident chars like '(' which can never start a lifetime.
+    if !is_ident_char(bytes[i + 1]) {
+        return true;
+    }
+    i + 2 < bytes.len() && bytes[i + 2] == b'\''
+}
+
+fn skip_char_literal(bytes: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scan a numeric literal starting at `i`; returns (end, is_float).
+///
+/// Handles `0x1F`, `1_000`, `1.0`, `1.`, `1e-9`, `2.5e3`, suffixes
+/// (`1u32`, `1.0f64`) — and does *not* treat the `0` of `e.0` or the range
+/// `0..n` as part of a float.
+fn scan_number(bytes: &[u8], mut i: usize) -> (usize, bool) {
+    let mut is_float = false;
+    if bytes[i] == b'0' && i + 1 < bytes.len() && matches!(bytes[i + 1], b'x' | b'o' | b'b') {
+        i += 2;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        return (i, false);
+    }
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+        i += 1;
+    }
+    // Fractional part: a '.' NOT followed by another '.' (range) or an
+    // identifier start (method call on an integer / tuple field chain).
+    if i < bytes.len() && bytes[i] == b'.' {
+        let next = bytes.get(i + 1).copied();
+        let fractional = match next {
+            None => true,
+            Some(n) => n.is_ascii_digit() || !(n == b'.' || is_ident_start(n)),
+        };
+        if fractional {
+            is_float = true;
+            i += 1;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Exponent.
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (u32 / f64 / usize ...).
+    let suffix_start = i;
+    while i < bytes.len() && is_ident_char(bytes[i]) {
+        i += 1;
+    }
+    let suffix = &bytes[suffix_start..i];
+    if suffix.starts_with(b"f32") || suffix.starts_with(b"f64") {
+        is_float = true;
+    }
+    (i, is_float)
+}
+
+/// Parse a `lint:allow(...)` directive out of a `//` comment.
+fn parse_allow(comment: &str, line: u32) -> Option<AllowDirective> {
+    let idx = comment.find("lint:allow")?;
+    let rest = &comment[idx + "lint:allow".len()..];
+    let open = rest.find('(')?;
+    // Nothing but whitespace may sit between `lint:allow` and `(`.
+    if !rest[..open].trim().is_empty() {
+        return None;
+    }
+    let close = rest.find(')')?;
+    let ids: Vec<String> = rest[open + 1..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let tail = &rest[close + 1..];
+    let has_reason = tail
+        .find("--")
+        .map(|p| !tail[p + 2..].trim().is_empty())
+        .unwrap_or(false);
+    Some(AllowDirective {
+        line,
+        ids,
+        has_reason,
+        raw: comment.trim().to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn floats_vs_tuple_fields_and_ranges() {
+        let l = lex("let x = 1.0; let y = e.0; for i in 0..n {} let z = 1e-9;");
+        let floats: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Float)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.0", "1e-9"]);
+        let ints: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Int)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ints, vec!["0", "0"]);
+    }
+
+    #[test]
+    fn strings_comments_and_chars_are_stripped() {
+        let toks = texts(
+            "let s = \"HashMap.iter()\"; // HashMap in comment\n/* rand:: */ let c = '\\n'; let lt: &'a str = s;",
+        );
+        assert!(!toks.contains(&"HashMap".to_string()));
+        assert!(!toks.contains(&"rand".to_string()));
+        assert!(toks.contains(&"'a".to_string()));
+    }
+
+    #[test]
+    fn multi_char_ops_fuse() {
+        let toks = texts("a == b != c :: d .. e");
+        assert!(toks.contains(&"==".to_string()));
+        assert!(toks.contains(&"!=".to_string()));
+        assert!(toks.contains(&"::".to_string()));
+        assert!(toks.contains(&"..".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn allow_directive_parses() {
+        let l = lex("x; // lint:allow(hash-iter, float-eq) -- sorted after collection\ny;");
+        assert_eq!(l.allows.len(), 1);
+        let a = &l.allows[0];
+        assert_eq!(a.ids, vec!["hash-iter", "float-eq"]);
+        assert!(a.has_reason);
+        assert_eq!(a.line, 1);
+    }
+
+    #[test]
+    fn allow_without_reason_flagged() {
+        let l = lex("// lint:allow(unwrap)\n");
+        assert!(!l.allows[0].has_reason);
+    }
+
+    #[test]
+    fn raw_strings_skipped() {
+        let toks = texts("let s = r#\"unsafe { HashMap }\"#; let t = b\"rand\";");
+        assert!(!toks.contains(&"unsafe".to_string()));
+        assert!(!toks.contains(&"HashMap".to_string()));
+        assert!(!toks.contains(&"rand".to_string()));
+    }
+}

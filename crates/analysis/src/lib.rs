@@ -1,0 +1,386 @@
+//! Repo-specific static analysis for the Khameleon workspace.
+//!
+//! This crate is an xtask-style lint pass (`cargo run -p khameleon-analysis`)
+//! that enforces the determinism, numeric-invariant and convention rules the
+//! scheduler's block-for-block parity guarantee depends on.  It is a
+//! token/line-level scanner built on [`lexer`] — deliberately *not* a full
+//! parser, consistent with the workspace's offline vendored-stub policy (no
+//! external dependencies).
+//!
+//! See `docs/ANALYSIS.md` for the rule catalogue, rationale and allowlist
+//! syntax.  Rules are defined in [`rules`]; each ships with a negative-test
+//! fixture under `tests/fixtures/` proving it fires.
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::{lex, Lexed, Tok};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id, e.g. `hash-iter`.
+    pub rule: String,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Context handed to each rule.
+pub struct Ctx<'a> {
+    /// Workspace-relative path of the file being scanned.
+    pub path: &'a str,
+    /// Token stream (comments/strings already stripped).
+    pub tokens: &'a [Tok],
+    /// 1-based per-line flag: inside a `#[cfg(test)]` / `#[test]` region.
+    pub test_line: &'a [bool],
+}
+
+impl Ctx<'_> {
+    /// Is `line` inside test-only code?
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_line.get(line as usize).copied().unwrap_or(false)
+    }
+}
+
+/// Scan one file's source under its workspace-relative `path` (the path
+/// decides which rules are in scope) and return post-allowlist diagnostics.
+pub fn scan_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let test_line = test_line_mask(&lexed.tokens, src.lines().count());
+    let ctx = Ctx {
+        path,
+        tokens: &lexed.tokens,
+        test_line: &test_line,
+    };
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for rule in rules::ALL_RULES {
+        if !(rule.in_scope)(path) {
+            continue;
+        }
+        for raw in (rule.check)(&ctx) {
+            // Every rule except the unsafe inventory is test-exempt: test and
+            // bench code may use unwrap, rand, wall clocks, hash iteration.
+            if rule.id != rules::UNSAFE_BLOCK && ctx.is_test_line(raw.line) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                rule: rule.id.to_string(),
+                file: path.to_string(),
+                line: raw.line,
+                message: raw.message,
+            });
+        }
+    }
+
+    apply_allows(path, &lexed, &mut diags);
+    diags.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    diags
+}
+
+/// Apply `// lint:allow(...)` directives: suppress covered diagnostics and
+/// emit meta-diagnostics for malformed or unused directives.
+fn apply_allows(path: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
+    let known: BTreeSet<&str> = rules::ALL_RULES.iter().map(|r| r.id).collect();
+    let mut meta: Vec<Diagnostic> = Vec::new();
+
+    for allow in &lexed.allows {
+        let mut malformed = false;
+        if allow.ids.is_empty() {
+            meta.push(meta_diag(
+                path,
+                allow.line,
+                "allow-syntax",
+                "lint:allow() lists no rule ids".to_string(),
+            ));
+            malformed = true;
+        }
+        for id in &allow.ids {
+            if !known.contains(id.as_str()) {
+                meta.push(meta_diag(
+                    path,
+                    allow.line,
+                    "allow-syntax",
+                    format!("unknown rule id `{id}` in lint:allow"),
+                ));
+                malformed = true;
+            }
+        }
+        if !allow.has_reason {
+            meta.push(meta_diag(
+                path,
+                allow.line,
+                "allow-syntax",
+                "lint:allow needs a `-- reason` clause".to_string(),
+            ));
+            malformed = true;
+        }
+        if malformed {
+            continue;
+        }
+
+        // A directive covers its own line (trailing comment) or, when it sits
+        // alone on a line, the next line that carries any token.
+        let target = if lexed.tokens.iter().any(|t| t.line == allow.line) {
+            allow.line
+        } else {
+            lexed
+                .tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > allow.line)
+                .unwrap_or(allow.line)
+        };
+
+        let before = diags.len();
+        diags.retain(|d| !(d.line == target && allow.ids.contains(&d.rule)));
+        if diags.len() == before {
+            meta.push(meta_diag(
+                path,
+                allow.line,
+                "unused-allow",
+                format!("lint:allow suppresses nothing ({})", allow.raw),
+            ));
+        }
+    }
+    diags.append(&mut meta);
+}
+
+fn meta_diag(path: &str, line: u32, rule: &str, message: String) -> Diagnostic {
+    Diagnostic {
+        rule: rule.to_string(),
+        file: path.to_string(),
+        line,
+        message,
+    }
+}
+
+/// Compute a 1-based per-line mask of test-only regions: items annotated
+/// `#[test]`, `#[cfg(test)]` (or any attribute whose token stream contains a
+/// bare `test`), including whole `mod tests { .. }` bodies.  A file-level
+/// `#![cfg(test)]` marks every line.
+pub fn test_line_mask(tokens: &[Tok], line_count: usize) -> Vec<bool> {
+    let mut mask = vec![false; line_count + 2];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is("#") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let inner = j < tokens.len() && tokens[j].is("!");
+        if inner {
+            j += 1;
+        }
+        if j >= tokens.len() || !tokens[j].is("[") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching `]`.
+        let mut depth = 0usize;
+        let mut k = j;
+        let mut has_test = false;
+        while k < tokens.len() {
+            if tokens[k].is("[") {
+                depth += 1;
+            } else if tokens[k].is("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if tokens[k].is_ident("test") {
+                has_test = true;
+            }
+            k += 1;
+        }
+        if !has_test {
+            i = k + 1;
+            continue;
+        }
+        if inner {
+            // #![cfg(test)] — the whole file is test code.
+            for m in mask.iter_mut() {
+                *m = true;
+            }
+            return mask;
+        }
+        // Mark from the attribute through the end of the annotated item:
+        // either the matching `}` of its first brace, or a `;` at depth 0.
+        let start_line = tokens[i].line;
+        let mut m = k + 1;
+        let mut brace = 0usize;
+        let mut end_line = start_line;
+        while m < tokens.len() {
+            let t = &tokens[m];
+            end_line = t.line;
+            if t.is("{") {
+                brace += 1;
+            } else if t.is("}") {
+                brace -= 1;
+                if brace == 0 {
+                    break;
+                }
+            } else if t.is(";") && brace == 0 {
+                break;
+            }
+            m += 1;
+        }
+        for l in start_line..=end_line {
+            if let Some(slot) = mask.get_mut(l as usize) {
+                *slot = true;
+            }
+        }
+        i = k + 1;
+    }
+    mask
+}
+
+/// The crates the workspace pass walks (source dirs only; test/bench crates
+/// under `crates/vendor` and `crates/bench` are exempt by construction).
+pub const SCANNED_CRATES: &[&str] = &["core", "net", "backend", "apps", "sim"];
+
+/// Scan every `.rs` file under `crates/{core,net,backend,apps,sim}/src` of
+/// the workspace rooted at `root`.  Returns (files scanned, diagnostics).
+pub fn scan_workspace(root: &Path) -> std::io::Result<(usize, Vec<Diagnostic>)> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for krate in SCANNED_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        collect_rs_files(&src, &mut files)?;
+    }
+    files.sort();
+    let mut diags = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(file)?;
+        diags.extend(scan_source(&rel, &src));
+    }
+    Ok((files.len(), diags))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Parse a `//! scope: <workspace-relative-path>` header line, used by the
+/// negative-test fixtures to declare which rule scope they should be scanned
+/// under.
+pub fn scope_from_header(src: &str) -> Option<String> {
+    for line in src.lines().take(5) {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("//! scope:") {
+            return Some(rest.trim().to_string());
+        }
+    }
+    None
+}
+
+/// Locate the workspace root from this crate's compile-time manifest dir
+/// (`crates/analysis` → two levels up).
+pub fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .unwrap_or(manifest)
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mask_covers_test_mod_and_fns() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn lib2() {}\n";
+        let lexed = lex(src);
+        let mask = test_line_mask(&lexed.tokens, src.lines().count());
+        assert!(!mask[1]);
+        assert!(mask[2] && mask[3] && mask[4] && mask[5]);
+        assert!(!mask[6]);
+    }
+
+    #[test]
+    fn test_mask_handles_semicolon_items() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {}\n";
+        let lexed = lex(src);
+        let mask = test_line_mask(&lexed.tokens, src.lines().count());
+        assert!(mask[1] && mask[2]);
+        assert!(!mask[3]);
+    }
+
+    #[test]
+    fn inner_test_attr_marks_whole_file() {
+        let src = "#![cfg(test)]\nfn anything() { x.unwrap(); }\n";
+        let lexed = lex(src);
+        let mask = test_line_mask(&lexed.tokens, src.lines().count());
+        assert!(mask.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn allow_suppresses_and_unused_allow_fires() {
+        // Trailing allow on the flagged line suppresses the diagnostic.
+        let src = "fn f(m: std::collections::HashMap<u32, u32>) {\n    for k in m.keys() {} // lint:allow(hash-iter) -- test harness ordering\n}\n";
+        let d = scan_source("crates/core/src/scheduler/x.rs", src);
+        assert!(d.is_empty(), "{d:?}");
+
+        // An allow that matches nothing is itself a diagnostic.
+        let src2 = "fn f() {} // lint:allow(hash-iter) -- nothing here\n";
+        let d2 = scan_source("crates/core/src/scheduler/x.rs", src2);
+        assert_eq!(d2.len(), 1);
+        assert_eq!(d2[0].rule, "unused-allow");
+    }
+
+    #[test]
+    fn allow_on_own_line_covers_next_code_line() {
+        let src = "fn f(m: std::collections::HashMap<u32, u32>) {\n    // lint:allow(hash-iter) -- snapshot is sorted below\n    for k in m.keys() {}\n}\n";
+        let d = scan_source("crates/core/src/scheduler/x.rs", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn malformed_allows_are_reported() {
+        let src = "fn f() { let x: Option<u32> = None; x.unwrap(); } // lint:allow(unwrap)\n";
+        let d = scan_source("crates/core/src/x.rs", src);
+        assert!(d.iter().any(|d| d.rule == "allow-syntax"), "{d:?}");
+        // The unwrap itself must survive since the allow is malformed.
+        assert!(d.iter().any(|d| d.rule == "unwrap"), "{d:?}");
+
+        let src2 = "fn f() {} // lint:allow(no-such-rule) -- why\n";
+        let d2 = scan_source("crates/core/src/x.rs", src2);
+        assert!(d2.iter().any(|d| d.rule == "allow-syntax"), "{d2:?}");
+    }
+}

@@ -1,0 +1,94 @@
+//! `cargo run -p khameleon-analysis` — the workspace lint pass.
+//!
+//! With no arguments, scans `crates/{core,net,backend,apps,sim}/src` of the
+//! enclosing workspace and exits non-zero if any diagnostic survives the
+//! allowlist.  Individual files can be scanned with an overridden scope path
+//! (used by CI to prove the negative-test fixtures fire):
+//!
+//! ```text
+//! khameleon-analysis                        # scan the workspace
+//! khameleon-analysis --list-rules           # print the rule catalogue
+//! khameleon-analysis --as crates/core/src/scheduler/fx.rs path/to/file.rs
+//! ```
+
+use khameleon_analysis::{rules, scan_source, scan_workspace, scope_from_header, workspace_root};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--list-rules") {
+        for rule in rules::ALL_RULES {
+            println!("{:<14} {}", rule.id, rule.desc);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut pretend: Option<String> = None;
+    let mut files: Vec<(String, String)> = Vec::new(); // (scope path, fs path)
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--as" => match it.next() {
+                Some(p) => pretend = Some(p.clone()),
+                None => {
+                    eprintln!("--as needs a workspace-relative path argument");
+                    return ExitCode::from(2);
+                }
+            },
+            path => {
+                let scope = pretend.take().unwrap_or_else(|| path.to_string());
+                files.push((scope, path.to_string()));
+            }
+        }
+    }
+
+    let mut diags = Vec::new();
+    let scanned;
+    if files.is_empty() {
+        let root = workspace_root();
+        match scan_workspace(&root) {
+            Ok((n, d)) => {
+                scanned = n;
+                diags = d;
+            }
+            Err(e) => {
+                eprintln!("workspace scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        scanned = files.len();
+        for (scope, path) in &files {
+            match std::fs::read_to_string(path) {
+                // A fixture's `//! scope:` header wins unless --as overrode it.
+                Ok(src) => {
+                    let scope = if scope == path {
+                        scope_from_header(&src).unwrap_or_else(|| scope.clone())
+                    } else {
+                        scope.clone()
+                    };
+                    diags.extend(scan_source(&scope, &src));
+                }
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("khameleon-analysis: {scanned} file(s) scanned, 0 violations");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "khameleon-analysis: {scanned} file(s) scanned, {} violation(s)",
+            diags.len()
+        );
+        ExitCode::FAILURE
+    }
+}

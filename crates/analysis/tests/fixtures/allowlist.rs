@@ -1,0 +1,33 @@
+//! scope: crates/core/src/scheduler/fixture.rs
+//! Fixture: lint:allow semantics — suppression, unused allows, bad syntax.
+use std::collections::HashMap;
+
+struct S {
+    resident: HashMap<u32, u32>,
+}
+
+impl S {
+    fn suppressed_trailing(&self) -> usize {
+        self.resident.keys().count() // lint:allow(hash-iter) -- fixture: order-insensitive count
+    }
+
+    fn suppressed_above(&self) -> usize {
+        // lint:allow(hash-iter) -- fixture: snapshot sorted by caller
+        self.resident.values().sum::<u32>() as usize
+    }
+
+    fn unused(&self) -> usize {
+        // lint:allow(hash-iter) -- nothing below iterates //~ unused-allow
+        self.resident.len()
+    }
+
+    fn missing_reason(&self) -> usize {
+        // lint:allow(hash-iter) //~ allow-syntax
+        self.resident.keys().count() //~ hash-iter
+    }
+
+    fn unknown_rule(&self) -> usize {
+        // lint:allow(no-such-rule) -- reasons do not save unknown ids //~ allow-syntax
+        self.resident.keys().count() //~ hash-iter
+    }
+}

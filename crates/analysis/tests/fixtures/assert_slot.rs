@@ -1,0 +1,21 @@
+//! scope: crates/core/src/scheduler/fixture.rs
+//! Fixture: assert-slot fires when schedule/eviction asserts omit the slot.
+
+struct S {
+    current_schedule: Vec<Option<u32>>,
+    eviction_log: Vec<Option<u32>>,
+    t: usize,
+}
+
+impl S {
+    fn bad(&self) {
+        debug_assert!(!self.current_schedule.is_empty()); //~ assert-slot
+        debug_assert_eq!(self.eviction_log.len(), self.current_schedule.len()); //~ assert-slot
+    }
+
+    fn good(&self, slot: usize) {
+        debug_assert_eq!(self.current_schedule.len(), self.t, "log out of step");
+        debug_assert!(self.eviction_log.get(slot).is_some());
+        debug_assert!(self.t > 0); // not about the logs at all
+    }
+}

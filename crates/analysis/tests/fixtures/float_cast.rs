@@ -1,0 +1,22 @@
+//! scope: crates/core/src/scheduler/fixture.rs
+//! Fixture: float-cast fires on unrounded float -> int casts in gain math.
+
+fn bad(gain: f64) -> usize {
+    (gain * 1.5) as usize //~ float-cast
+}
+
+fn bad_method(gain: f64) -> u32 {
+    gain.sqrt() as u32 //~ float-cast
+}
+
+fn good(gain: f64) -> usize {
+    (gain * 1.5).ceil() as usize
+}
+
+fn good_int(blocks: u32) -> usize {
+    blocks as usize
+}
+
+fn good_powi(g: f64, t: usize) -> f64 {
+    g.powi(t as i32)
+}

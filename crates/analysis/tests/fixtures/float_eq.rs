@@ -1,0 +1,23 @@
+//! scope: crates/core/src/scheduler/fixture.rs
+//! Fixture: float-eq fires on f64 equality in parity hot paths.
+const EPS: f64 = 1e-9;
+
+fn bad(gain: f64) -> bool {
+    gain == 0.0 //~ float-eq
+}
+
+fn bad_ne(w: f64) -> bool {
+    0.5 != w //~ float-eq
+}
+
+fn bad_cast(n: u32, w: f64) -> bool {
+    n as f64 == w //~ float-eq
+}
+
+fn good(a: f64, b: f64, n: usize) -> bool {
+    (a - b).abs() < EPS && n == 3 && a.to_bits() == b.to_bits()
+}
+
+fn good_tuple(e: (usize, usize), r: usize) -> bool {
+    e.0 == r
+}

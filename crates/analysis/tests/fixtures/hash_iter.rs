@@ -1,0 +1,32 @@
+//! scope: crates/core/src/scheduler/fixture.rs
+//! Fixture: hash-iter fires on HashMap/HashSet iteration, not keyed access.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct State {
+    allocated: HashMap<u32, u64>,
+    seen: HashSet<u32>,
+}
+
+impl State {
+    fn bad(&self) -> u64 {
+        let mut sum = 0;
+        for (_k, v) in self.allocated.iter() { //~ hash-iter
+            sum += *v;
+        }
+        for x in &self.seen { //~ hash-iter
+            sum += u64::from(*x);
+        }
+        sum
+    }
+
+    fn bad_multiline(&self) -> usize {
+        self.allocated //~ hash-iter
+            .keys()
+            .count()
+    }
+
+    fn good(&self, ordered: &BTreeMap<u32, u64>) -> u64 {
+        let direct = self.allocated.get(&1).copied().unwrap_or(0);
+        ordered.values().sum::<u64>() + direct
+    }
+}

@@ -1,0 +1,19 @@
+//! scope: crates/core/src/fixture.rs
+//! Fixture: rand-scope fires outside sampler entry points / seeded generators.
+use rand::rngs::StdRng; //~ rand-scope
+use rand::{Rng, SeedableRng}; //~ rand-scope
+
+fn bad(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng; // test code: exempt
+
+    #[test]
+    fn seeded() {
+        let _ = StdRng::seed_from_u64(7);
+    }
+}

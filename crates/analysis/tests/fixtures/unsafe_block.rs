@@ -1,0 +1,19 @@
+//! scope: crates/core/src/fixture.rs
+//! Fixture: unsafe-block inventories every unsafe occurrence, even in tests.
+
+fn bad(p: *const u32) -> u32 {
+    unsafe { *p } //~ unsafe-block
+}
+
+fn good(x: u32) -> u32 {
+    x + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn also_counted() {
+        let x = 1u32;
+        let _ = unsafe { *(&x as *const u32) }; //~ unsafe-block
+    }
+}

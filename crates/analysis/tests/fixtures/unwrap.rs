@@ -1,0 +1,30 @@
+//! scope: crates/core/src/fixture.rs
+//! Fixture: unwrap fires in library code only; tests and benches are exempt.
+
+fn bad(x: Option<u32>) -> u32 {
+    x.unwrap() //~ unwrap
+}
+
+fn bad_expect(x: Result<u32, ()>) -> u32 {
+    x.expect("boom") //~ unwrap
+}
+
+fn bad_chained(x: Option<Vec<u32>>) -> u32 {
+    x.as_ref()
+        .and_then(|v| v.first())
+        .copied()
+        .unwrap() //~ unwrap
+}
+
+fn good(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        Some(1).unwrap();
+        Result::<u32, ()>::Ok(2).expect("fine in tests");
+    }
+}

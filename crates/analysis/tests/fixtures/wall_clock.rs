@@ -1,0 +1,12 @@
+//! scope: crates/sim/src/fixture.rs
+//! Fixture: wall-clock fires outside net's rate meters; sim time is logical.
+use std::time::{Duration, Instant}; //~ wall-clock
+
+fn bad() -> u128 {
+    let t0 = Instant::now(); //~ wall-clock
+    t0.elapsed().as_micros()
+}
+
+fn good(now_us: u64) -> u64 {
+    now_us + Duration::from_millis(1).as_millis() as u64
+}

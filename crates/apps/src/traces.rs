@@ -166,8 +166,10 @@ fn remap_time(t: Time, old: &[Time], new: &[Time]) -> Time {
         }
     }
     // Past the last anchor: keep the trailing offset.
-    let offset = t.saturating_sub(*old.last().expect("non-empty"));
-    *new.last().expect("non-empty") + offset
+    match (old.last(), new.last()) {
+        (Some(&last_old), Some(&last_new)) => last_new + t.saturating_sub(last_old),
+        _ => t,
+    }
 }
 
 /// Configuration for synthetic image-exploration traces.

@@ -134,8 +134,8 @@ impl ByteRangeEncoder {
         let n = self.num_blocks(total_bytes);
         let mut sizes = vec![self.block_size; n as usize];
         let rem = total_bytes % self.block_size;
-        if rem > 0 {
-            *sizes.last_mut().expect("at least one block") = rem;
+        if let Some(last) = sizes.last_mut().filter(|_| rem > 0) {
+            *last = rem;
         }
         ResponseLayout::from_sizes(request, sizes)
     }

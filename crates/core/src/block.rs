@@ -166,7 +166,7 @@ impl ResponseLayout {
 
     /// Iterates over the metadata of all blocks in prefix order.
     pub fn iter_blocks(&self) -> impl Iterator<Item = BlockMeta> + '_ {
-        (0..self.num_blocks()).map(move |i| self.block_meta(i).expect("index in range"))
+        (0..self.num_blocks()).filter_map(move |i| self.block_meta(i))
     }
 
     /// Fraction of the response covered by a prefix of `blocks` blocks.

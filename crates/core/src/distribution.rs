@@ -136,7 +136,7 @@ impl SparseDistribution {
             .iter()
             .copied()
             .filter(|&(_, p)| p > per_resid)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite probabilities"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(r, _)| r)
     }
 
@@ -144,7 +144,7 @@ impl SparseDistribution {
     /// (explicit entries only; the uniform tail is never enumerated).
     pub fn top_k(&self, k: usize) -> Vec<(RequestId, f64)> {
         let mut v = self.explicit.clone();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probabilities"));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v.truncate(k);
         v
     }
@@ -287,6 +287,7 @@ impl PredictionSummary {
                 return a.dist.lerp(&b.dist, frac);
             }
         }
+        // lint:allow(unwrap) -- Prediction slices are non-empty by construction (checked in the constructor)
         self.slices.last().expect("non-empty").dist.clone()
     }
 
@@ -310,6 +311,7 @@ impl PredictionSummary {
                 return (1.0 - frac) * a.dist.prob(request) + frac * b.dist.prob(request);
             }
         }
+        // lint:allow(unwrap) -- Prediction slices are non-empty by construction (checked in the constructor)
         self.slices.last().expect("non-empty").dist.prob(request)
     }
 

@@ -105,6 +105,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod bandwidth;
 pub mod block;
 pub mod cache;

@@ -226,7 +226,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite metric values"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -245,7 +245,7 @@ pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
         return Vec::new();
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite metric values"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len() as f64;
     sorted
         .into_iter()

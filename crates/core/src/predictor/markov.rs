@@ -78,7 +78,7 @@ impl MarkovPredictor {
             .iter()
             .map(|(&r, &c)| (r, c as f64 / total as f64))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(self.k);
         v
     }

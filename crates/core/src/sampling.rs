@@ -162,6 +162,7 @@ impl FenwickTree {
     pub fn set(&mut self, i: usize, w: f64) {
         assert!(w.is_finite() && w >= 0.0, "weight must be finite and >= 0");
         let delta = w - self.values[i];
+        // lint:allow(float-eq) -- exact no-op short-circuit: any nonzero delta must propagate to the sums
         if delta == 0.0 {
             return;
         }
@@ -253,6 +254,36 @@ impl FenwickTree {
     /// to floating-point rounding.
     pub fn last_positive(&self) -> Option<usize> {
         self.values.iter().rposition(|&w| w > 0.0)
+    }
+
+    /// Audit: indices of sum nodes whose stored partial sum disagrees with a
+    /// brute-force recomputation over the covered values (node `j` covers
+    /// `values[j - lowbit(j)..j]`), beyond the accumulated-residue tolerance.
+    /// Returns `(node, stored, expected)` triples.
+    #[cfg(feature = "audit")]
+    pub fn audit_bad_nodes(&self) -> Vec<(usize, f64, f64)> {
+        let mut bad = Vec::new();
+        for j in 1..self.tree.len() {
+            let lb = j & j.wrapping_neg();
+            let expected: f64 = self.values[j - lb..j].iter().sum();
+            let tol = 1e-9 * expected.abs().max(1.0);
+            if (self.tree[j] - expected).abs() > tol {
+                bad.push((j, self.tree[j], expected));
+            }
+        }
+        bad
+    }
+
+    /// Audit: the positive-entry counter vs. an exact recount, when they
+    /// drift (`(stored, actual)`); `None` when consistent.
+    #[cfg(feature = "audit")]
+    pub fn audit_positive_count_drift(&self) -> Option<(usize, usize)> {
+        let actual = self.values.iter().filter(|&&v| v > 0.0).count();
+        if actual == self.positive {
+            None
+        } else {
+            Some((self.positive, actual))
+        }
     }
 
     /// Recomputes the partial sums exactly from the stored values in `O(n)`.
@@ -398,6 +429,11 @@ pub struct GainSampler {
     shared_scale: f64,
     /// Per-utility-class meta-entries, in class-index order.
     meta: Vec<MetaEntry>,
+    /// Lifetime count of tombstone compactions (bucket + irregular).
+    compactions: u64,
+    /// Lifetime count of entries moved by those compactions — the measurable
+    /// amortized cost of the `dead > 32 && dead·2 > len` heuristic.
+    compaction_moved: u64,
 }
 
 impl GainSampler {
@@ -415,6 +451,8 @@ impl GainSampler {
             shared: FenwickTree::new(0),
             shared_scale: 0.0,
             meta: Vec::new(),
+            compactions: 0,
+            compaction_moved: 0,
         }
     }
 
@@ -545,6 +583,8 @@ impl GainSampler {
         let old_coefs = std::mem::take(&mut bucket.coefs);
         let old_tree = std::mem::replace(&mut bucket.tree, FenwickTree::new(0));
         bucket.dead = 0;
+        self.compactions += 1;
+        self.compaction_moved += old_ids.len() as u64;
         for (pos, &r) in old_ids.iter().enumerate() {
             if self.explicit_slots[r.index()] == ExplicitSlot::bucket(b as u32, pos as u32) {
                 let bucket = &mut self.buckets[b];
@@ -561,6 +601,8 @@ impl GainSampler {
         let old_ids = std::mem::take(&mut self.irregular_ids);
         let old_tree = std::mem::replace(&mut self.irregular, FenwickTree::new(0));
         self.irregular_dead = 0;
+        self.compactions += 1;
+        self.compaction_moved += old_ids.len() as u64;
         for (pos, &r) in old_ids.iter().enumerate() {
             if self.explicit_slots[r.index()] == ExplicitSlot::irregular(pos as u32) {
                 self.explicit_slots[r.index()] =
@@ -574,6 +616,52 @@ impl GainSampler {
     /// Number of shape buckets in the installed layout.
     pub fn num_buckets(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// Lifetime `(compactions, entries moved)` of the tombstone-compaction
+    /// heuristic — the observable its amortized-O(1) bound is asserted on.
+    pub fn compaction_stats(&self) -> (u64, u64) {
+        (self.compactions, self.compaction_moved)
+    }
+
+    /// Total explicit-layout slot capacity currently allocated (live +
+    /// tombstoned, buckets + irregular).  Bounded by the compaction
+    /// heuristic to O(live members).
+    pub fn explicit_capacity(&self) -> usize {
+        self.buckets.iter().map(|b| b.ids.len()).sum::<usize>() + self.irregular_ids.len()
+    }
+
+    /// Audit: every Fenwick tree in the layout, labeled — bucket trees in
+    /// partition order, then irregular, then shared.
+    #[cfg(feature = "audit")]
+    pub fn audit_fenwick_trees(&self) -> Vec<(String, &FenwickTree)> {
+        let mut trees: Vec<(String, &FenwickTree)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(b, bt)| (format!("bucket[{b}]"), &bt.tree))
+            .collect();
+        trees.push(("irregular".to_string(), &self.irregular));
+        trees.push(("shared".to_string(), &self.shared));
+        trees
+    }
+
+    /// Audit: bucket `b`'s draw-time scale factor.
+    #[cfg(feature = "audit")]
+    pub fn audit_bucket_factor(&self, b: usize) -> f64 {
+        self.buckets[b].factor
+    }
+
+    /// Audit: the cached slot-invariant coefficient of bucket member `r`
+    /// (`None` when `r` is irregular or not explicit).
+    #[cfg(feature = "audit")]
+    pub fn audit_bucket_coef(&self, r: RequestId) -> Option<f64> {
+        match self.explicit_slots[r.index()].decode() {
+            Some((b, pos)) if b != IRREGULAR_BUCKET => {
+                Some(self.buckets[b as usize].coefs[pos as usize])
+            }
+            _ => None,
+        }
     }
 
     /// Whether request `r` is in the explicit (materialized) layout — a
@@ -1079,6 +1167,66 @@ mod tests {
         assert_eq!(s.total(), 0.0);
         s.set_shared_scale(1.0);
         assert_eq!(s.total(), 0.0, "old shared weights must be cleared");
+    }
+
+    #[test]
+    fn compaction_cost_is_amortized_constant_under_adversarial_churn() {
+        // The tombstone heuristic (`dead > 32 && dead·2 > len`) fires only
+        // once tombstones dominate, so each compaction's O(len) scan is paid
+        // for by the >= len/2 removals that preceded it.  Churn a bucket and
+        // the irregular set through remove/re-append cycles at several sizes
+        // and assert (a) the total entries moved stays within a constant
+        // factor of the operation count, (b) slot capacity stays
+        // proportional to live membership, (c) weights survive intact.
+        for &m in &[64usize, 256, 1024] {
+            let mut s = GainSampler::new();
+            let bucket_members: Vec<usize> = (0..m).collect();
+            let irregular_members: Vec<usize> = (m..2 * m).collect();
+            s.rebuild(
+                &partition(vec![bucket_members], irregular_members),
+                &[],
+                4 * m,
+            );
+            s.set_bucket_factor(0, 1.0);
+            for i in 0..2 * m {
+                s.set_explicit_value(RequestId::from(i), 1.0);
+            }
+            let mut ops: u64 = 0;
+            for round in 0..6 {
+                for i in 0..m {
+                    // Stride-7 order so removals are scattered, not FIFO.
+                    let b = RequestId::from((i * 7 + round) % m);
+                    s.remove_explicit(b);
+                    s.append_bucket_member(0, b);
+                    s.set_explicit_value(b, 1.0);
+                    let ir = RequestId::from(m + (i * 7 + round) % m);
+                    s.remove_explicit(ir);
+                    s.append_irregular(ir);
+                    s.set_explicit_value(ir, 1.0);
+                    ops += 4;
+                }
+            }
+            let (compactions, moved) = s.compaction_stats();
+            assert!(compactions > 0, "churn at m={m} must trigger compactions");
+            assert!(
+                moved <= 4 * ops,
+                "amortized bound violated at m={m}: {moved} entries moved over {ops} ops"
+            );
+            assert!(
+                s.explicit_capacity() <= 4 * m + 96,
+                "slot capacity {} not bounded by live membership at m={m}",
+                s.explicit_capacity()
+            );
+            // Compaction preserved every live weight and the total mass.
+            assert!((s.total() - 2.0 * m as f64).abs() < 1e-9 * m as f64);
+            for i in 0..2 * m {
+                let w = s.debug_weight(RequestId::from(i));
+                assert!(
+                    w.is_some_and(|w| (w - 1.0).abs() < 1e-12),
+                    "weight of {i} corrupted at m={m}: {w:?}"
+                );
+            }
+        }
     }
 
     #[test]

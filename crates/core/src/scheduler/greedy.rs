@@ -96,6 +96,8 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+#[cfg(feature = "audit")]
+use crate::audit::{AuditCheck, AuditConfig, AuditReport, AuditViolation, SamplerAuditor};
 use crate::block::ResponseCatalog;
 use crate::distribution::PredictionSummary;
 use crate::sampling::{GainSampler, SampledGroup, SamplerVariant};
@@ -289,6 +291,11 @@ pub struct GreedyScheduler {
     /// Sender-ahead gap slots rejected by the per-update cap
     /// ([`GreedySchedulerConfig::max_gap_fraction`]).
     gap_slots_rejected: u64,
+    /// Attached runtime invariant auditor (`None` until
+    /// [`GreedyScheduler::audit_attach`]); absent entirely without the
+    /// `audit` feature, so the disabled cost is zero.
+    #[cfg(feature = "audit")]
+    auditor: Option<SamplerAuditor>,
 }
 
 impl GreedyScheduler {
@@ -349,6 +356,8 @@ impl GreedyScheduler {
             scheduled_blocks: 0,
             gap_slots: 0,
             gap_slots_rejected: 0,
+            #[cfg(feature = "audit")]
+            auditor: None,
         };
         s.rebuild_touched();
         s
@@ -497,7 +506,7 @@ impl GreedyScheduler {
         } else {
             sender_position
         };
-        self.debug_assert_slot_aligned();
+        self.check_slot_aligned();
         // Requests whose allocations or simulated residency the rollback
         // touches; their gains must be re-derived even when the prediction
         // diff leaves them untouched.
@@ -532,7 +541,11 @@ impl GreedyScheduler {
                         }
                     }
                     None => {
-                        debug_assert!(false, "schedule log shorter than t");
+                        let noted = self.audit_note_misalignment(
+                            self.t,
+                            "rollback found no schedule-log entry for slot t",
+                        );
+                        debug_assert!(noted, "no schedule-log entry for slot t");
                         break;
                     }
                 }
@@ -551,14 +564,14 @@ impl GreedyScheduler {
                 self.gap_slots += 1;
             }
         }
-        self.debug_assert_slot_aligned();
+        self.check_slot_aligned();
         // Diff the new prediction against the previous one and apply point
         // updates; fall back to the full rebuild when the model can't (too
         // large a diff, changed horizon parameters, bucket-cap pressure).
         let diff = if self.cfg.prediction_diff
             && self.model.horizon() == self.cfg.cache_blocks
             && self.model.slot_duration() == self.cfg.slot_duration
-            && self.model.gamma() == self.cfg.gamma
+            && self.model.gamma().to_bits() == self.cfg.gamma.to_bits()
         {
             self.model.apply_update(summary)
         } else {
@@ -570,6 +583,8 @@ impl GreedyScheduler {
                 rolled.sort_unstable();
                 rolled.dedup();
                 self.apply_model_diff(&diff, &rolled);
+                #[cfg(feature = "audit")]
+                self.audit_on_update(summary, true);
             }
             None => {
                 self.model = HorizonModel::build(
@@ -579,6 +594,8 @@ impl GreedyScheduler {
                     self.cfg.gamma,
                 );
                 self.rebuild_touched();
+                #[cfg(feature = "audit")]
+                self.audit_on_update(summary, false);
             }
         }
     }
@@ -721,6 +738,43 @@ impl GreedyScheduler {
         self.sampler.set_explicit_value(r, v);
     }
 
+    /// Schedule-log invariant gate: routed into the auditor's counted
+    /// `SlotAlignment` check when one is attached (reporting instead of
+    /// aborting), debug-asserted otherwise.
+    fn check_slot_aligned(&mut self) {
+        #[cfg(feature = "audit")]
+        if let Some(mut aud) = self.auditor.take() {
+            self.audit_check_slot_alignment(&mut aud.report);
+            self.auditor = Some(aud);
+            return;
+        }
+        self.debug_assert_slot_aligned();
+    }
+
+    /// Records a slot-alignment fault with the attached auditor, returning
+    /// whether one was attached to receive it (callers debug-assert on
+    /// `false`, preserving the abort-in-debug behaviour when unaudited).
+    #[cfg(feature = "audit")]
+    fn audit_note_misalignment(&mut self, slot: usize, what: &str) -> bool {
+        match self.auditor.as_mut() {
+            Some(aud) => {
+                aud.report.record(AuditViolation {
+                    check: AuditCheck::SlotAlignment,
+                    slot: Some(slot),
+                    request: None,
+                    detail: what.to_string(),
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    #[cfg(not(feature = "audit"))]
+    fn audit_note_misalignment(&mut self, _slot: usize, _what: &str) -> bool {
+        false
+    }
+
     /// Debug-only check of the schedule-log invariants: one log entry per
     /// consumed slot, and (with cache tracking) one eviction-log entry per
     /// schedule-log entry.
@@ -786,8 +840,10 @@ impl GreedyScheduler {
         self.touched.fill(false);
         self.touched_per_class.fill(0);
         let mut touched_ids: Vec<RequestId> = self.model.materialized().collect();
+        // lint:allow(hash-iter) -- collected into touched_ids, which is canonically re-sorted below
         touched_ids.extend(self.allocated.keys().copied());
         if self.cfg.track_client_cache {
+            // lint:allow(hash-iter) -- collected into touched_ids, which is canonically re-sorted below
             touched_ids.extend(self.resident.keys().copied());
         }
         touched_ids.retain(|&r| self.mark_touched(r));
@@ -1190,6 +1246,8 @@ impl GreedyScheduler {
             if self.cfg.sampler.is_incremental() {
                 self.refresh_after_allocation(q, evicted, newly_touched);
             }
+            #[cfg(feature = "audit")]
+            self.audit_on_block();
         }
         out
     }
@@ -1250,6 +1308,7 @@ impl GreedyScheduler {
             // requests the finished schedule allocated to — or whose blocks
             // it evicted — can depart, so the scan is bounded by the
             // schedule length, never by the touched-set size.
+            // lint:allow(hash-iter) -- snapshot is sorted and deduped two lines below
             let mut candidates: Vec<RequestId> = self.allocated.keys().copied().collect();
             candidates.extend(self.eviction_log.iter().flatten().map(|b| b.request));
             candidates.sort_unstable();
@@ -1305,6 +1364,7 @@ impl GreedyScheduler {
     /// The scheduler's current belief about the client's per-request resident
     /// block counts (empty unless cache tracking is enabled).
     pub fn simulated_cache(&self) -> HashMap<RequestId, u32> {
+        // lint:allow(hash-iter) -- order-insensitive: collected straight into another hash map
         self.resident
             .iter()
             .map(|(&r, set)| (r, set.len() as u32))
@@ -1337,9 +1397,283 @@ impl GreedyScheduler {
     }
 }
 
+#[cfg(feature = "audit")]
+impl GreedyScheduler {
+    /// Attaches a [`SamplerAuditor`]: from now on the scheduler
+    /// shadow-verifies its invariants at `cfg`'s sampling frequencies and
+    /// accumulates a violation report instead of debug-aborting.  Replaces
+    /// any previously attached auditor (and its report).
+    pub fn audit_attach(&mut self, cfg: AuditConfig) {
+        self.auditor = Some(SamplerAuditor::new(cfg));
+    }
+
+    /// The accumulated audit report, when an auditor is attached.
+    pub fn audit_report(&self) -> Option<AuditReport> {
+        self.auditor.as_ref().map(|a| a.report.clone())
+    }
+
+    /// Test-only fault injection: drops the newest eviction-log entry,
+    /// deliberately desynchronizing the log from the slot index so the
+    /// promoted alignment checks (and their rollback behaviour) can be
+    /// exercised.
+    #[doc(hidden)]
+    pub fn audit_inject_eviction_log_truncation(&mut self) {
+        self.eviction_log.pop();
+    }
+
+    /// Per-block hook: ticks the auditor and runs the structural checks at
+    /// the configured frequency.
+    fn audit_on_block(&mut self) {
+        let Some(mut aud) = self.auditor.take() else {
+            return;
+        };
+        if aud.tick_block() {
+            self.audit_run_checks(&mut aud.report, None);
+        }
+        self.auditor = Some(aud);
+    }
+
+    /// Post-update hook: like [`GreedyScheduler::audit_on_block`], but when
+    /// the update went through the diff path it additionally shadow-rebuilds
+    /// the model from `summary` and compares signatures.
+    fn audit_on_update(&mut self, summary: &PredictionSummary, diff_applied: bool) {
+        let Some(mut aud) = self.auditor.take() else {
+            return;
+        };
+        let run_general = aud.tick_update();
+        let run_diff = diff_applied && aud.tick_diff();
+        if run_general || run_diff {
+            let shadow = run_diff.then_some(summary);
+            self.audit_run_checks(&mut aud.report, shadow);
+        }
+        self.auditor = Some(aud);
+    }
+
+    fn audit_run_checks(&self, report: &mut AuditReport, shadow: Option<&PredictionSummary>) {
+        self.audit_check_fenwick(report);
+        self.audit_check_bucket_coefficients(report);
+        self.audit_check_slot_alignment(report);
+        if let Some(summary) = shadow {
+            self.audit_check_diff_signature(report, summary);
+        }
+    }
+
+    /// Every Fenwick sum node re-summed against its covered values, plus the
+    /// positive-entry counters (the phantom-total defense).
+    fn audit_check_fenwick(&self, report: &mut AuditReport) {
+        report.begin(AuditCheck::FenwickSums);
+        if !self.cfg.sampler.is_incremental() {
+            return;
+        }
+        for (label, tree) in self.sampler.audit_fenwick_trees() {
+            for (node, stored, expected) in tree.audit_bad_nodes() {
+                report.record(AuditViolation {
+                    check: AuditCheck::FenwickSums,
+                    slot: Some(self.t),
+                    request: None,
+                    detail: format!(
+                        "{label} sum node {node}: stored {stored:e}, recomputed {expected:e}"
+                    ),
+                });
+            }
+            if let Some((stored, actual)) = tree.audit_positive_count_drift() {
+                report.record(AuditViolation {
+                    check: AuditCheck::FenwickSums,
+                    slot: Some(self.t),
+                    request: None,
+                    detail: format!(
+                        "{label} positive-entry counter drift: stored {stored}, actual {actual}"
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Every incrementally maintained draw weight re-derived from the
+    /// model's tails, plus (lazy variant) each bucket's scalar factor and
+    /// cached per-member coefficient against the shape vector.
+    fn audit_check_bucket_coefficients(&self, report: &mut AuditReport) {
+        report.begin(AuditCheck::BucketCoefficients);
+        if !self.cfg.sampler.is_incremental() {
+            return;
+        }
+        for (r, want, got) in self.debug_weight_divergence() {
+            report.record(AuditViolation {
+                check: AuditCheck::BucketCoefficients,
+                slot: Some(self.t),
+                request: Some(r),
+                detail: format!("stored draw weight {got:e}, recomputed {want:e}"),
+            });
+        }
+        if self.cfg.sampler != SamplerVariant::Lazy {
+            return;
+        }
+        let part = self.model.shape_partition();
+        for (b, bucket) in part.buckets.iter().enumerate() {
+            let want = self.model.shape_factor(b, self.t);
+            let got = self.sampler.audit_bucket_factor(b);
+            if (got - want).abs() > 1e-9 * want.abs().max(1e-9) {
+                report.record(AuditViolation {
+                    check: AuditCheck::BucketCoefficients,
+                    slot: Some(self.t),
+                    request: None,
+                    detail: format!(
+                        "bucket {b} factor: stored {got:e}, shape vector says {want:e}"
+                    ),
+                });
+            }
+            for &r in &bucket.members {
+                let Some(coef) = self.sampler.audit_bucket_coef(r) else {
+                    continue;
+                };
+                let want = self.model.tail(r, 0);
+                if (coef - want).abs() > 1e-9 * want.abs().max(1e-9) {
+                    report.record(AuditViolation {
+                        check: AuditCheck::BucketCoefficients,
+                        slot: Some(self.t),
+                        request: Some(r),
+                        detail: format!(
+                            "cached coefficient {coef:e} diverges from tail(0) = {want:e}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    /// The promoted slot-alignment invariants: log lengths vs. the slot
+    /// index, gap pairing (an empty schedule slot never evicts), and the
+    /// simulated ring's capacity bound.
+    fn audit_check_slot_alignment(&self, report: &mut AuditReport) {
+        report.begin(AuditCheck::SlotAlignment);
+        if self.current_schedule.len() != self.t {
+            report.record(AuditViolation {
+                check: AuditCheck::SlotAlignment,
+                slot: Some(self.t),
+                request: None,
+                detail: format!(
+                    "schedule log holds {} entries at slot index t = {}",
+                    self.current_schedule.len(),
+                    self.t
+                ),
+            });
+        }
+        if !self.cfg.track_client_cache {
+            return;
+        }
+        if self.eviction_log.len() != self.t {
+            report.record(AuditViolation {
+                check: AuditCheck::SlotAlignment,
+                slot: Some(self.t),
+                request: None,
+                detail: format!(
+                    "eviction log holds {} entries at slot index t = {}",
+                    self.eviction_log.len(),
+                    self.t
+                ),
+            });
+        }
+        for (k, (sched, evicted)) in self
+            .current_schedule
+            .iter()
+            .zip(self.eviction_log.iter())
+            .enumerate()
+        {
+            if sched.is_none() && evicted.is_some() {
+                report.record(AuditViolation {
+                    check: AuditCheck::SlotAlignment,
+                    slot: Some(k),
+                    request: evicted.map(|b| b.request),
+                    detail: "sender-ahead gap slot paired with an eviction entry".to_string(),
+                });
+            }
+        }
+        if self.ring.len() > self.cfg.cache_blocks {
+            report.record(AuditViolation {
+                check: AuditCheck::SlotAlignment,
+                slot: Some(self.t),
+                request: None,
+                detail: format!(
+                    "simulated ring holds {} blocks, cache capacity is {}",
+                    self.ring.len(),
+                    self.cfg.cache_blocks
+                ),
+            });
+        }
+    }
+
+    /// Diff-path signature agreement: rebuilds a shadow model from the same
+    /// summary the diff path consumed and compares materialized sets, tails
+    /// at sampled slots, and the residual tail.
+    fn audit_check_diff_signature(&self, report: &mut AuditReport, summary: &PredictionSummary) {
+        report.begin(AuditCheck::DiffSignature);
+        let shadow = HorizonModel::build(
+            summary,
+            self.cfg.cache_blocks,
+            self.cfg.slot_duration,
+            self.cfg.gamma,
+        );
+        let mut diffed: Vec<RequestId> = self.model.materialized().collect();
+        diffed.sort_unstable();
+        let mut rebuilt: Vec<RequestId> = shadow.materialized().collect();
+        rebuilt.sort_unstable();
+        if diffed != rebuilt {
+            report.record(AuditViolation {
+                check: AuditCheck::DiffSignature,
+                slot: Some(self.t),
+                request: None,
+                detail: format!(
+                    "materialized sets diverge: diff path holds {}, rebuild holds {}",
+                    diffed.len(),
+                    rebuilt.len()
+                ),
+            });
+            return;
+        }
+        let probe_slots = [0, self.t.min(self.cfg.cache_blocks.saturating_sub(1))];
+        for &r in &diffed {
+            for &slot in &probe_slots {
+                let got = self.model.tail(r, slot);
+                let want = shadow.tail(r, slot);
+                if (got - want).abs() > 1e-8 * want.abs().max(1e-12) {
+                    report.record(AuditViolation {
+                        check: AuditCheck::DiffSignature,
+                        slot: Some(slot),
+                        request: Some(r),
+                        detail: format!("diffed tail {got:e}, rebuilt tail {want:e}"),
+                    });
+                    break;
+                }
+            }
+        }
+        for &slot in &probe_slots {
+            let got = self.model.residual_tail(slot);
+            let want = shadow.residual_tail(slot);
+            if (got - want).abs() > 1e-8 * want.abs().max(1e-12) {
+                report.record(AuditViolation {
+                    check: AuditCheck::DiffSignature,
+                    slot: Some(slot),
+                    request: None,
+                    detail: format!("diffed residual tail {got:e}, rebuilt {want:e}"),
+                });
+            }
+        }
+    }
+}
+
 impl crate::scheduler::Scheduler for GreedyScheduler {
     fn update_prediction(&mut self, summary: &PredictionSummary, sender_position: usize) {
         GreedyScheduler::update_prediction(self, summary, sender_position);
+    }
+
+    #[cfg(feature = "audit")]
+    fn audit_attach(&mut self, cfg: AuditConfig) {
+        GreedyScheduler::audit_attach(self, cfg);
+    }
+
+    #[cfg(feature = "audit")]
+    fn audit_report(&self) -> Option<AuditReport> {
+        GreedyScheduler::audit_report(self)
     }
 
     fn next_batch(&mut self, count: usize) -> Schedule {

@@ -98,6 +98,21 @@ pub trait Scheduler: Send {
     fn name(&self) -> &'static str {
         "scheduler"
     }
+
+    /// Attaches a runtime invariant auditor (see [`crate::audit`]).  The
+    /// default is a no-op for schedulers without audit support;
+    /// [`GreedyScheduler`] overrides it.
+    #[cfg(feature = "audit")]
+    fn audit_attach(&mut self, cfg: crate::audit::AuditConfig) {
+        let _ = cfg;
+    }
+
+    /// The accumulated audit report, when an auditor is attached (`None`
+    /// otherwise, and for schedulers without audit support).
+    #[cfg(feature = "audit")]
+    fn audit_report(&self) -> Option<crate::audit::AuditReport> {
+        None
+    }
 }
 
 /// Materialized probability model over a scheduling horizon of `horizon`
@@ -396,6 +411,7 @@ impl HorizonModel {
             }
         }
         for &r in &partition.irregular {
+            // lint:allow(unwrap) -- build invariant: the partition only lists requests whose tails were just computed
             let full = tails.remove(&r).expect("irregular request has a tail");
             explicit.insert(r, ExplicitTail::Full(full));
         }
@@ -447,8 +463,10 @@ impl HorizonModel {
         self.gamma
     }
 
-    /// The requests with materialized (non-residual) tails.
+    /// The requests with materialized (non-residual) tails, in unspecified
+    /// order — callers that feed parity-sensitive state must sort.
     pub fn materialized(&self) -> impl Iterator<Item = RequestId> + '_ {
+        // lint:allow(hash-iter) -- documented unordered; the one hot-path caller sorts (rebuild_touched)
         self.explicit.keys().copied()
     }
 
@@ -653,6 +671,7 @@ impl HorizonModel {
                 vec![Vec::new(); self.partition.buckets.len()];
             let mut from_irregular: Vec<RequestId> = Vec::new();
             for &r in &removed {
+                // lint:allow(unwrap) -- diff-plan invariant: departures are drawn from the materialized set
                 match self.placement(r).expect("removed request is materialized") {
                     ExplicitPlacement::Bucket(b) => from_bucket[b].push(r),
                     ExplicitPlacement::Irregular => from_irregular.push(r),
@@ -683,9 +702,13 @@ impl HorizonModel {
             });
         }
         // Placements (joins + moves): append membership, install tails.
-        let mut pending_tails: HashMap<RequestId, Vec<f64>> = pending_tails.into_iter().collect();
+        // (Renamed from the pending_tails Vec: keyed lookup only, never
+        // iterated, so hash ordering cannot leak into the model.)
+        let mut remaining_tails: HashMap<RequestId, Vec<f64>> = pending_tails.into_iter().collect();
         for &(r, p) in &placed {
-            let tail = pending_tails.remove(&r).expect("placed request has a tail");
+            let tail = remaining_tails
+                .remove(&r)
+                .expect("placed request has a tail"); // lint:allow(unwrap) -- diff-plan invariant: every placed request was given a tail in the plan phase; silent skip would corrupt the model
             match p {
                 ExplicitPlacement::Bucket(b) => {
                     self.partition.buckets[b].members.push(r);
@@ -706,10 +729,11 @@ impl HorizonModel {
         }
         // In-place recomputed rescales (same spot, new exact tail).
         for &r in &rescaled {
-            if let Some(tail) = pending_tails.remove(&r) {
+            if let Some(tail) = remaining_tails.remove(&r) {
                 match self
                     .explicit
                     .get_mut(&r)
+                    // lint:allow(unwrap) -- diff-plan invariant: rescaled requests stay materialized; loud failure beats silent model corruption
                     .expect("rescaled request is materialized")
                 {
                     ExplicitTail::Scaled { coef, .. } => *coef = tail[0],
@@ -723,6 +747,7 @@ impl HorizonModel {
             match self
                 .explicit
                 .get_mut(&r)
+                // lint:allow(unwrap) -- diff-plan invariant: rescaled requests stay materialized; loud failure beats silent model corruption
                 .expect("rescaled request is materialized")
             {
                 ExplicitTail::Scaled { coef, .. } => *coef *= c,
@@ -779,9 +804,10 @@ fn sig_scale(old: &TailSignature, new: &TailSignature) -> Option<f64> {
         .probs
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))?;
+        .max_by(|a, b| a.1.total_cmp(b.1))?;
     if p_anchor <= 0.0 {
         // All-zero old signature: proportional only to an all-zero new one.
+        // lint:allow(float-eq) -- exact all-zero signature detection; zeros are stored, not computed
         return new.probs.iter().all(|&q| q == 0.0).then_some(1.0);
     }
     let c = new.probs[anchor] / p_anchor;
@@ -1021,7 +1047,12 @@ fn expected_utility_over(
         total += gain * model.tail(b.request, k);
     }
     // Blocks already cached at the start contribute over the whole horizon.
-    for (&r, &b) in initial {
+    // Summed in request order: float addition is not associative, and this
+    // score is compared bit-for-bit across scheduler variants.
+    // lint:allow(hash-iter) -- snapshot is sorted on the next line
+    let mut cached: Vec<(RequestId, u32)> = initial.iter().map(|(&r, &b)| (r, b)).collect();
+    cached.sort_unstable();
+    for (r, b) in cached {
         total += utility.table(r.index()).step(b) * model.tail(r, 0);
     }
     total

@@ -13,7 +13,7 @@
 //! A [`BruteForceScheduler`] enumerates all schedules for tiny instances and
 //! is used by the tests to certify the assignment solver's optimality.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use crate::block::ResponseCatalog;
@@ -85,7 +85,7 @@ impl ReplanState {
     /// re-planning again.
     fn rollback_unsent(&mut self) {
         while self.issued.len() > self.confirmed {
-            let b = self.issued.pop().expect("issued not empty");
+            let Some(b) = self.issued.pop() else { break };
             if let Some(d) = self.delivered.get_mut(&b.request) {
                 if *d == b.index + 1 {
                     *d = b.index;
@@ -291,7 +291,7 @@ impl_replan_scheduler!(OptimalScheduler, "optimal");
 /// Stable-reorders blocks so that, per request, block indices appear in
 /// ascending order across the slots that request occupies.
 fn reorder_prefixes(schedule: &mut [BlockRef]) {
-    let mut by_request: HashMap<RequestId, Vec<usize>> = HashMap::new();
+    let mut by_request: BTreeMap<RequestId, Vec<usize>> = BTreeMap::new();
     for (pos, b) in schedule.iter().enumerate() {
         by_request.entry(b.request).or_default().push(pos);
     }

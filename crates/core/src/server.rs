@@ -208,6 +208,20 @@ impl KhameleonServer {
         self.session.scheduler_name()
     }
 
+    /// Attaches a runtime invariant auditor to the scheduler (see
+    /// [`crate::audit`]).
+    #[cfg(feature = "audit")]
+    pub fn audit_attach(&mut self, cfg: crate::audit::AuditConfig) {
+        self.session.audit_attach(cfg);
+    }
+
+    /// The scheduler's accumulated audit report, when an auditor is
+    /// attached.
+    #[cfg(feature = "audit")]
+    pub fn audit_report(&self) -> Option<crate::audit::AuditReport> {
+        self.session.audit_report()
+    }
+
     /// Name of the backend in use.
     pub fn backend_name(&self) -> &'static str {
         self.backend.name()

@@ -222,6 +222,20 @@ impl Session {
         self.scheduler.name()
     }
 
+    /// Attaches a runtime invariant auditor to the scheduler (no-op for
+    /// schedulers without audit support; see [`crate::audit`]).
+    #[cfg(feature = "audit")]
+    pub fn audit_attach(&mut self, cfg: crate::audit::AuditConfig) {
+        self.scheduler.audit_attach(cfg);
+    }
+
+    /// The scheduler's accumulated audit report, when an auditor is
+    /// attached.
+    #[cfg(feature = "audit")]
+    pub fn audit_report(&self) -> Option<crate::audit::AuditReport> {
+        self.scheduler.audit_report()
+    }
+
     /// The share weight used by weighted policies.
     pub fn weight(&self) -> f64 {
         self.weight

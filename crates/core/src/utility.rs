@@ -91,7 +91,7 @@ impl PiecewiseUtility {
     /// resulting curve is not monotonically non-decreasing.
     pub fn from_points(mut points: Vec<(f64, f64)>, name: impl Into<String>) -> Self {
         points.retain(|&(x, _)| (0.0..=1.0).contains(&x));
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fractions"));
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
         if points.first().map(|p| p.0 > 0.0).unwrap_or(true) {
             points.insert(0, (0.0, 0.0));
         }

@@ -199,6 +199,8 @@ pub fn run_baseline(
         convergence: Vec::new(),
         blocks_sent,
         bytes_sent,
+        #[cfg(feature = "audit")]
+        audit: None,
     }
 }
 

@@ -62,6 +62,11 @@ pub struct ExperimentConfig {
     /// from scratch (the default; disable for the rebuild-baseline
     /// ablation).
     pub prediction_diff: bool,
+    /// Attach the runtime invariant auditor to the Khameleon scheduler and
+    /// carry its violation report in the run result.  Only effective when
+    /// the crate is built with the `audit` feature; ignored (and free)
+    /// otherwise.
+    pub audit: bool,
     /// RNG seed for the scheduler / baselines.
     pub seed: u64,
 }
@@ -78,6 +83,7 @@ impl ExperimentConfig {
             gamma: 1.0,
             sampler: SamplerVariant::default(),
             prediction_diff: true,
+            audit: false,
             seed: 0x5eed,
         }
     }
@@ -163,6 +169,13 @@ impl ExperimentConfig {
     /// knob; on by default).
     pub fn with_prediction_diff(mut self, diff: bool) -> Self {
         self.prediction_diff = diff;
+        self
+    }
+
+    /// Toggles the scheduler's runtime invariant auditor (off by default;
+    /// see [`ExperimentConfig::audit`]).
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
         self
     }
 }

@@ -125,6 +125,10 @@ pub fn run_khameleon(
         .predictor(server_predictor)
         .backend(Box::new(backend_store))
         .build();
+    #[cfg(feature = "audit")]
+    if cfg.audit {
+        server.audit_attach(khameleon_core::audit::AuditConfig::default());
+    }
 
     // --- client ---
     let mut client = CacheManager::new(cache_blocks, catalog.clone(), utility);
@@ -273,6 +277,8 @@ pub fn run_khameleon(
         convergence,
         blocks_sent: server.blocks_sent(),
         bytes_sent: server.bytes_sent(),
+        #[cfg(feature = "audit")]
+        audit: server.audit_report(),
     }
 }
 

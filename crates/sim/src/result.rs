@@ -17,6 +17,11 @@ pub struct RunResult {
     pub blocks_sent: u64,
     /// Bytes the server pushed.
     pub bytes_sent: u64,
+    /// The scheduler's audit report, when the run was configured with
+    /// [`ExperimentConfig::audit`](crate::config::ExperimentConfig::audit)
+    /// (Khameleon runs only; `None` for baselines).
+    #[cfg(feature = "audit")]
+    pub audit: Option<khameleon_core::audit::AuditReport>,
 }
 
 impl RunResult {
@@ -44,6 +49,8 @@ mod tests {
             convergence: vec![],
             blocks_sent: 0,
             bytes_sent: 0,
+            #[cfg(feature = "audit")]
+            audit: None,
         };
         assert_eq!(
             r.to_csv_row().split(',').count(),
