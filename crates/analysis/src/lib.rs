@@ -253,9 +253,9 @@ pub fn test_line_mask(tokens: &[Tok], line_count: usize) -> Vec<bool> {
 
 /// The crates the workspace pass walks (source dirs only; test/bench crates
 /// under `crates/vendor` and `crates/bench` are exempt by construction).
-pub const SCANNED_CRATES: &[&str] = &["core", "net", "backend", "apps", "sim"];
+pub const SCANNED_CRATES: &[&str] = &["core", "net", "backend", "apps", "sim", "transport"];
 
-/// Scan every `.rs` file under `crates/{core,net,backend,apps,sim}/src` of
+/// Scan every `.rs` file under `crates/{core,net,backend,apps,sim,transport}/src` of
 /// the workspace rooted at `root`.  Returns (files scanned, diagnostics).
 pub fn scan_workspace(root: &Path) -> std::io::Result<(usize, Vec<Diagnostic>)> {
     let mut files: Vec<PathBuf> = Vec::new();

@@ -83,6 +83,44 @@ impl SparseDistribution {
         Self::from_entries(n, weights, 0.0)
     }
 
+    /// Builds a distribution from entries that are *already* normalized
+    /// (together with `residual` they sum to ≈ 1), without renormalizing:
+    /// the stored bits equal the input bits exactly.
+    ///
+    /// This is the constructor the prediction-delta path relies on.  The
+    /// server reconstructs the client's summary bit-for-bit from sparse
+    /// changes; [`from_entries`](SparseDistribution::from_entries) would
+    /// divide every probability by the total (≈ 1 but rarely exactly 1),
+    /// perturbing the unchanged entries and destroying delta sparsity.
+    ///
+    /// `entries` must be sorted by ascending id with unique, in-range ids
+    /// and finite non-negative probabilities; `residual` must be finite and
+    /// non-negative.  These are debug-asserted — callers decoding untrusted
+    /// input (the wire codec) validate before constructing.
+    pub fn from_normalized(n: usize, entries: Vec<(RequestId, f64)>, residual: f64) -> Self {
+        assert!(n > 0, "request space must be non-empty");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be sorted by ascending unique id"
+        );
+        debug_assert!(
+            entries
+                .iter()
+                .all(|&(r, p)| r.index() < n && p.is_finite() && p >= 0.0),
+            "entries must be in range with finite non-negative probabilities"
+        );
+        debug_assert!(
+            residual.is_finite() && residual >= 0.0,
+            "residual must be finite and non-negative"
+        );
+        let residual = if entries.len() >= n { 0.0 } else { residual };
+        SparseDistribution {
+            n,
+            explicit: entries,
+            residual,
+        }
+    }
+
     /// Size of the request space.
     pub fn num_requests(&self) -> usize {
         self.n
@@ -315,6 +353,15 @@ impl PredictionSummary {
         self.slices.last().expect("non-empty").dist.prob(request)
     }
 
+    /// Replaces the distribution of slice `idx` in place.  Used by the
+    /// prediction-delta shadow to patch exactly the slices a delta touched
+    /// (the public constructor would force re-sorting and re-validation of
+    /// every slice).
+    pub(crate) fn set_slice_dist(&mut self, idx: usize, dist: SparseDistribution) {
+        debug_assert_eq!(dist.num_requests(), self.n, "slice request-space mismatch");
+        self.slices[idx].dist = dist;
+    }
+
     /// The set of requests with an explicit entry in *any* slice — the
     /// requests the scheduler must materialize (everything else is covered by
     /// the uniform meta-request).
@@ -328,6 +375,32 @@ impl PredictionSummary {
         ids.dedup();
         ids
     }
+}
+
+/// `|A ∪ B|` for two sorted explicit-entry lists — the adjacent-pair union
+/// count both the scheduler's slot plan and the prediction-delta shadow
+/// maintain (one merge walk, so both sides compute the identical integer).
+pub(crate) fn union_count(a: &[(RequestId, f64)], b: &[(RequestId, f64)]) -> usize {
+    let mut union = 0usize;
+    let (mut x, mut y) = (0usize, 0usize);
+    while x < a.len() || y < b.len() {
+        union += 1;
+        match (a.get(x), b.get(y)) {
+            (Some(&(ra, _)), Some(&(rb, _))) => {
+                if ra == rb {
+                    x += 1;
+                    y += 1;
+                } else if ra < rb {
+                    x += 1;
+                } else {
+                    y += 1;
+                }
+            }
+            (Some(_), None) => x += 1,
+            (None, _) => y += 1,
+        }
+    }
+    union
 }
 
 #[cfg(test)]

@@ -111,6 +111,7 @@ pub mod bandwidth;
 pub mod block;
 pub mod cache;
 pub mod client;
+pub mod delta;
 pub mod distribution;
 pub mod metrics;
 pub mod predictor;

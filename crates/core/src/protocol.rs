@@ -16,6 +16,8 @@
 use std::fmt;
 
 use crate::block::Block;
+use crate::delta::PredictionDelta;
+use crate::distribution::PredictionSummary;
 use crate::predictor::PredictorState;
 use crate::types::Bandwidth;
 
@@ -39,6 +41,25 @@ pub enum ClientMessage {
     /// [`ServerPredictor`](crate::predictor::ServerPredictor) component and
     /// re-plans the unsent tail of the schedule (§5.3.2).
     Predictor(PredictorState),
+    /// A complete, already-decoded prediction summary tagged with a
+    /// generation id.  Installs the server's per-session shadow summary
+    /// (see [`ShadowSummary`](crate::delta::ShadowSummary)), making
+    /// subsequent [`PredictorDelta`](ClientMessage::PredictorDelta)
+    /// messages applicable against it.
+    PredictorFull {
+        /// The client's generation counter for this summary; deltas name it
+        /// as their base.
+        generation: u64,
+        /// The full prediction summary.
+        summary: PredictionSummary,
+    },
+    /// Only the entries that changed since the summary at
+    /// [`base_generation`](crate::delta::PredictionDelta::base_generation):
+    /// the `O(Δ)` uplink path.  The server patches its shadow summary and
+    /// hands the scheduler a precomputed changed-set, so neither the wire
+    /// nor the diff scan pays `O(m · slices)`.  A generation mismatch makes
+    /// the server answer [`ServerEvent::Resync`] instead of applying it.
+    PredictorDelta(PredictionDelta),
     /// The receive rate the client measured since its last report, used for
     /// server-side bandwidth estimation (§5.4).
     RateReport(Bandwidth),
@@ -65,13 +86,24 @@ pub enum ServerEvent {
         /// The session that ended.
         session: SessionId,
     },
+    /// A [`ClientMessage::PredictorDelta`] from `session` named a base
+    /// generation the server does not hold (lost state, reordered install,
+    /// or a server-side restart).  The client must resend a
+    /// [`ClientMessage::PredictorFull`]; the schedule keeps running on the
+    /// last applied prediction in the meantime.
+    Resync {
+        /// The session whose delta could not be applied.
+        session: SessionId,
+    },
 }
 
 impl ServerEvent {
     /// The session this event concerns, if any.
     pub fn session(&self) -> Option<SessionId> {
         match self {
-            ServerEvent::Block { session, .. } | ServerEvent::Closed { session } => Some(*session),
+            ServerEvent::Block { session, .. }
+            | ServerEvent::Closed { session }
+            | ServerEvent::Resync { session } => Some(*session),
             ServerEvent::Idle => None,
         }
     }

@@ -283,6 +283,9 @@ pub struct GreedyScheduler {
     /// Prediction updates applied through the diff path (the rest fell back
     /// to a full rebuild).
     diff_updates: u64,
+    /// Diff-path updates that additionally used a precomputed changed-set
+    /// ([`Self::update_prediction_sparse`]) — no signature scan at all.
+    sparse_updates: u64,
     /// Total blocks scheduled since creation (for instrumentation).
     scheduled_blocks: u64,
     /// Schedule slots skipped because the sender reported a position ahead
@@ -353,6 +356,7 @@ impl GreedyScheduler {
             sampler: GainSampler::new(),
             updates: 0,
             diff_updates: 0,
+            sparse_updates: 0,
             scheduled_blocks: 0,
             gap_slots: 0,
             gap_slots_rejected: 0,
@@ -406,6 +410,13 @@ impl GreedyScheduler {
     /// [`GreedyScheduler::prediction_updates`] fell back to a full rebuild).
     pub fn diff_applied_updates(&self) -> u64 {
         self.diff_updates
+    }
+
+    /// Diff-path updates that used a precomputed changed-set (the
+    /// prediction-delta path); always ≤
+    /// [`diff_applied_updates`](Self::diff_applied_updates).
+    pub fn sparse_applied_updates(&self) -> u64 {
+        self.sparse_updates
     }
 
     /// The scan variant's draw layout (requests in walk order with weights)
@@ -489,6 +500,30 @@ impl GreedyScheduler {
     /// invariant is debug-asserted), instead of mispairing blocks with
     /// slots.
     pub fn update_prediction(&mut self, summary: &PredictionSummary, sender_position: usize) {
+        self.update_prediction_inner(summary, None, sender_position);
+    }
+
+    /// Sparse prediction update: `changes` carries the precomputed
+    /// changed-set and slot-plan scalars from the prediction-delta shadow
+    /// (see [`crate::delta`]), so the model diff plans in `O(Δ · slices)`
+    /// via [`HorizonModel::apply_update_sparse`] instead of scanning every
+    /// materialized signature.  Rollback, fallback, and sampler mirroring
+    /// are identical to [`update_prediction`](Self::update_prediction).
+    pub fn update_prediction_sparse(
+        &mut self,
+        summary: &PredictionSummary,
+        changes: &crate::delta::PredictionChanges,
+        sender_position: usize,
+    ) {
+        self.update_prediction_inner(summary, Some(changes), sender_position);
+    }
+
+    fn update_prediction_inner(
+        &mut self,
+        summary: &PredictionSummary,
+        sparse: Option<&crate::delta::PredictionChanges>,
+        sender_position: usize,
+    ) {
         self.updates += 1;
         let sender_position = sender_position.min(self.cfg.cache_blocks);
         // Rate-limit sender-ahead gap creation: a sender repeatedly claiming
@@ -573,13 +608,17 @@ impl GreedyScheduler {
             && self.model.slot_duration() == self.cfg.slot_duration
             && self.model.gamma().to_bits() == self.cfg.gamma.to_bits()
         {
-            self.model.apply_update(summary)
+            match sparse {
+                Some(changes) => self.model.apply_update_sparse(summary, changes),
+                None => self.model.apply_update(summary),
+            }
         } else {
             None
         };
         match diff {
             Some(diff) => {
                 self.diff_updates += 1;
+                self.sparse_updates += u64::from(sparse.is_some());
                 rolled.sort_unstable();
                 rolled.dedup();
                 self.apply_model_diff(&diff, &rolled);
@@ -1664,6 +1703,15 @@ impl GreedyScheduler {
 impl crate::scheduler::Scheduler for GreedyScheduler {
     fn update_prediction(&mut self, summary: &PredictionSummary, sender_position: usize) {
         GreedyScheduler::update_prediction(self, summary, sender_position);
+    }
+
+    fn update_prediction_sparse(
+        &mut self,
+        summary: &PredictionSummary,
+        changes: &crate::delta::PredictionChanges,
+        sender_position: usize,
+    ) {
+        GreedyScheduler::update_prediction_sparse(self, summary, changes, sender_position);
     }
 
     #[cfg(feature = "audit")]

@@ -60,6 +60,23 @@ pub trait Scheduler: Send {
     /// of blocks of the current schedule already placed on the network.
     fn update_prediction(&mut self, summary: &PredictionSummary, sender_position: usize);
 
+    /// Sparse variant of [`update_prediction`](Scheduler::update_prediction):
+    /// the caller (the prediction-delta path, see [`crate::delta`]) already
+    /// knows exactly which requests' per-slice probabilities changed and
+    /// carries the summary scalars a slot plan needs, so a diff-capable
+    /// scheduler can skip the `O(m · slices)` signature scan entirely.  The
+    /// default ignores the hint and runs the full update; only schedulers
+    /// with an incremental model ([`GreedyScheduler`]) override it.
+    fn update_prediction_sparse(
+        &mut self,
+        summary: &PredictionSummary,
+        changes: &crate::delta::PredictionChanges,
+        sender_position: usize,
+    ) {
+        let _ = changes;
+        self.update_prediction(summary, sender_position);
+    }
+
     /// Emits up to `count` blocks in push order.  An empty result means no
     /// block currently has positive expected gain (everything useful is
     /// scheduled or resident).
@@ -606,7 +623,129 @@ impl HorizonModel {
         }
 
         let plan = SlotPlan::new(summary, horizon, self.slot_duration);
+        self.apply_planned(
+            &plan,
+            departed,
+            joined,
+            pending,
+            fast_rescale,
+            &new_sigs,
+            new_ids,
+        )
+    }
 
+    /// Sparse variant of [`apply_update`](HorizonModel::apply_update), fed by
+    /// the prediction-delta path: `changes.changed` lists (a provably
+    /// complete superset of) the requests whose per-slice probabilities
+    /// differ from the summary this model was built from, and
+    /// `changes.scalars` carries the per-slice masses and adjacent-union
+    /// counts the slot plan needs — both produced by the per-session
+    /// [`ShadowSummary`](crate::delta::ShadowSummary) while patching the
+    /// client's delta in.  Diff planning is `O(Δ · slices)` instead of the
+    /// full path's `O(m · slices)` signature scan; classification, the
+    /// residual-tail recompute, the returned [`ModelDiff`], and every
+    /// bail-out rule match [`apply_update`](HorizonModel::apply_update)
+    /// exactly (the scalars are computed in the same summation order, so the
+    /// two paths build bit-identical plans).
+    pub fn apply_update_sparse(
+        &mut self,
+        summary: &PredictionSummary,
+        changes: &crate::delta::PredictionChanges,
+    ) -> Option<ModelDiff> {
+        let slices = summary.slices();
+        if self.n != summary.num_requests()
+            || slices.len() > 32
+            || slices.len() != self.slice_deltas.len()
+            || slices
+                .iter()
+                .zip(&self.slice_deltas)
+                .any(|(s, &d)| s.delta != d)
+        {
+            return None;
+        }
+        let scalars = &changes.scalars;
+        if scalars.masses.len() != slices.len()
+            || scalars.pair_unions.len() != slices.len().saturating_sub(1)
+        {
+            return None;
+        }
+        let horizon = self.horizon;
+
+        // --- phase 1: plan, visiting only the changed requests ---
+        let mut new_sigs: HashMap<RequestId, TailSignature> =
+            HashMap::with_capacity(changes.changed.len());
+        let mut departed = Vec::new();
+        let mut joined = Vec::new();
+        let mut pending = Vec::new();
+        let mut fast_rescale: Vec<(RequestId, f64)> = Vec::new();
+        let mut prev: Option<RequestId> = None;
+        for &r in &changes.changed {
+            if prev.is_some_and(|p| p >= r) {
+                // Malformed changed-set (unsorted/duplicated): refuse the
+                // sparse path rather than risk a corrupt merge below.
+                return None;
+            }
+            prev = Some(r);
+            let sig = signature_of(slices, r);
+            let now_materialized = sig.explicit_mask != 0;
+            match (self.signatures.get(&r), now_materialized) {
+                (Some(old_sig), true) => {
+                    if *old_sig != sig {
+                        match sig_scale(old_sig, &sig) {
+                            Some(c) => fast_rescale.push((r, c)),
+                            None => pending.push(r),
+                        }
+                    }
+                    new_sigs.insert(r, sig);
+                }
+                (Some(_), false) => departed.push(r),
+                (None, true) => {
+                    joined.push(r);
+                    pending.push(r);
+                    new_sigs.insert(r, sig);
+                }
+                (None, false) => {}
+            }
+        }
+        let new_len = self.materialized_ids.len() - departed.len() + joined.len();
+        let max_changed = (new_len / 4).max(64);
+        if departed.len() + joined.len() + pending.len() > max_changed {
+            return None;
+        }
+        // Splice departures/joins into the sorted id list: a flat merge with
+        // no per-id signature work (the one remaining O(m) term, and it is a
+        // straight memcpy).
+        let new_ids = splice_sorted(&self.materialized_ids, &departed, &joined);
+
+        let plan = SlotPlan::from_scalars(summary, horizon, self.slot_duration, scalars);
+        self.apply_planned(
+            &plan,
+            departed,
+            joined,
+            pending,
+            fast_rescale,
+            &new_sigs,
+            new_ids,
+        )
+    }
+
+    /// Shared back half of [`apply_update`](HorizonModel::apply_update) and
+    /// [`apply_update_sparse`](HorizonModel::apply_update_sparse): classifies
+    /// the pending tails against bucket shapes (read-only; may still bail to
+    /// a full rebuild) and then applies removals, placements, and rescales.
+    /// `new_sigs` must cover `pending` and `fast_rescale`.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_planned(
+        &mut self,
+        plan: &SlotPlan,
+        departed: Vec<RequestId>,
+        joined: Vec<RequestId>,
+        pending: Vec<RequestId>,
+        fast_rescale: Vec<(RequestId, f64)>,
+        new_sigs: &HashMap<RequestId, TailSignature>,
+        new_ids: Vec<RequestId>,
+    ) -> Option<ModelDiff> {
+        let horizon = self.horizon;
         // Classify the recomputed tails against existing bucket shapes (and
         // shapes created earlier in this same update).
         let mut new_buckets: Vec<(RequestId, Vec<f64>)> = Vec::new(); // (rep, shape)
@@ -771,6 +910,30 @@ impl HorizonModel {
     }
 }
 
+/// `(base \ departed) ∪ joined`, all three inputs sorted ascending;
+/// `departed ⊆ base` and `joined ∩ base = ∅`.
+fn splice_sorted(
+    base: &[RequestId],
+    departed: &[RequestId],
+    joined: &[RequestId],
+) -> Vec<RequestId> {
+    let mut out = Vec::with_capacity(base.len() + joined.len() - departed.len());
+    let (mut d, mut j) = (0usize, 0usize);
+    for &r in base {
+        while j < joined.len() && joined[j] < r {
+            out.push(joined[j]);
+            j += 1;
+        }
+        if d < departed.len() && departed[d] == r {
+            d += 1;
+            continue;
+        }
+        out.push(r);
+    }
+    out.extend_from_slice(&joined[j..]);
+    out
+}
+
 /// Builds the per-slice signature of `r` under `slices`.
 fn signature_of(slices: &[crate::distribution::HorizonSlice], r: RequestId) -> TailSignature {
     let mut probs = Vec::with_capacity(slices.len());
@@ -840,59 +1003,78 @@ struct SlotPlan {
     uniform: Vec<bool>,
 }
 
+/// Adjacent-pair scalars: |A ∪ B| and each side's probability mass over the
+/// union (explicit mass plus residual coverage of the other side's extra
+/// entries).
+struct Pair {
+    union: usize,
+    sum_a: f64,
+    sum_b: f64,
+}
+
 impl SlotPlan {
     fn new(summary: &PredictionSummary, horizon: usize, slot_duration: Duration) -> Self {
+        let slices = summary.slices();
+        let mass: Vec<f64> = slices
+            .iter()
+            .map(|s| s.dist.explicit_entries().iter().map(|&(_, p)| p).sum())
+            .collect();
+        let unions: Vec<usize> = slices
+            .windows(2)
+            .map(|w| {
+                crate::distribution::union_count(
+                    w[0].dist.explicit_entries(),
+                    w[1].dist.explicit_entries(),
+                )
+            })
+            .collect();
+        Self::from_parts(summary, horizon, slot_duration, mass, unions)
+    }
+
+    /// Builds the plan from precomputed per-slice masses and adjacent-union
+    /// counts (see [`crate::delta::SummaryScalars`]), skipping the
+    /// `O(m · slices)` entry scans of [`SlotPlan::new`].  The shadow computes
+    /// the scalars in the same summation/merge order, so the resulting plan
+    /// is bit-identical.
+    fn from_scalars(
+        summary: &PredictionSummary,
+        horizon: usize,
+        slot_duration: Duration,
+        scalars: &crate::delta::SummaryScalars,
+    ) -> Self {
+        Self::from_parts(
+            summary,
+            horizon,
+            slot_duration,
+            scalars.masses.clone(),
+            scalars.pair_unions.clone(),
+        )
+    }
+
+    fn from_parts(
+        summary: &PredictionSummary,
+        horizon: usize,
+        slot_duration: Duration,
+        mass: Vec<f64>,
+        unions: Vec<usize>,
+    ) -> Self {
         let slices = summary.slices();
         let n = summary.num_requests();
         let count: Vec<usize> = slices
             .iter()
             .map(|s| s.dist.explicit_entries().len())
             .collect();
-        let mass: Vec<f64> = slices
-            .iter()
-            .map(|s| s.dist.explicit_entries().iter().map(|&(_, p)| p).sum())
-            .collect();
         let rpp: Vec<f64> = slices
             .iter()
             .map(|s| s.dist.residual_per_request())
             .collect();
-        // Adjacent-pair scalars: |A ∪ B| and each side's probability mass
-        // over the union (explicit mass plus residual coverage of the other
-        // side's extra entries).
-        struct Pair {
-            union: usize,
-            sum_a: f64,
-            sum_b: f64,
-        }
-        let pairs: Vec<Pair> = slices
-            .windows(2)
+        let pairs: Vec<Pair> = unions
+            .iter()
             .enumerate()
-            .map(|(i, w)| {
-                let (ea, eb) = (w[0].dist.explicit_entries(), w[1].dist.explicit_entries());
-                let mut union = 0usize;
-                let (mut x, mut y) = (0usize, 0usize);
-                while x < ea.len() || y < eb.len() {
-                    union += 1;
-                    match (ea.get(x), eb.get(y)) {
-                        (Some(&(ra, _)), Some(&(rb, _))) => {
-                            if ra == rb {
-                                x += 1;
-                                y += 1;
-                            } else if ra < rb {
-                                x += 1;
-                            } else {
-                                y += 1;
-                            }
-                        }
-                        (Some(_), None) => x += 1,
-                        (None, _) => y += 1,
-                    }
-                }
-                Pair {
-                    union,
-                    sum_a: mass[i] + (union - count[i]) as f64 * rpp[i],
-                    sum_b: mass[i + 1] + (union - count[i + 1]) as f64 * rpp[i + 1],
-                }
+            .map(|(i, &union)| Pair {
+                union,
+                sum_a: mass[i] + (union - count[i]) as f64 * rpp[i],
+                sum_b: mass[i + 1] + (union - count[i + 1]) as f64 * rpp[i + 1],
             })
             .collect();
 

@@ -33,7 +33,7 @@ use crate::block::{Block, ResponseCatalog};
 use crate::predictor::{PredictorState, ServerPredictor};
 use crate::protocol::{ClientMessage, ServerEvent, SessionId};
 use crate::scheduler::{GreedySchedulerConfig, Scheduler};
-use crate::session::{Session, SessionBuilder};
+use crate::session::{MessageOutcome, Session, SessionBuilder};
 use crate::types::{Bandwidth, BlockRef, RequestId, Time};
 use crate::utility::UtilityModel;
 
@@ -165,9 +165,11 @@ impl KhameleonServer {
         ServerBuilder::new(utility, catalog)
     }
 
-    /// Handles one typed protocol message from the client.
-    pub fn on_message(&mut self, message: &ClientMessage, now: Time) {
-        self.session.on_message(message, now);
+    /// Handles one typed protocol message from the client.  Returns
+    /// [`MessageOutcome::NeedsResync`] when a prediction delta could not be
+    /// applied and the client must resend a full summary.
+    pub fn on_message(&mut self, message: &ClientMessage, now: Time) -> MessageOutcome {
+        self.session.on_message(message, now)
     }
 
     /// Produces the next protocol event for the client: the next block on

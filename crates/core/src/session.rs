@@ -26,6 +26,8 @@ use std::sync::Arc;
 
 use crate::bandwidth::BandwidthEstimator;
 use crate::block::{BlockMeta, ResponseCatalog};
+use crate::delta::{PredictionDelta, ShadowApply, ShadowSummary};
+use crate::distribution::PredictionSummary;
 use crate::predictor::simple::SimpleServerPredictor;
 use crate::predictor::{PredictorState, ServerPredictor};
 use crate::protocol::{ClientMessage, ServerEvent, SessionId};
@@ -61,7 +63,29 @@ pub struct Session {
     /// joins: fair-queueing policies see `blocks_sent + service_base`, so a
     /// late joiner starts at the wire's current service level.
     service_base: u64,
+    /// Server-side mirror of the client's last full prediction summary,
+    /// patched in place by [`ClientMessage::PredictorDelta`]s (see
+    /// [`crate::delta`]).  Empty until the client sends a
+    /// [`ClientMessage::PredictorFull`].
+    shadow: ShadowSummary,
+    /// Prediction updates that arrived as deltas and were applied.
+    delta_updates: u64,
+    /// Deltas refused (generation mismatch / malformed), each answered with
+    /// a resync request.
+    resync_requests: u64,
     closed: bool,
+}
+
+/// What a protocol message did to the session, as far as the caller's event
+/// stream is concerned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageOutcome {
+    /// The message was absorbed; no client-visible event is needed.
+    Handled,
+    /// A prediction delta could not be applied (generation mismatch or
+    /// malformed): the client must resend a full summary.  Transports
+    /// surface this as [`ServerEvent::Resync`].
+    NeedsResync,
 }
 
 impl Session {
@@ -71,11 +95,28 @@ impl Session {
     }
 
     /// Handles one protocol message from this session's client.
-    pub fn on_message(&mut self, message: &ClientMessage, now: Time) {
+    pub fn on_message(&mut self, message: &ClientMessage, now: Time) -> MessageOutcome {
         match message {
-            ClientMessage::Predictor(state) => self.on_predictor_state(state, now),
-            ClientMessage::RateReport(rate) => self.on_rate_report(*rate),
-            ClientMessage::Close => self.closed = true,
+            ClientMessage::Predictor(state) => {
+                self.on_predictor_state(state, now);
+                MessageOutcome::Handled
+            }
+            ClientMessage::PredictorFull {
+                generation,
+                summary,
+            } => {
+                self.on_predictor_full(*generation, summary);
+                MessageOutcome::Handled
+            }
+            ClientMessage::PredictorDelta(delta) => self.on_predictor_delta(delta),
+            ClientMessage::RateReport(rate) => {
+                self.on_rate_report(*rate);
+                MessageOutcome::Handled
+            }
+            ClientMessage::Close => {
+                self.closed = true;
+                MessageOutcome::Handled
+            }
         }
     }
 
@@ -83,10 +124,54 @@ impl Session {
     /// schedule (§5.3.2).
     pub fn on_predictor_state(&mut self, state: &PredictorState, now: Time) {
         let summary = self.predictor.decode(state, now);
+        // Opaque predictor states and deltas must not interleave: the shadow
+        // no longer matches any client-side generation, so force a resync if
+        // the client switches back to the delta path.
+        self.shadow.clear();
         // Queued (scheduled but unsent) blocks are rolled back and re-planned.
         self.queue.clear();
         self.scheduler
             .update_prediction(&summary, self.sent_in_schedule);
+    }
+
+    /// Installs a full prediction summary at `generation` as the delta base
+    /// and re-plans the unsent tail of the schedule.
+    pub fn on_predictor_full(&mut self, generation: u64, summary: &PredictionSummary) {
+        self.shadow.install(generation, summary.clone());
+        self.queue.clear();
+        self.scheduler
+            .update_prediction(summary, self.sent_in_schedule);
+    }
+
+    /// Applies a prediction delta against the shadow summary and re-plans
+    /// through the sparse scheduler path (`O(Δ)` — no signature scan).
+    /// Returns [`MessageOutcome::NeedsResync`] if the delta's base
+    /// generation does not match the shadow, leaving the schedule running
+    /// on the last applied prediction.
+    pub fn on_predictor_delta(&mut self, delta: &PredictionDelta) -> MessageOutcome {
+        let this = &mut *self;
+        match this.shadow.apply(delta) {
+            Ok(ShadowApply::Sparse { summary, changes }) => {
+                this.queue.clear();
+                this.scheduler
+                    .update_prediction_sparse(summary, &changes, this.sent_in_schedule);
+                this.delta_updates += 1;
+                MessageOutcome::Handled
+            }
+            Ok(ShadowApply::Full { summary }) => {
+                // Applied, but the changed-set could not be certified
+                // complete (partial-mask signatures shifted): full scan.
+                this.queue.clear();
+                this.scheduler
+                    .update_prediction(summary, this.sent_in_schedule);
+                this.delta_updates += 1;
+                MessageOutcome::Handled
+            }
+            Err(_) => {
+                this.resync_requests += 1;
+                MessageOutcome::NeedsResync
+            }
+        }
     }
 
     /// Applies a receive-rate report to this session's bandwidth estimate
@@ -210,6 +295,24 @@ impl Session {
     /// Total bytes sent on behalf of this session.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
+    }
+
+    /// Prediction updates that arrived as deltas and were applied (sparse
+    /// or full path; see [`crate::delta`]).
+    pub fn delta_updates(&self) -> u64 {
+        self.delta_updates
+    }
+
+    /// Deltas refused with a resync request (generation mismatch or
+    /// malformed payload).
+    pub fn resync_requests(&self) -> u64 {
+        self.resync_requests
+    }
+
+    /// The generation of the installed shadow summary, if a
+    /// [`ClientMessage::PredictorFull`] has been applied.
+    pub fn shadow_generation(&self) -> Option<u64> {
+        self.shadow.generation()
     }
 
     /// Number of prediction updates the scheduler has applied.
@@ -383,6 +486,9 @@ impl SessionBuilder {
             bytes_sent: 0,
             weight,
             service_base: 0,
+            shadow: ShadowSummary::new(),
+            delta_updates: 0,
+            resync_requests: 0,
             closed: false,
         }
     }
@@ -621,7 +727,8 @@ impl SessionManager {
 
     /// Routes one protocol message to its session.  Returns the resulting
     /// event, if the message produced one (`Close` yields
-    /// [`ServerEvent::Closed`]); `None` for unknown sessions.
+    /// [`ServerEvent::Closed`], a refused delta yields
+    /// [`ServerEvent::Resync`]); `None` for unknown sessions.
     pub fn on_message(
         &mut self,
         id: SessionId,
@@ -655,10 +762,12 @@ impl SessionManager {
                 self.redivide_bandwidth();
                 None
             }
-            ClientMessage::Predictor(_) => {
-                session.on_message(message, now);
-                None
-            }
+            ClientMessage::Predictor(_)
+            | ClientMessage::PredictorFull { .. }
+            | ClientMessage::PredictorDelta(_) => match session.on_message(message, now) {
+                MessageOutcome::NeedsResync => Some(ServerEvent::Resync { session: id }),
+                MessageOutcome::Handled => None,
+            },
         }
     }
 
@@ -673,7 +782,35 @@ impl SessionManager {
     /// the §5.4 schedule-shaping heuristic generalized to many clients, not
     /// an exact in-flight tracker.)
     pub fn next_event(&mut self, _now: Time) -> ServerEvent {
-        let n = self.sessions.len().max(1);
+        let all: Vec<usize> = (0..self.sessions.len()).collect();
+        self.next_event_inner(all)
+    }
+
+    /// [`next_event`](SessionManager::next_event) restricted to the sessions
+    /// in `eligible` (ascending by id).  Transport servers use this to keep
+    /// backpressured connections — whose bounded outbound queues are full —
+    /// out of arbitration entirely: the share policy and the backend
+    /// concurrency budget only see the eligible set, so a slow consumer's
+    /// share flows to live connections instead of accumulating in memory,
+    /// and no scheduler state is mutated for blocks that could not be
+    /// queued.
+    pub fn next_event_among(&mut self, _now: Time, eligible: &[SessionId]) -> ServerEvent {
+        debug_assert!(
+            eligible.windows(2).all(|w| w[0] < w[1]),
+            "eligible session list must be ascending"
+        );
+        let picked: Vec<usize> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, (id, _))| eligible.binary_search(id).is_ok())
+            .map(|(i, _)| i)
+            .collect();
+        self.next_event_inner(picked)
+    }
+
+    fn next_event_inner(&mut self, indices: Vec<usize>) -> ServerEvent {
+        let n = indices.len().max(1);
         let limits: Vec<Option<usize>> = match self.backend.concurrency_limit() {
             None => vec![None; n],
             Some(l) => {
@@ -685,11 +822,11 @@ impl SessionManager {
             }
         };
         self.budget_rotor = self.budget_rotor.wrapping_add(1);
-        let mut candidates: Vec<usize> = (0..self.sessions.len()).collect();
+        let mut candidates: Vec<(usize, Option<usize>)> = indices.into_iter().zip(limits).collect();
         while !candidates.is_empty() {
             let ready: Vec<SessionShare> = candidates
                 .iter()
-                .map(|&i| {
+                .map(|&(i, _)| {
                     let (id, s) = &self.sessions[i];
                     SessionShare {
                         session: *id,
@@ -702,8 +839,7 @@ impl SessionManager {
             let Some(pick) = self.policy.pick(&ready) else {
                 break;
             };
-            let idx = candidates[pick];
-            let limit = limits[idx];
+            let (idx, limit) = candidates[pick];
             let (id, session) = &mut self.sessions[idx];
             let id = *id;
             match session.next_block_ref(limit) {
@@ -858,7 +994,7 @@ mod tests {
             match mgr.next_event(Time::ZERO) {
                 ServerEvent::Block { session, .. } => *counts.entry(session).or_insert(0) += 1,
                 ServerEvent::Idle => break,
-                ServerEvent::Closed { .. } => {}
+                ServerEvent::Closed { .. } | ServerEvent::Resync { .. } => {}
             }
         }
         counts
@@ -1209,7 +1345,7 @@ mod tests {
                         .insert(block.meta.block.request);
                 }
                 ServerEvent::Idle => break,
-                ServerEvent::Closed { .. } => {}
+                ServerEvent::Closed { .. } | ServerEvent::Resync { .. } => {}
             }
         }
         // Every session eventually gets service despite 4 of 6 having a zero

@@ -199,6 +199,8 @@ pub fn run_baseline(
         convergence: Vec::new(),
         blocks_sent,
         bytes_sent,
+        uplink_full_updates: 0,
+        uplink_delta_updates: 0,
         #[cfg(feature = "audit")]
         audit: None,
     }

@@ -62,6 +62,13 @@ pub struct ExperimentConfig {
     /// from scratch (the default; disable for the rebuild-baseline
     /// ablation).
     pub prediction_diff: bool,
+    /// Ship client re-predictions over the simulated uplink as O(Δ)
+    /// prediction deltas (through a
+    /// [`DeltaTracker`](khameleon_core::delta::DeltaTracker)) instead of
+    /// full summaries, mirroring the real transport's delta frames.  Only
+    /// affects summary-shaped predictor states; uplink accounting in the
+    /// run result then reflects the delta wire sizes.
+    pub prediction_delta: bool,
     /// Attach the runtime invariant auditor to the Khameleon scheduler and
     /// carry its violation report in the run result.  Only effective when
     /// the crate is built with the `audit` feature; ignored (and free)
@@ -83,6 +90,7 @@ impl ExperimentConfig {
             gamma: 1.0,
             sampler: SamplerVariant::default(),
             prediction_diff: true,
+            prediction_delta: false,
             audit: false,
             seed: 0x5eed,
         }
@@ -169,6 +177,13 @@ impl ExperimentConfig {
     /// knob; on by default).
     pub fn with_prediction_diff(mut self, diff: bool) -> Self {
         self.prediction_diff = diff;
+        self
+    }
+
+    /// Toggles delta-encoded prediction uploads (off by default; see
+    /// [`ExperimentConfig::prediction_delta`]).
+    pub fn with_prediction_delta(mut self, delta: bool) -> Self {
+        self.prediction_delta = delta;
         self
     }
 

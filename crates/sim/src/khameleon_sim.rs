@@ -18,6 +18,7 @@ use khameleon_backend::blockstore::BlockStore;
 use khameleon_backend::executor::CostModel;
 use khameleon_core::block::{BlockMeta, ResponseCatalog};
 use khameleon_core::client::CacheManager;
+use khameleon_core::delta::DeltaTracker;
 use khameleon_core::predictor::{
     ClientPredictor, InteractionEvent, PredictorManager, PredictorManagerConfig, ServerPredictor,
 };
@@ -158,6 +159,9 @@ pub fn run_khameleon(
     // explicitly anchored there (a hand-rolled `Time::ZERO`-anchored window
     // used to live here, pre-dating the meter's late-joiner fix).
     let mut rate_meter = ReceiveRateMeter::with_start(cfg.prediction_interval, Time::ZERO);
+    let mut delta_tracker = DeltaTracker::new();
+    let mut uplink_full_updates = 0u64;
+    let mut uplink_delta_updates = 0u64;
     let mut sample_idx = 0usize;
     let mut convergence: Vec<(Duration, f64)> = Vec::new();
     let pause_at = trace.requests.last().map(|r| r.0).unwrap_or(Time::ZERO);
@@ -194,16 +198,46 @@ pub fn run_khameleon(
                     sample_idx += 1;
                 }
                 if let Some(state) = predictor.poll(now) {
-                    client.note_prediction_sent(state.wire_size_bytes());
-                    queue.schedule(
-                        now + propagation,
-                        Event::Uplink(ClientMessage::Predictor(state)),
-                    );
+                    // Summary-shaped predictions optionally cross the uplink
+                    // as O(Δ) deltas, exactly like the real transport client;
+                    // everything else ships verbatim.
+                    let message = match state {
+                        khameleon_core::predictor::PredictorState::Summary(summary)
+                            if cfg.prediction_delta =>
+                        {
+                            delta_tracker.encode(&summary)
+                        }
+                        state => ClientMessage::Predictor(state),
+                    };
+                    let bytes = match &message {
+                        ClientMessage::PredictorDelta(delta) => {
+                            uplink_delta_updates += 1;
+                            delta.wire_size_bytes()
+                        }
+                        ClientMessage::PredictorFull { summary, .. } => {
+                            uplink_full_updates += 1;
+                            summary.wire_size_bytes()
+                        }
+                        ClientMessage::Predictor(state) => {
+                            uplink_full_updates += 1;
+                            state.wire_size_bytes()
+                        }
+                        _ => 0,
+                    };
+                    client.note_prediction_sent(bytes);
+                    queue.schedule(now + propagation, Event::Uplink(message));
                 }
                 queue.schedule(now + cfg.prediction_interval, Event::PredictionPoll);
             }
             Event::Uplink(message) => {
-                server.on_message(&message, now);
+                if server.on_message(&message, now)
+                    == khameleon_core::session::MessageOutcome::NeedsResync
+                {
+                    // The simulated downlink has no Resync frame to carry:
+                    // resetting the tracker makes the next poll ship in full,
+                    // which is exactly what a client reacting to Resync does.
+                    delta_tracker.reset();
+                }
             }
             Event::SenderWake => {
                 // Pace the sender by the link: only hand the link a new block
@@ -277,6 +311,8 @@ pub fn run_khameleon(
         convergence,
         blocks_sent: server.blocks_sent(),
         bytes_sent: server.bytes_sent(),
+        uplink_full_updates,
+        uplink_delta_updates,
         #[cfg(feature = "audit")]
         audit: server.audit_report(),
     }
@@ -481,5 +517,33 @@ mod tests {
         let r = run(&app, &trace, &cfg, PredictorKind::Kalman);
         assert!(r.summary.overpush_rate >= 0.0 && r.summary.overpush_rate <= 1.0);
         assert!(r.summary.predictions_sent > 10);
+    }
+
+    #[test]
+    fn prediction_delta_knob_shrinks_uplink_accounting() {
+        let (app, trace) = small_setup();
+        // The oracle predictor ships summary-shaped states, the only shape
+        // the delta encoder applies to.
+        let full_cfg = ExperimentConfig::paper_default();
+        let delta_cfg = ExperimentConfig::paper_default().with_prediction_delta(true);
+        let full = run(&app, &trace, &full_cfg, PredictorKind::Oracle);
+        let delta = run(&app, &trace, &delta_cfg, PredictorKind::Oracle);
+
+        assert_eq!(full.uplink_delta_updates, 0);
+        assert!(full.uplink_full_updates > 10);
+        // Identical trace and cadence, so both runs ship the same number of
+        // updates; some of the delta run's cross as O(Δ) frames.
+        assert_eq!(
+            delta.uplink_full_updates + delta.uplink_delta_updates,
+            full.uplink_full_updates
+        );
+        assert!(delta.uplink_delta_updates > 0, "delta path never engaged");
+        assert!(
+            delta.summary.prediction_bytes < full.summary.prediction_bytes,
+            "delta uplink {} not smaller than full uplink {}",
+            delta.summary.prediction_bytes,
+            full.summary.prediction_bytes
+        );
+        assert!(delta.uplink_bytes_per_update() < full.uplink_bytes_per_update());
     }
 }

@@ -17,6 +17,12 @@ pub struct RunResult {
     pub blocks_sent: u64,
     /// Bytes the server pushed.
     pub bytes_sent: u64,
+    /// Prediction updates that crossed the uplink as full summaries.
+    pub uplink_full_updates: u64,
+    /// Prediction updates that crossed the uplink as O(Δ) deltas (non-zero
+    /// only when the run was configured with
+    /// [`ExperimentConfig::prediction_delta`](crate::config::ExperimentConfig::prediction_delta)).
+    pub uplink_delta_updates: u64,
     /// The scheduler's audit report, when the run was configured with
     /// [`ExperimentConfig::audit`](crate::config::ExperimentConfig::audit)
     /// (Khameleon runs only; `None` for baselines).
@@ -34,6 +40,16 @@ impl RunResult {
     pub fn csv_header() -> String {
         format!("system,{}", MetricsSummary::csv_header())
     }
+
+    /// Mean uplink bytes per prediction update (from the client metrics).
+    /// With [`prediction_delta`](crate::config::ExperimentConfig::prediction_delta)
+    /// on, this is where the delta-vs-full saving shows up.
+    pub fn uplink_bytes_per_update(&self) -> f64 {
+        if self.summary.predictions_sent == 0 {
+            return 0.0;
+        }
+        self.summary.prediction_bytes as f64 / self.summary.predictions_sent as f64
+    }
 }
 
 #[cfg(test)]
@@ -49,6 +65,8 @@ mod tests {
             convergence: vec![],
             blocks_sent: 0,
             bytes_sent: 0,
+            uplink_full_updates: 0,
+            uplink_delta_updates: 0,
             #[cfg(feature = "audit")]
             audit: None,
         };

@@ -1,0 +1,206 @@
+//! Blocking client for the framed transport.
+//!
+//! [`TransportClient`] wraps one `TcpStream` and speaks the [`crate::wire`]
+//! protocol.  Prediction uploads go through a
+//! [`DeltaTracker`], so after the first full summary each re-prediction
+//! ships as an O(Δ) [`ClientMessage::PredictorDelta`] whenever the delta is
+//! small enough to be worth it; a server [`ServerEvent::Resync`] resets the
+//! tracker and the next upload is full again — the client never has to track
+//! that state machine itself.
+//!
+//! Optionally the client meters its own receive rate and interleaves
+//! [`ClientMessage::RateReport`]s with its uploads, closing the §5.4
+//! bandwidth-estimation loop over a real socket.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use khameleon_core::delta::DeltaTracker;
+use khameleon_core::distribution::PredictionSummary;
+use khameleon_core::protocol::{ClientMessage, ServerEvent};
+use khameleon_core::types::{Duration, Time};
+use khameleon_net::estimator::ReceiveRateMeter;
+
+use crate::wire::{decode_server_event, encode_client_frame, ClientFrame, FrameBuffer};
+
+/// What one prediction upload put on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UplinkReport {
+    /// Encoded frame size, length prefix included.
+    pub bytes: u64,
+    /// Whether the update went out as a delta (vs. a full summary).
+    pub delta: bool,
+}
+
+/// A blocking connection to a [`TransportServer`](crate::TransportServer).
+pub struct TransportClient {
+    stream: TcpStream,
+    inbuf: FrameBuffer,
+    tracker: DeltaTracker,
+    meter: Option<ReceiveRateMeter>,
+    // lint:allow(wall-clock) -- client-side receive metering needs the real
+    // clock; sim code never runs through this path.
+    start: std::time::Instant,
+    uplink_bytes: u64,
+    full_updates: u64,
+    delta_updates: u64,
+    resyncs_seen: u64,
+}
+
+impl TransportClient {
+    /// Connects to a transport server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TransportClient {
+            stream,
+            inbuf: FrameBuffer::new(),
+            tracker: DeltaTracker::new(),
+            meter: None,
+            // lint:allow(wall-clock) -- receive metering needs the real clock
+            start: std::time::Instant::now(),
+            uplink_bytes: 0,
+            full_updates: 0,
+            delta_updates: 0,
+            resyncs_seen: 0,
+        })
+    }
+
+    /// Enables automatic receive-rate reports every `interval` of received
+    /// traffic (measured on the client's own clock, reported upstream as
+    /// [`ClientMessage::RateReport`]).
+    pub fn with_rate_reports(mut self, interval: Duration) -> Self {
+        self.meter = Some(ReceiveRateMeter::new(interval));
+        self
+    }
+
+    /// Replaces the delta tracker's economy threshold (see
+    /// [`DeltaTracker::with_max_delta_ratio`]).
+    pub fn with_max_delta_ratio(mut self, ratio: f64) -> Self {
+        self.tracker = DeltaTracker::new().with_max_delta_ratio(ratio);
+        self
+    }
+
+    /// Sets a read timeout for [`recv_event`](TransportClient::recv_event);
+    /// `None` blocks indefinitely.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one protocol message verbatim (no delta tracking).
+    pub fn send_message(&mut self, message: &ClientMessage) -> std::io::Result<u64> {
+        self.send_frame(&ClientFrame::Message(message.clone()))
+    }
+
+    /// Ships a prediction summary, as a delta when the tracker deems it
+    /// worthwhile, as a full install otherwise.
+    pub fn send_prediction(
+        &mut self,
+        summary: &PredictionSummary,
+    ) -> std::io::Result<UplinkReport> {
+        let message = self.tracker.encode(summary);
+        let delta = matches!(message, ClientMessage::PredictorDelta(_));
+        let bytes = self.send_frame(&ClientFrame::Message(message))?;
+        if delta {
+            self.delta_updates += 1;
+        } else {
+            self.full_updates += 1;
+        }
+        Ok(UplinkReport { bytes, delta })
+    }
+
+    /// Grants the server credit for `n` more blocks (lockstep servers only
+    /// consume credits; others ignore them).
+    pub fn send_credit(&mut self, n: u32) -> std::io::Result<u64> {
+        self.send_frame(&ClientFrame::Credit(n))
+    }
+
+    /// Tells the server this client is going away.  The server responds with
+    /// [`ServerEvent::Closed`] and tears the session down.
+    pub fn send_close(&mut self) -> std::io::Result<u64> {
+        self.send_frame(&ClientFrame::Message(ClientMessage::Close))
+    }
+
+    /// Receives the next server event, blocking until a complete frame
+    /// arrives (or the read timeout fires).
+    ///
+    /// Handles transport bookkeeping inline: a [`ServerEvent::Resync`]
+    /// resets the delta tracker (the next
+    /// [`send_prediction`](TransportClient::send_prediction) ships in full),
+    /// and received blocks feed the rate meter, emitting rate reports
+    /// upstream when one is due.
+    pub fn recv_event(&mut self) -> std::io::Result<ServerEvent> {
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            if let Some(body) = self
+                .inbuf
+                .next_frame()
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))?
+            {
+                let event = decode_server_event(&body)
+                    .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))?;
+                self.note_event(&event)?;
+                return Ok(event);
+            }
+            let n = self.stream.read(&mut scratch)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.inbuf.extend(&scratch[..n]);
+        }
+    }
+
+    fn note_event(&mut self, event: &ServerEvent) -> std::io::Result<()> {
+        match event {
+            ServerEvent::Resync { .. } => {
+                self.resyncs_seen += 1;
+                self.tracker.reset();
+            }
+            ServerEvent::Block { block, .. } => {
+                if let Some(meter) = &mut self.meter {
+                    let now = Time::from_micros(self.start.elapsed().as_micros() as u64);
+                    if let Some(rate) = meter.on_receive(block.meta.size, now) {
+                        self.send_frame(&ClientFrame::Message(ClientMessage::RateReport(rate)))?;
+                    }
+                }
+            }
+            ServerEvent::Idle | ServerEvent::Closed { .. } => {}
+        }
+        Ok(())
+    }
+
+    fn send_frame(&mut self, frame: &ClientFrame) -> std::io::Result<u64> {
+        let encoded = encode_client_frame(frame);
+        self.stream.write_all(&encoded)?;
+        self.uplink_bytes += encoded.len() as u64;
+        Ok(encoded.len() as u64)
+    }
+
+    /// Total bytes this client has put on the uplink.
+    pub fn uplink_bytes(&self) -> u64 {
+        self.uplink_bytes
+    }
+
+    /// Prediction updates shipped as full summaries.
+    pub fn full_updates(&self) -> u64 {
+        self.full_updates
+    }
+
+    /// Prediction updates shipped as deltas.
+    pub fn delta_updates(&self) -> u64 {
+        self.delta_updates
+    }
+
+    /// Resync events received (each one forced the next update to be full).
+    pub fn resyncs_seen(&self) -> u64 {
+        self.resyncs_seen
+    }
+
+    /// The delta tracker's current generation.
+    pub fn generation(&self) -> u64 {
+        self.tracker.generation()
+    }
+}

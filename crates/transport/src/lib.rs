@@ -1,0 +1,43 @@
+//! # khameleon-transport
+//!
+//! Real network transport for the Khameleon reproduction: a dependency-free
+//! binary wire protocol plus an event-loop TCP server and a blocking client,
+//! connecting remote clients to the in-process
+//! [`SessionManager`](khameleon_core::session::SessionManager) scheduling
+//! machinery.
+//!
+//! The paper's deployment model (§3.2) is two one-way streams: compact
+//! predictor state flows *up*, response blocks flow *down*.  This crate puts
+//! those streams on real sockets:
+//!
+//! * [`wire`] — length-prefixed binary frames for every
+//!   [`ClientMessage`](khameleon_core::protocol::ClientMessage) and
+//!   [`ServerEvent`](khameleon_core::protocol::ServerEvent), including the
+//!   O(Δ) prediction-delta frame.  Floats travel as IEEE-754 bit patterns,
+//!   so the server's shadow summary reconstructs the client's prediction
+//!   bit-exactly — the property the sparse scheduler path depends on.
+//! * [`server`] — a nonblocking readiness loop over `std::net` (no async
+//!   runtime): accept, decode, dispatch to the shared `SessionManager`,
+//!   and flush bounded per-connection outbound queues.  Full queues exclude
+//!   their session from scheduling (backpressure); EOF tears the session
+//!   down (no slots are planned for departed clients).
+//! * [`client`] — a blocking client whose prediction uploads go through a
+//!   [`DeltaTracker`](khameleon_core::delta::DeltaTracker): after the first
+//!   full summary, re-predictions ship as deltas and a server `Resync`
+//!   transparently falls back to a full resend.
+//!
+//! The loopback stress harness (`transport_stress` in `khameleon-bench`)
+//! drives thousands of concurrent connections through this stack and emits
+//! `BENCH_transport.json`; see `docs/TRANSPORT.md` for the wire format
+//! specification.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{TransportClient, UplinkReport};
+pub use server::{ServerStats, TransportConfig, TransportServer};
+pub use wire::{ClientFrame, FrameBuffer, WireError, MAX_FRAME_LEN, WIRE_VERSION};

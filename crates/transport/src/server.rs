@@ -1,0 +1,520 @@
+//! Nonblocking event-loop server over `std::net`.
+//!
+//! One thread owns a [`TcpListener`] plus every accepted connection and runs
+//! a readiness loop: accept new peers, drain readable sockets into the frame
+//! decoder, feed decoded [`ClientMessage`]s to the shared
+//! [`SessionManager`], pull the next scheduled blocks out of the manager,
+//! and flush per-connection outbound queues through nonblocking writes.
+//! There is no async runtime — sockets are polled in `O(connections)` per
+//! tick, which is exactly the regime the loopback stress harness measures.
+//!
+//! Two properties the tests lean on:
+//!
+//! * **Bounded queues / backpressure.**  Every connection has a bounded
+//!   outbound frame queue.  A connection whose queue is full is excluded
+//!   from scheduling via
+//!   [`SessionManager::next_event_among`], so a slow consumer stalls *its
+//!   own* session — no scheduler state is mutated for blocks that cannot be
+//!   queued, and other sessions keep the wire busy.
+//! * **Clean disconnects.**  EOF or a socket error tears the connection
+//!   down through [`SessionManager::remove_session`], which tombstones the
+//!   session's sampler state; no further blocks are planned for it.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use khameleon_core::protocol::{ServerEvent, SessionId};
+use khameleon_core::session::{SessionBuilder, SessionManager};
+use khameleon_core::types::Time;
+
+use crate::wire::{encode_server_event, ClientFrame, FrameBuffer};
+
+/// Transport-level server knobs.
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Per-connection outbound queue capacity, in frames.  A connection at
+    /// capacity is skipped by the scheduler until its queue drains.
+    pub max_queued_frames: usize,
+    /// Only emit blocks against [`ClientFrame::Credit`] grants.  Lockstep
+    /// mode makes a TCP run block-for-block reproducible: the server's
+    /// logical clock stays at zero and each credit pulls exactly one event.
+    pub lockstep: bool,
+    /// Pace block emission against the session manager's shared bandwidth
+    /// estimate instead of draining as fast as sockets accept writes.
+    pub paced: bool,
+    /// How long the loop sleeps when a full pass made no progress.
+    pub idle_wait: std::time::Duration,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            max_queued_frames: 64,
+            lockstep: false,
+            paced: false,
+            idle_wait: std::time::Duration::from_micros(500),
+        }
+    }
+}
+
+/// Counters the event loop maintains; snapshot via
+/// [`TransportServer::stats`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Connections torn down (EOF, error, or protocol close).
+    pub disconnected: u64,
+    /// Sessions currently live.
+    pub active: u64,
+    /// Complete frames decoded off client sockets.
+    pub frames_in: u64,
+    /// Frames queued toward clients (blocks, closes, resyncs).
+    pub frames_out: u64,
+    /// Blocks handed to connections by the scheduler.
+    pub blocks_sent: u64,
+    /// Resync events pushed (delta generation mismatches).
+    pub resyncs: u64,
+    /// Times a session was excluded from scheduling because its outbound
+    /// queue was full — the backpressure path.
+    pub backpressure_skips: u64,
+    /// High-water mark of any connection's outbound queue, in frames.
+    pub peak_queue_frames: usize,
+    /// Frames dropped because they were decoded as protocol garbage.
+    pub decode_errors: u64,
+}
+
+struct Conn {
+    stream: TcpStream,
+    session: SessionId,
+    inbuf: FrameBuffer,
+    /// Encoded frames waiting for the socket; bounded by
+    /// [`TransportConfig::max_queued_frames`].
+    outbuf: VecDeque<Vec<u8>>,
+    /// Byte offset already written of `outbuf.front()`.
+    front_written: usize,
+    /// Blocks this connection may still be sent (lockstep mode only).
+    credits: u64,
+    /// The peer half-closed or errored; flush what is queued, then drop.
+    dying: bool,
+}
+
+impl Conn {
+    fn queue_frame(&mut self, frame: Vec<u8>) {
+        self.outbuf.push_back(frame);
+    }
+}
+
+/// A running event-loop server bound to a local address.
+///
+/// Dropping the handle (or calling [`shutdown`](TransportServer::shutdown))
+/// stops the loop and closes every connection.
+pub struct TransportServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<Mutex<ServerStats>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TransportServer {
+    /// Binds `addr` and spawns the event loop.  `manager` supplies the
+    /// scheduling machinery; `factory` builds one session per accepted
+    /// connection.
+    pub fn spawn<F>(
+        addr: impl ToSocketAddrs,
+        manager: SessionManager,
+        factory: F,
+        config: TransportConfig,
+    ) -> std::io::Result<TransportServer>
+    where
+        F: FnMut() -> SessionBuilder + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(Mutex::new(ServerStats::default()));
+        let loop_shutdown = Arc::clone(&shutdown);
+        let loop_stats = Arc::clone(&stats);
+        let handle = std::thread::Builder::new()
+            .name("khameleon-transport".into())
+            .spawn(move || {
+                EventLoop {
+                    listener,
+                    manager,
+                    factory: Box::new(factory),
+                    config,
+                    conns: Vec::new(),
+                    shutdown: loop_shutdown,
+                    stats: loop_stats,
+                    scratch: vec![0u8; 64 * 1024],
+                    clock: ClockSource::new(),
+                    next_send: Time::ZERO,
+                }
+                .run();
+            })?;
+        Ok(TransportServer {
+            local_addr,
+            shutdown,
+            stats,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the loop's counters.
+    pub fn stats(&self) -> ServerStats {
+        match self.stats.lock() {
+            Ok(s) => s.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// Stops the event loop and joins its thread.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TransportServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Wall-clock microseconds since loop start, used as the session layer's
+/// logical `now` outside lockstep mode.
+struct ClockSource {
+    // lint:allow(wall-clock) -- the transport is the real-time boundary; sim
+    // code never runs through this path.
+    start: std::time::Instant,
+}
+
+impl ClockSource {
+    fn new() -> Self {
+        ClockSource {
+            // lint:allow(wall-clock) -- real transport needs a real clock
+            start: std::time::Instant::now(),
+        }
+    }
+
+    fn now(&self, lockstep: bool) -> Time {
+        if lockstep {
+            // Lockstep runs must be reproducible: freeze the logical clock so
+            // a TCP run and an in-process run see identical timestamps.
+            return Time::ZERO;
+        }
+        Time::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+}
+
+struct EventLoop {
+    listener: TcpListener,
+    manager: SessionManager,
+    factory: Box<dyn FnMut() -> SessionBuilder + Send>,
+    config: TransportConfig,
+    conns: Vec<Conn>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<Mutex<ServerStats>>,
+    scratch: Vec<u8>,
+    clock: ClockSource,
+    /// Earliest loop time (µs since start) the pacing gate opens again.
+    next_send: Time,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            let mut progressed = false;
+            progressed |= self.accept_new();
+            progressed |= self.read_sockets();
+            progressed |= self.schedule_blocks();
+            progressed |= self.flush_sockets();
+            self.reap_dead();
+            self.publish_stats();
+            if !progressed {
+                std::thread::sleep(self.config.idle_wait);
+            }
+        }
+        // Final flush attempt so Closed frames reach clients that are still
+        // reading, then let the sockets drop.
+        self.flush_sockets();
+    }
+
+    fn accept_new(&mut self) -> bool {
+        let mut progressed = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let session = self.manager.add_session((self.factory)());
+                    self.conns.push(Conn {
+                        stream,
+                        session,
+                        inbuf: FrameBuffer::new(),
+                        outbuf: VecDeque::new(),
+                        front_written: 0,
+                        credits: 0,
+                        dying: false,
+                    });
+                    self.with_stats(|s| s.accepted += 1);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        progressed
+    }
+
+    fn read_sockets(&mut self) -> bool {
+        let now = self.clock.now(self.config.lockstep);
+        let mut progressed = false;
+        for i in 0..self.conns.len() {
+            if self.conns[i].dying {
+                continue;
+            }
+            loop {
+                let n = match self.conns[i].stream.read(&mut self.scratch) {
+                    Ok(0) => {
+                        // EOF: the client is gone.  Tear the session down so
+                        // the scheduler stops planning slots for it.
+                        self.disconnect(i);
+                        break;
+                    }
+                    Ok(n) => n,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.disconnect(i);
+                        break;
+                    }
+                };
+                progressed = true;
+                let bytes = self.scratch[..n].to_vec();
+                self.conns[i].inbuf.extend(&bytes);
+                if !self.drain_frames(i, now) {
+                    break;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Decodes and dispatches every complete frame buffered on `conns[i]`.
+    /// Returns `false` if the connection was torn down.
+    fn drain_frames(&mut self, i: usize, now: Time) -> bool {
+        loop {
+            let body = match self.conns[i].inbuf.next_frame() {
+                Ok(Some(body)) => body,
+                Ok(None) => return true,
+                Err(_) => {
+                    // A corrupt length prefix poisons the whole stream: there
+                    // is no resynchronization point, so drop the peer.
+                    self.with_stats(|s| s.decode_errors += 1);
+                    self.disconnect(i);
+                    return false;
+                }
+            };
+            let frame = match crate::wire::decode_client_frame(&body) {
+                Ok(frame) => frame,
+                Err(_) => {
+                    self.with_stats(|s| s.decode_errors += 1);
+                    self.disconnect(i);
+                    return false;
+                }
+            };
+            self.with_stats(|s| s.frames_in += 1);
+            match frame {
+                ClientFrame::Credit(n) => {
+                    self.conns[i].credits = self.conns[i].credits.saturating_add(u64::from(n));
+                }
+                ClientFrame::Message(message) => {
+                    let session = self.conns[i].session;
+                    match self.manager.on_message(session, &message, now) {
+                        Some(event @ ServerEvent::Resync { .. }) => {
+                            self.with_stats(|s| {
+                                s.resyncs += 1;
+                                s.frames_out += 1;
+                            });
+                            self.conns[i].queue_frame(encode_server_event(&event));
+                        }
+                        Some(event @ ServerEvent::Closed { .. }) => {
+                            // The manager already removed the session; tell
+                            // the peer, flush, then drop the socket.
+                            self.with_stats(|s| {
+                                s.frames_out += 1;
+                                s.disconnected += 1;
+                            });
+                            self.conns[i].queue_frame(encode_server_event(&event));
+                            self.conns[i].dying = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn schedule_blocks(&mut self) -> bool {
+        let now = self.clock.now(self.config.lockstep);
+        let mut progressed = false;
+        loop {
+            if self.config.paced && self.manager.pacing_interval().as_micros() > 0 {
+                // Respect the shared budget: at most one block per pacing
+                // interval across all sessions.  The pacing interval tracks
+                // the manager's bandwidth estimate, so rate reports from
+                // clients speed this up or slow it down.
+                if !self.pacing_gate_open() {
+                    break;
+                }
+            }
+            // Sessions eligible for the next block: connection alive, queue
+            // below capacity, and (lockstep) holding credit.
+            let mut skipped = 0u64;
+            let mut eligible: Vec<SessionId> = Vec::with_capacity(self.conns.len());
+            for c in &self.conns {
+                if c.dying {
+                    continue;
+                }
+                if c.outbuf.len() >= self.config.max_queued_frames {
+                    skipped += 1;
+                    continue;
+                }
+                if self.config.lockstep && c.credits == 0 {
+                    continue;
+                }
+                eligible.push(c.session);
+            }
+            if skipped > 0 {
+                self.with_stats(|s| s.backpressure_skips += skipped);
+            }
+            if eligible.is_empty() {
+                break;
+            }
+            eligible.sort_unstable();
+            match self.manager.next_event_among(now, &eligible) {
+                ServerEvent::Idle => break,
+                event @ ServerEvent::Block { session, .. } => {
+                    if let Some(conn) = self.conns.iter_mut().find(|c| c.session == session) {
+                        conn.queue_frame(encode_server_event(&event));
+                        conn.credits = conn.credits.saturating_sub(1);
+                        let depth = conn.outbuf.len();
+                        self.with_stats(|s| {
+                            s.blocks_sent += 1;
+                            s.frames_out += 1;
+                            s.peak_queue_frames = s.peak_queue_frames.max(depth);
+                        });
+                        self.note_block_paced();
+                    }
+                    progressed = true;
+                }
+                event @ (ServerEvent::Closed { .. } | ServerEvent::Resync { .. }) => {
+                    let session = match event.session() {
+                        Some(id) => id,
+                        None => break,
+                    };
+                    if let Some(conn) = self.conns.iter_mut().find(|c| c.session == session) {
+                        conn.queue_frame(encode_server_event(&event));
+                        conn.dying |= matches!(event, ServerEvent::Closed { .. });
+                        self.with_stats(|s| s.frames_out += 1);
+                    }
+                    progressed = true;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Whether the pacing budget allows another block right now.
+    fn pacing_gate_open(&mut self) -> bool {
+        let elapsed = Time::from_micros(self.clock.start.elapsed().as_micros() as u64);
+        elapsed >= self.next_send
+    }
+
+    fn note_block_paced(&mut self) {
+        if !self.config.paced {
+            return;
+        }
+        let elapsed = Time::from_micros(self.clock.start.elapsed().as_micros() as u64);
+        let interval = self.manager.pacing_interval();
+        self.next_send = elapsed.max(self.next_send) + interval;
+    }
+
+    fn flush_sockets(&mut self) -> bool {
+        let mut progressed = false;
+        for i in 0..self.conns.len() {
+            loop {
+                let conn = &mut self.conns[i];
+                let Some(front) = conn.outbuf.front() else {
+                    break;
+                };
+                let remaining = &front[conn.front_written..];
+                match conn.stream.write(remaining) {
+                    Ok(0) => {
+                        self.disconnect(i);
+                        break;
+                    }
+                    Ok(n) => {
+                        progressed = true;
+                        conn.front_written += n;
+                        if conn.front_written == front.len() {
+                            conn.outbuf.pop_front();
+                            conn.front_written = 0;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.disconnect(i);
+                        break;
+                    }
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Removes the session of `conns[i]` from the manager and marks the
+    /// socket for reaping.
+    fn disconnect(&mut self, i: usize) {
+        if !self.conns[i].dying {
+            self.conns[i].dying = true;
+        }
+        let session = self.conns[i].session;
+        if self.manager.remove_session(session) {
+            self.with_stats(|s| s.disconnected += 1);
+        }
+        // Whatever was queued is undeliverable.
+        self.conns[i].outbuf.clear();
+        self.conns[i].front_written = 0;
+    }
+
+    fn reap_dead(&mut self) {
+        self.conns.retain(|c| !(c.dying && c.outbuf.is_empty()));
+    }
+
+    fn publish_stats(&mut self) {
+        let active = self.conns.iter().filter(|c| !c.dying).count() as u64;
+        self.with_stats(|s| s.active = active);
+    }
+
+    fn with_stats(&self, f: impl FnOnce(&mut ServerStats)) {
+        if let Ok(mut s) = self.stats.lock() {
+            f(&mut s);
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Loopback integration tests: real sockets, the real event loop, the real
+//! session machinery.
+//!
+//! Covers the four transport guarantees the crate documents:
+//! disconnect cleanup (no slots planned for departed sessions), the
+//! generation-mismatch resync path, bounded outbound queues with
+//! backpressure, and block-for-block determinism of a lockstep TCP run
+//! against the in-process `SessionManager` path.
+
+use std::sync::Arc;
+
+use khameleon_core::block::Block;
+use khameleon_core::block::ResponseCatalog;
+use khameleon_core::delta::{DeltaTracker, PredictionDelta, SliceDelta};
+use khameleon_core::distribution::{HorizonSlice, PredictionSummary, SparseDistribution};
+use khameleon_core::protocol::{ClientMessage, ServerEvent};
+use khameleon_core::server::{Backend, CatalogBackend};
+use khameleon_core::session::{Session, SessionBuilder, SessionManager};
+use khameleon_core::types::{BlockRef, Duration, RequestId, Time};
+use khameleon_core::utility::{LinearUtility, UtilityModel};
+use khameleon_transport::{TransportClient, TransportConfig, TransportServer};
+
+fn catalog(requests: usize, blocks: u32, block_size: u64) -> Arc<ResponseCatalog> {
+    Arc::new(ResponseCatalog::uniform(requests, blocks, block_size))
+}
+
+fn builder(catalog: &Arc<ResponseCatalog>, blocks: u32) -> SessionBuilder {
+    let utility = UtilityModel::homogeneous(&LinearUtility, blocks);
+    Session::builder(utility, catalog.clone())
+}
+
+fn summary(n: usize, hot: &[(u32, f64)], residual: f64) -> PredictionSummary {
+    let mut entries: Vec<(RequestId, f64)> = hot.iter().map(|&(r, p)| (RequestId(r), p)).collect();
+    entries.sort_by_key(|&(r, _)| r);
+    let slices = (1..=4)
+        .map(|i| HorizonSlice {
+            delta: Duration::from_millis(50 * i),
+            dist: SparseDistribution::from_normalized(n, entries.clone(), residual),
+        })
+        .collect();
+    PredictionSummary::new(n, slices, Time::ZERO)
+}
+
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    for _ in 0..2_000 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+#[test]
+fn blocks_flow_end_to_end_over_loopback() {
+    let cat = catalog(40, 4, 2_000);
+    let manager = SessionManager::round_robin(Box::new(CatalogBackend::new(cat.clone())));
+    let factory_cat = cat.clone();
+    let server = TransportServer::spawn(
+        "127.0.0.1:0",
+        manager,
+        move || builder(&factory_cat, 4),
+        TransportConfig::default(),
+    )
+    .expect("bind");
+
+    let mut client = TransportClient::connect(server.local_addr()).expect("connect");
+    client
+        .send_prediction(&summary(40, &[(3, 0.7), (9, 0.25)], 0.05))
+        .expect("send prediction");
+
+    let mut got = 0;
+    while got < 6 {
+        match client.recv_event().expect("event") {
+            ServerEvent::Block { block, .. } => {
+                assert!(block.meta.block.request.index() < 40);
+                got += 1;
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    // The hot requests dominate the schedule's head.
+    client.send_close().expect("close");
+    wait_until(|| server.stats().active == 0, "session teardown");
+    let stats = server.stats();
+    assert_eq!(stats.accepted, 1);
+    assert!(stats.blocks_sent >= 6);
+    assert_eq!(stats.decode_errors, 0);
+}
+
+#[test]
+fn abrupt_disconnect_removes_session_and_frees_the_wire() {
+    let cat = catalog(30, 4, 1_000);
+    let manager = SessionManager::round_robin(Box::new(CatalogBackend::new(cat.clone())));
+    let factory_cat = cat.clone();
+    let server = TransportServer::spawn(
+        "127.0.0.1:0",
+        manager,
+        move || builder(&factory_cat, 4),
+        TransportConfig::default(),
+    )
+    .expect("bind");
+
+    let mut doomed = TransportClient::connect(server.local_addr()).expect("connect doomed");
+    let mut survivor = TransportClient::connect(server.local_addr()).expect("connect survivor");
+    wait_until(|| server.stats().accepted == 2, "both sessions");
+
+    doomed
+        .send_prediction(&summary(30, &[(1, 0.9)], 0.05))
+        .expect("doomed prediction");
+    survivor
+        .send_prediction(&summary(30, &[(2, 0.9)], 0.05))
+        .expect("survivor prediction");
+
+    // Drop the socket without a Close frame: the server sees EOF and must
+    // tear the session down (the sampler tombstones the departed session —
+    // `remove_session` — so no further slots are planned for it).
+    drop(doomed);
+    wait_until(|| server.stats().active == 1, "EOF teardown");
+
+    // The survivor keeps receiving blocks after the departure.
+    let mut got = 0;
+    while got < 4 {
+        if let ServerEvent::Block { .. } = survivor.recv_event().expect("survivor event") {
+            got += 1;
+        }
+    }
+    assert!(server.stats().disconnected >= 1);
+}
+
+/// The in-process half of the disconnect satellite: once a session is
+/// removed, the shared scheduler plans no slots for it, even though it had a
+/// live schedule moments before.
+#[test]
+fn departed_session_gets_no_schedule_slots() {
+    let cat = catalog(30, 4, 1_000);
+    let mut manager = SessionManager::round_robin(Box::new(CatalogBackend::new(cat.clone())));
+    let a = manager.add_session(builder(&cat, 4));
+    let b = manager.add_session(builder(&cat, 4));
+
+    let now = Time::ZERO;
+    manager.on_message(
+        a,
+        &ClientMessage::PredictorFull {
+            generation: 1,
+            summary: summary(30, &[(1, 0.9)], 0.05),
+        },
+        now,
+    );
+    manager.on_message(
+        b,
+        &ClientMessage::PredictorFull {
+            generation: 1,
+            summary: summary(30, &[(2, 0.9)], 0.05),
+        },
+        now,
+    );
+    // Both sessions hold work.
+    let first = manager.next_event(now);
+    assert!(matches!(first, ServerEvent::Block { .. }));
+
+    assert!(manager.remove_session(a));
+    for _ in 0..200 {
+        match manager.next_event(now) {
+            ServerEvent::Block { session, .. } => {
+                assert_ne!(session, a, "scheduled a slot for a departed session");
+            }
+            ServerEvent::Idle => break,
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn generation_mismatch_triggers_resync_then_recovers() {
+    let cat = catalog(30, 4, 1_000);
+    let manager = SessionManager::round_robin(Box::new(CatalogBackend::new(cat.clone())));
+    let factory_cat = cat.clone();
+    let server = TransportServer::spawn(
+        "127.0.0.1:0",
+        manager,
+        move || builder(&factory_cat, 4),
+        TransportConfig::default(),
+    )
+    .expect("bind");
+
+    let mut client = TransportClient::connect(server.local_addr()).expect("connect");
+
+    // A delta against a generation the server never saw: it must answer
+    // Resync without touching the (empty) schedule.
+    let bogus = PredictionDelta {
+        base_generation: 41,
+        generation: 42,
+        generated_at: Time::ZERO,
+        slices: vec![SliceDelta {
+            upserts: vec![(RequestId(1), 0.5)],
+            removes: vec![],
+            residual: None,
+        }],
+    };
+    client
+        .send_message(&ClientMessage::PredictorDelta(bogus))
+        .expect("send bogus delta");
+    // A fresh session starts streaming against its default prediction, so
+    // blocks may already be in flight ahead of the resync.
+    loop {
+        match client.recv_event().expect("resync event") {
+            ServerEvent::Resync { .. } => break,
+            ServerEvent::Block { .. } => continue,
+            other => panic!("expected resync, got {other:?}"),
+        }
+    }
+    assert_eq!(client.resyncs_seen(), 1);
+
+    // Recovery: the tracker was reset, so the next upload is a full install
+    // and blocks flow.
+    let report = client
+        .send_prediction(&summary(30, &[(5, 0.8)], 0.1))
+        .expect("recovery prediction");
+    assert!(!report.delta, "post-resync update must be a full summary");
+    match client.recv_event().expect("block after recovery") {
+        ServerEvent::Block { .. } => {}
+        other => panic!("expected block, got {other:?}"),
+    }
+    assert_eq!(server.stats().resyncs, 1);
+}
+
+/// Backend that attaches real payload bytes, so frames are big enough to
+/// fill socket buffers and exercise the bounded-queue path.
+struct PayloadBackend {
+    catalog: Arc<ResponseCatalog>,
+}
+
+impl Backend for PayloadBackend {
+    fn fetch(&mut self, block: BlockRef) -> Option<Block> {
+        let layout = self.catalog.get(block.request)?;
+        let meta = layout.block_meta(block.index)?;
+        let size = meta.size;
+        Some(Block::with_payload(
+            block,
+            meta.total_blocks,
+            size,
+            vec![0x5a; size as usize],
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        "payload-test"
+    }
+}
+
+#[test]
+fn slow_consumer_is_backpressured_not_buffered_unboundedly() {
+    // 256 KiB blocks: a handful of frames exceed loopback socket buffers,
+    // so a client that never reads wedges its own queue at the cap.
+    let cat = catalog(64, 8, 256 * 1024);
+    let manager = SessionManager::round_robin(Box::new(PayloadBackend {
+        catalog: cat.clone(),
+    }));
+    let factory_cat = cat.clone();
+    let config = TransportConfig {
+        max_queued_frames: 3,
+        ..TransportConfig::default()
+    };
+    let server = TransportServer::spawn(
+        "127.0.0.1:0",
+        manager,
+        move || builder(&factory_cat, 8),
+        config,
+    )
+    .expect("bind");
+
+    let mut slow = TransportClient::connect(server.local_addr()).expect("connect slow");
+    let mut live = TransportClient::connect(server.local_addr()).expect("connect live");
+    wait_until(|| server.stats().accepted == 2, "both sessions");
+
+    slow.send_prediction(&summary(64, &[(1, 0.9)], 0.02))
+        .expect("slow prediction");
+    live.send_prediction(&summary(64, &[(2, 0.9)], 0.02))
+        .expect("live prediction");
+
+    // The live client drains blocks while the slow one reads nothing.
+    let mut live_blocks = 0;
+    while live_blocks < 20 {
+        if let ServerEvent::Block { .. } = live.recv_event().expect("live event") {
+            live_blocks += 1;
+        }
+    }
+    wait_until(
+        || server.stats().backpressure_skips > 0,
+        "backpressure skips",
+    );
+    let stats = server.stats();
+    // Bounded queues: the high-water mark never exceeds the configured cap.
+    assert!(
+        stats.peak_queue_frames <= 3,
+        "queue grew past its bound: {}",
+        stats.peak_queue_frames
+    );
+    assert!(stats.backpressure_skips > 0);
+    // The slow consumer did not stop the live one.
+    assert!(live_blocks >= 20);
+    drop(slow);
+    drop(live);
+}
+
+/// Block-for-block determinism: a fixed workload over real TCP in lockstep
+/// mode produces exactly the schedule the in-process `SessionManager` path
+/// produces.
+#[test]
+fn lockstep_tcp_run_matches_in_process_schedule() {
+    let cat = catalog(50, 4, 1_500);
+    let s1 = summary(50, &[(7, 0.6), (11, 0.3)], 0.02);
+    let s2 = summary(50, &[(7, 0.55), (11, 0.3), (13, 0.1)], 0.01);
+    let s3 = summary(50, &[(13, 0.8), (11, 0.1)], 0.02);
+    let pulls_per_phase = 8usize;
+
+    // --- in-process reference run ---
+    let mut reference: Vec<(u64, u32, u32)> = Vec::new();
+    {
+        let mut manager = SessionManager::round_robin(Box::new(CatalogBackend::new(cat.clone())));
+        let id = manager.add_session(builder(&cat, 4));
+        // Toy summaries fail the 50% economy check; force the delta path so
+        // determinism is proven *through* O(Δ) updates (both runs use the
+        // same ratio, so they still encode identical message sequences).
+        let mut tracker = DeltaTracker::new().with_max_delta_ratio(1.0);
+        for s in [&s1, &s2, &s3] {
+            let message = tracker.encode(s);
+            assert!(manager.on_message(id, &message, Time::ZERO).is_none());
+            for _ in 0..pulls_per_phase {
+                match manager.next_event(Time::ZERO) {
+                    ServerEvent::Block { block, .. } => reference.push((
+                        block.meta.block.request.0 as u64,
+                        block.meta.block.index,
+                        block.meta.total_blocks,
+                    )),
+                    other => panic!("reference run starved: {other:?}"),
+                }
+            }
+        }
+    }
+
+    // --- TCP lockstep run ---
+    let manager = SessionManager::round_robin(Box::new(CatalogBackend::new(cat.clone())));
+    let factory_cat = cat.clone();
+    let config = TransportConfig {
+        lockstep: true,
+        ..TransportConfig::default()
+    };
+    let server = TransportServer::spawn(
+        "127.0.0.1:0",
+        manager,
+        move || builder(&factory_cat, 4),
+        config,
+    )
+    .expect("bind");
+
+    let mut client = TransportClient::connect(server.local_addr())
+        .expect("connect")
+        .with_max_delta_ratio(1.0);
+    let mut tcp_run: Vec<(u64, u32, u32)> = Vec::new();
+    for s in [&s1, &s2, &s3] {
+        client.send_prediction(s).expect("prediction");
+        for _ in 0..pulls_per_phase {
+            client.send_credit(1).expect("credit");
+            match client.recv_event().expect("lockstep event") {
+                ServerEvent::Block { block, .. } => tcp_run.push((
+                    block.meta.block.request.0 as u64,
+                    block.meta.block.index,
+                    block.meta.total_blocks,
+                )),
+                other => panic!("lockstep run starved: {other:?}"),
+            }
+        }
+    }
+    assert_eq!(
+        tcp_run, reference,
+        "TCP lockstep schedule diverged from the in-process schedule"
+    );
+    // The workload above is delta-friendly: updates 2 and 3 must have gone
+    // out as deltas, proving determinism holds *through* the O(Δ) path.
+    assert!(client.delta_updates() >= 1, "no delta was exercised");
+}

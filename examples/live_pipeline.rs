@@ -96,10 +96,9 @@ fn main() {
             let mut payload_bytes = 0usize;
 
             let _ = client.register(RequestId(first), Time::ZERO);
-            let _ = tx.send((
-                session,
-                ClientMessage::Predictor(PredictorState::LastRequest(RequestId(first))),
-            ));
+            let state = PredictorState::LastRequest(RequestId(first));
+            client.note_prediction_sent(state.wire_size_bytes());
+            let _ = tx.send((session, ClientMessage::Predictor(state)));
             let mut switched = false;
 
             while let Ok(block) = rx.recv_timeout(StdDuration::from_millis(200)) {
@@ -115,10 +114,9 @@ fn main() {
                 if !switched && start.elapsed() > StdDuration::from_millis(100) {
                     switched = true;
                     let _ = client.register(RequestId(second), now);
-                    let _ = tx.send((
-                        session,
-                        ClientMessage::Predictor(PredictorState::LastRequest(RequestId(second))),
-                    ));
+                    let state = PredictorState::LastRequest(RequestId(second));
+                    client.note_prediction_sent(state.wire_size_bytes());
+                    let _ = tx.send((session, ClientMessage::Predictor(state)));
                 }
                 if start.elapsed() > StdDuration::from_millis(450) {
                     break;
@@ -138,13 +136,22 @@ fn main() {
     let (up_b, bytes_b, sum_b) = client_b.join().expect("client B panicked");
 
     println!("\nserver pushed {pushed} blocks across 2 sessions ({live_sessions} still open at shutdown)");
+    let per_update = |predictions: u64, bytes: u64| bytes as f64 / predictions.max(1) as f64;
     println!(
-        "interactive: {up_a} upcalls, {bytes_a} payload bytes, {} requests, cache-hit rate {:.2}",
-        sum_a.requests, sum_a.cache_hit_rate
+        "interactive: {up_a} upcalls, {bytes_a} payload bytes, {} requests, cache-hit rate {:.2}, \
+         uplink {:.0} B/prediction ({} updates)",
+        sum_a.requests,
+        sum_a.cache_hit_rate,
+        per_update(sum_a.predictions_sent, sum_a.prediction_bytes),
+        sum_a.predictions_sent
     );
     println!(
-        "background:  {up_b} upcalls, {bytes_b} payload bytes, {} requests, cache-hit rate {:.2}",
-        sum_b.requests, sum_b.cache_hit_rate
+        "background:  {up_b} upcalls, {bytes_b} payload bytes, {} requests, cache-hit rate {:.2}, \
+         uplink {:.0} B/prediction ({} updates)",
+        sum_b.requests,
+        sum_b.cache_hit_rate,
+        per_update(sum_b.predictions_sent, sum_b.prediction_bytes),
+        sum_b.predictions_sent
     );
     assert!(up_a >= 1, "expected at least one interactive upcall");
     assert!(up_b >= 1, "expected at least one background upcall");

@@ -31,6 +31,7 @@ pub use khameleon_backend as backend;
 pub use khameleon_core as core;
 pub use khameleon_net as net;
 pub use khameleon_sim as sim;
+pub use khameleon_transport as transport;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
