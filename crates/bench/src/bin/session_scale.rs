@@ -1,0 +1,310 @@
+//! Session-scale harness for the sharded session layer: drives fleets of
+//! sessions through [`ShardedSessionManager`] at shard counts 1/2/4 and
+//! writes the results as JSON (`BENCH_sessions.json`) so session-layer
+//! scaling can be tracked across PRs and uploaded as a CI artifact.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p khameleon-bench --bin session_scale -- \
+//!     [--full] [--sessions N] [--out BENCH_sessions.json]
+//! ```
+//!
+//! The default (quick) scale runs a 1,000-session mixed workload — the
+//! reduced sweep CI uses; `--full` runs the paper-scale 10,000-session
+//! fleet.  The workload is deliberately scan-dominated: a small catalog and
+//! shallow per-session schedules make the scheduler's `O(sessions)`
+//! per-block candidate scan the dominant cost, which is exactly the term
+//! sharding divides — each shard scans only its own sessions, so 4 shards
+//! of `S/4` sessions do ~4x less per-block work than one shard of `S`,
+//! independent of how many cores execute the shard threads.
+//!
+//! Each cell is a mixed workload: weighted sessions, 16 shared predictor
+//! profiles (so model dedup is load-bearing, not incidental), re-predictions
+//! over half the fleet (the chain-keyed diff path), and periodic rate
+//! reports (the global budget rebalance path).
+//!
+//! Like `transport_stress`, the binary fails on *correctness* violations
+//! (every session served, >=10x model dedup, shard-count-invariant block
+//! totals).  The >=2x blocks/sec acceptance gate is algorithmic rather than
+//! a raw-parallelism bet, so it is asserted whenever the fleet is large
+//! enough (>=256 sessions) for the scan term to dominate — single-core
+//! hosts included — and always recorded in the JSON.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use khameleon_core::block::ResponseCatalog;
+use khameleon_core::predictor::PredictorState;
+use khameleon_core::protocol::{ClientMessage, ServerEvent, SessionId};
+use khameleon_core::scheduler::GreedySchedulerConfig;
+use khameleon_core::server::{CatalogBackend, ServerConfig};
+use khameleon_core::session::{Session, SessionBuilder, SessionManager};
+use khameleon_core::types::{Bandwidth, RequestId, Time};
+use khameleon_core::utility::{LinearUtility, UtilityModel};
+use khameleon_core::ShardedSessionManager;
+
+const N_REQUESTS: usize = 8;
+const BLOCKS_PER_REQUEST: u32 = 2;
+/// Client cache covering the whole catalog: sessions drain to idle once
+/// everything useful is scheduled, instead of churning evictions forever.
+const CACHE_BLOCKS: usize = N_REQUESTS * BLOCKS_PER_REQUEST as usize;
+const PROFILES: usize = 16;
+
+fn catalog() -> Arc<ResponseCatalog> {
+    Arc::new(ResponseCatalog::uniform(
+        N_REQUESTS,
+        BLOCKS_PER_REQUEST,
+        1_000,
+    ))
+}
+
+fn builder(cat: &Arc<ResponseCatalog>, fleet_index: usize) -> SessionBuilder {
+    let utility = UtilityModel::homogeneous(&LinearUtility, BLOCKS_PER_REQUEST);
+    // Mixed fleet: five weight classes, per-session sampler seeds.  Weight
+    // classes are keyed by *profile*, not raw index: a session's bandwidth
+    // share feeds the model's slot geometry, so only sessions with identical
+    // (prediction history, share weight) can share a `HorizonModel`.
+    // Aligning weights with predictor profiles keeps the dedup measurement
+    // honest while still exercising weighted fair sharing.
+    let weight = 1.0 + ((fleet_index % PROFILES) % 5) as f64 * 0.25;
+    Session::builder(utility, cat.clone())
+        .config(ServerConfig {
+            scheduler: GreedySchedulerConfig {
+                cache_blocks: CACHE_BLOCKS,
+                seed: 0x5eed_u64.wrapping_add(fleet_index as u64),
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .weight(weight)
+}
+
+/// The spread (top-3) prediction shared by every session of one profile.
+fn profile_prediction(profile: u32) -> PredictorState {
+    let n = N_REQUESTS as u32;
+    PredictorState::TopK(vec![
+        (RequestId((profile * 2) % n), 0.6),
+        (RequestId((profile * 2 + 5) % n), 0.3),
+        (RequestId((profile * 2 + 11) % n), 0.1),
+    ])
+}
+
+/// The re-prediction shared by every *even* session of one profile.
+fn profile_reprediction(profile: u32) -> PredictorState {
+    let n = N_REQUESTS as u32;
+    PredictorState::TopK(vec![
+        (RequestId((profile * 2) % n), 0.5),
+        (RequestId((profile * 2 + 5) % n), 0.25),
+        (RequestId((profile * 2 + 13) % n), 0.25),
+    ])
+}
+
+struct CellResult {
+    shards: usize,
+    sessions: usize,
+    blocks: u64,
+    elapsed_ms: f64,
+    blocks_per_sec: f64,
+    live_models: usize,
+    prediction_updates: u64,
+    diff_applied_updates: u64,
+    sampler_entries: usize,
+}
+
+/// One cell: a `sessions`-strong mixed fleet on `shards` shards, drained to
+/// idle.  The timer covers the drain — the steady-state scheduling loop —
+/// not fleet setup.
+fn run_cell(shards: usize, sessions: usize) -> CellResult {
+    let cat = catalog();
+    let factory_cat = cat.clone();
+    let mut fleet = ShardedSessionManager::spawn(shards, move |_| {
+        SessionManager::weighted_fair(Box::new(CatalogBackend::new(factory_cat.clone())))
+    });
+
+    let mut ids = Vec::with_capacity(sessions);
+    for i in 0..sessions {
+        ids.push(fleet.add_session(builder(&cat, i)));
+    }
+    // Rate reports first: every budget change re-derives per-session slot
+    // geometry, and a prediction's model is keyed on that geometry — sending
+    // all reports before any prediction keeps the whole fleet in one budget
+    // epoch (mirroring a steady-state deployment, where predictions vastly
+    // outnumber budget shifts).
+    for (i, &id) in ids.iter().enumerate() {
+        if i % 64 == 0 {
+            let _ = fleet.on_message(
+                id,
+                &ClientMessage::RateReport(Bandwidth::from_mbps(5.0 + (i % 7) as f64)),
+                Time::ZERO,
+            );
+        }
+    }
+    for (i, &id) in ids.iter().enumerate() {
+        let profile = (i % PROFILES) as u32;
+        let _ = fleet.on_message(
+            id,
+            &ClientMessage::Predictor(profile_prediction(profile)),
+            Time::ZERO,
+        );
+        if i % 2 == 0 {
+            // Half the fleet re-predicts: the chain-keyed diff path, still
+            // profile-shared so the diffed models dedup too.
+            let _ = fleet.on_message(
+                id,
+                &ClientMessage::Predictor(profile_reprediction(profile)),
+                Time::ZERO,
+            );
+        }
+    }
+
+    let start = Instant::now();
+    let mut per_session: HashMap<SessionId, u64> = HashMap::new();
+    let mut blocks = 0u64;
+    for event in fleet.pump_until_idle(Time::ZERO, 256) {
+        if let ServerEvent::Block { session, .. } = event {
+            *per_session.entry(session).or_insert(0) += 1;
+            blocks += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // Correctness: every session of the fleet was served.
+    assert_eq!(
+        per_session.len(),
+        sessions,
+        "{} of {sessions} sessions never received a block",
+        sessions - per_session.len()
+    );
+    let stats = fleet.stats();
+    assert_eq!(stats.totals.sessions, sessions);
+    assert_eq!(stats.totals.blocks_sent, blocks);
+    // The dedup acceptance gate: 16 predictor profiles across the whole
+    // fleet must collapse to far fewer live models than sessions.
+    assert!(
+        stats.live_models * 10 <= sessions,
+        "expected >=10x model dedup: {} live models for {sessions} sessions",
+        stats.live_models
+    );
+    assert!(stats.totals.diff_applied_updates > 0, "diff path never ran");
+
+    CellResult {
+        shards,
+        sessions,
+        blocks,
+        elapsed_ms: elapsed * 1e3,
+        blocks_per_sec: blocks as f64 / elapsed.max(1e-9),
+        live_models: stats.live_models,
+        prediction_updates: stats.totals.prediction_updates,
+        diff_applied_updates: stats.totals.diff_applied_updates,
+        sampler_entries: stats.totals.sampler_entries,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sessions.json".to_string());
+    let sessions = args
+        .iter()
+        .position(|a| a == "--sessions")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if full { 10_000 } else { 1_000 });
+    let parallelism = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut cells = Vec::new();
+    for shards in [1usize, 2, 4] {
+        eprintln!("# {sessions} sessions on {shards} shard(s) ...");
+        let cell = run_cell(shards, sessions);
+        eprintln!(
+            "#   {} blocks in {:.0} ms -> {:.0} blocks/s, {} live models",
+            cell.blocks, cell.elapsed_ms, cell.blocks_per_sec, cell.live_models
+        );
+        cells.push(cell);
+    }
+
+    let base = cells
+        .iter()
+        .find(|c| c.shards == 1)
+        .expect("1-shard cell ran");
+    let four = cells
+        .iter()
+        .find(|c| c.shards == 4)
+        .expect("4-shard cell ran");
+    let speedup = four.blocks_per_sec / base.blocks_per_sec;
+    // Shard-count invariance of the policy: identical fleets schedule the
+    // same number of blocks at every shard count.
+    for cell in &cells {
+        assert_eq!(
+            cell.blocks, base.blocks,
+            "{}-shard cell scheduled a different block count",
+            cell.shards
+        );
+    }
+    // The speedup is algorithmic — each shard's per-block candidate scan
+    // covers only its own sessions — so it holds even on a single core; it
+    // just needs a fleet large enough for the scan to dominate.
+    if sessions >= 256 {
+        assert!(
+            speedup >= 2.0,
+            "4 shards only {speedup:.2}x faster than 1 on {sessions} sessions"
+        );
+    } else if speedup < 2.0 {
+        eprintln!(
+            "# note: speedup {speedup:.2}x at {sessions} sessions (the 2x \
+             gate applies from 256 sessions up)"
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"session_scale\",\n");
+    let _ = writeln!(json, "  \"sessions\": {sessions},");
+    let _ = writeln!(json, "  \"parallelism\": {parallelism},");
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"shards\": {}, \"sessions\": {}, \"blocks\": {}, \"elapsed_ms\": {:.1}, \"blocks_per_sec\": {:.0}, \"live_models\": {}, \"prediction_updates\": {}, \"diff_applied_updates\": {}, \"sampler_entries\": {}}}{}",
+            c.shards,
+            c.sessions,
+            c.blocks,
+            c.elapsed_ms,
+            c.blocks_per_sec,
+            c.live_models,
+            c.prediction_updates,
+            c.diff_applied_updates,
+            c.sampler_entries,
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"speedup_4_shards_vs_1\": {speedup:.2},");
+    let _ = writeln!(
+        json,
+        "  \"dedup\": {{\"sessions\": {}, \"live_models\": {}, \"ratio\": {:.1}}}",
+        sessions,
+        four.live_models,
+        sessions as f64 / four.live_models.max(1) as f64
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+
+    println!("wrote {out_path}");
+    for c in &cells {
+        println!(
+            "{} shard(s): {} blocks, {:.0} ms, {:.0} blocks/s, {} live models",
+            c.shards, c.blocks, c.elapsed_ms, c.blocks_per_sec, c.live_models
+        );
+    }
+    println!("speedup 4 vs 1: {speedup:.2}x (parallelism {parallelism})");
+}

@@ -66,6 +66,20 @@ impl BandwidthEstimator {
         self.samples.push_back(rate.bytes_per_sec());
     }
 
+    /// Overrides the estimate with an externally computed value: clears the
+    /// sample window and installs `rate` as the fallback, so
+    /// [`estimate`](Self::estimate) returns exactly `rate` (bounded by the
+    /// cap) until new reports arrive.  Used by sharded deployments where a
+    /// coordinator owns the real estimator and pushes per-shard budgets down
+    /// (see [`crate::shard`]); non-positive rates are ignored.
+    pub fn force_estimate(&mut self, rate: Bandwidth) {
+        if rate.bytes_per_sec() <= 0.0 {
+            return;
+        }
+        self.samples.clear();
+        self.fallback = rate;
+    }
+
     /// Records a receive-rate report expressed as bytes received over a
     /// duration.
     pub fn report_bytes(&mut self, bytes: Bytes, over: Duration) {

@@ -120,6 +120,7 @@ pub mod sampling;
 pub mod scheduler;
 pub mod server;
 pub mod session;
+pub mod shard;
 pub mod types;
 pub mod utility;
 
@@ -137,12 +138,14 @@ pub use protocol::{ClientMessage, ServerEvent, SessionId};
 pub use sampling::{FenwickTree, GainSampler, SampledGroup, SamplerVariant};
 pub use scheduler::{
     BruteForceScheduler, ExplicitPlacement, GreedyContext, GreedyScheduler, GreedySchedulerConfig,
-    HorizonModel, ModelDiff, OptimalScheduler, Scheduler, ShapeBucket, TailShapePartition,
+    HorizonModel, ModelCache, ModelDiff, OptimalScheduler, Scheduler, ShapeBucket,
+    TailShapePartition,
 };
 pub use server::{Backend, CatalogBackend, KhameleonServer, ServerBuilder, ServerConfig};
 pub use session::{
     RoundRobin, Session, SessionBuilder, SessionManager, SessionShare, SharePolicy, WeightedFair,
 };
+pub use shard::{RebalancePolicy, ShardSnapshot, ShardStats, ShardedSessionManager};
 pub use types::{Bandwidth, BlockRef, Duration, RequestId, Time};
 pub use utility::{
     GainTable, LinearUtility, PiecewiseUtility, PowerUtility, UtilityFunction, UtilityModel,

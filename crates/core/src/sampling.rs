@@ -631,6 +631,20 @@ impl GainSampler {
         self.buckets.iter().map(|b| b.ids.len()).sum::<usize>() + self.irregular_ids.len()
     }
 
+    /// Live (non-tombstoned) weight entries across every group — buckets,
+    /// irregular, shared, and meta-class hedges.  The sampler's resident
+    /// footprint, aggregated fleet-wide into
+    /// [`ShardSnapshot::sampler_entries`](crate::shard::ShardSnapshot) to
+    /// make the session layer's memory-in-session-count story measurable
+    /// next to its model-dedup counters.
+    pub fn live_entries(&self) -> usize {
+        let bucket_live: usize = self.buckets.iter().map(|b| b.ids.len() - b.dead).sum();
+        bucket_live
+            + (self.irregular_ids.len() - self.irregular_dead)
+            + self.shared_ids.len()
+            + self.meta.len()
+    }
+
     /// Audit: every Fenwick tree in the layout, labeled — bucket trees in
     /// partition order, then irregular, then shared.
     #[cfg(feature = "audit")]

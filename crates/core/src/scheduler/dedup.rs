@@ -1,0 +1,530 @@
+//! Cross-session deduplication of [`HorizonModel`]s.
+//!
+//! Many concurrent sessions often run *identical* predictors over the same
+//! catalog — anonymous clients browsing the same gallery all ship the same
+//! prediction summaries — yet each session's scheduler would materialize its
+//! own `O(b · horizon + m)` model.  The [`ModelCache`] lets those sessions
+//! resolve to **one** shared `Arc<HorizonModel>` (including its
+//! [`TailShapePartition`](crate::scheduler::TailShapePartition)), extending
+//! the Arc-shared [`GreedyContext`](crate::scheduler::GreedyContext) pattern
+//! from catalog-derived state to prediction-derived state.  Memory then
+//! scales with the number of *distinct* predictions, not the number of
+//! sessions.
+//!
+//! ## History-keyed registration
+//!
+//! Entries are keyed by the model's *derivation*, not by raw content.  A
+//! fresh [`HorizonModel::build`] (or [`HorizonModel::uniform`]) is keyed by
+//! the fingerprint of its build input; a diff-updated model
+//! ([`HorizonModel::apply_update`]) is keyed by a **chain key** — the hash
+//! of its base model's key plus the applied summary's fingerprint.  Both
+//! `build` and `apply_update` are pure functions of those inputs, so two
+//! sessions resolving the same key always hold *bit-identical* content —
+//! even if a cross-thread race makes them build it twice and only one
+//! registration wins.  That is what keeps dedup deterministic: a session's
+//! model content is a function of its own update history alone, never of
+//! which other sessions happen to be live.  (Keying by raw content instead
+//! would NOT be safe: a diff-updated tail differs from a fresh build at the
+//! ulp level — `coef *= c` versus re-summed suffixes — so diffed and built
+//! models must never alias, and the chain key's distinct tag word guarantees
+//! they cannot.)
+//!
+//! Diffed entries also carry the [`ModelDiff`] that produced them, so a
+//! session hitting the chain key adopts the shared model *and* replays the
+//! same point updates into its private sampler — no `O(n)` sampler rebuild.
+//!
+//! ## Copy-on-write divergence
+//!
+//! A scheduler whose prediction diverges from its shared model's chain
+//! misses the cache and applies the diff through [`Arc::make_mut`]: the
+//! first divergent re-prediction clones the model privately (the CoW split)
+//! and leaves every other session on the shared instance.  The divergent
+//! result registers under its own chain key, so sessions that later follow
+//! the same history share *it* too.
+
+use std::sync::{Arc, Mutex, Weak};
+
+use crate::distribution::PredictionSummary;
+use crate::scheduler::{HorizonModel, ModelDiff};
+use crate::types::Duration;
+
+/// A 128-bit derivation fingerprint plus the build parameters it was taken
+/// under.  The parameters are compared explicitly (not only hashed) so a
+/// fingerprint collision across different horizons can never alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ModelKey {
+    fingerprint: u128,
+    n: usize,
+    horizon: usize,
+    slot_micros: u64,
+    gamma_bits: u64,
+}
+
+/// Double FNV-1a over the words of the build input: deterministic across
+/// processes and threads (unlike `std`'s randomized hasher), cheap, and with
+/// 128 output bits collisions are not a practical concern — and the explicit
+/// parameter comparison in [`ModelKey`] bounds the blast radius of one.
+#[derive(Debug, Clone, Copy)]
+struct Fnv2 {
+    a: u64,
+    b: u64,
+}
+
+impl Fnv2 {
+    const OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+    // A distinct offset basis decorrelates the second lane.
+    const OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+    const PRIME: u64 = 0x1000_0000_01b3;
+
+    fn new() -> Self {
+        Fnv2 {
+            a: Self::OFFSET_A,
+            b: Self::OFFSET_B,
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(Self::PRIME);
+            self.b = (self.b ^ u64::from(byte.rotate_left(3))).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
+/// Fingerprints the content of a prediction summary together with the model
+/// build parameters.  Two summaries hash equal iff their slice structure,
+/// per-request explicit probabilities (bit-exact), and residual masses all
+/// match — exactly the inputs [`HorizonModel::build`] consumes (the
+/// client-side `generated_at` stamp is deliberately excluded).
+fn hash_summary(h: &mut Fnv2, summary: &PredictionSummary) {
+    h.word(summary.num_requests() as u64);
+    h.word(summary.slices().len() as u64);
+    for slice in summary.slices() {
+        h.word(slice.delta.as_micros());
+        h.word(slice.dist.num_requests() as u64);
+        h.word(slice.dist.residual_mass().to_bits());
+        h.word(slice.dist.explicit_entries().len() as u64);
+        for &(r, p) in slice.dist.explicit_entries() {
+            h.word(u64::from(r.0));
+            h.word(p.to_bits());
+        }
+    }
+}
+
+fn fingerprint_summary(
+    summary: &PredictionSummary,
+    horizon: usize,
+    slot_duration: Duration,
+    gamma: f64,
+) -> ModelKey {
+    let mut h = Fnv2::new();
+    h.word(1); // tag: summary-built model
+    hash_summary(&mut h, summary);
+    ModelKey {
+        fingerprint: h.finish(),
+        n: summary.num_requests(),
+        horizon,
+        slot_micros: slot_duration.as_micros(),
+        gamma_bits: gamma.to_bits(),
+    }
+}
+
+/// The chain key of applying `summary` as a diff on top of the model keyed
+/// `base`: derivation history compressed to 128 bits.  Only sessions with
+/// the *same* update history (same base chain, same new summary) resolve to
+/// the same chain key, and [`HorizonModel::apply_update`] is a pure function
+/// of (base content, summary), so equal keys imply bit-identical content.
+pub(crate) fn chain_key(base: &ModelKey, summary: &PredictionSummary) -> ModelKey {
+    let mut h = Fnv2::new();
+    h.word(2); // tag: diff-chained model
+    h.word((base.fingerprint >> 64) as u64);
+    h.word(base.fingerprint as u64);
+    hash_summary(&mut h, summary);
+    ModelKey {
+        fingerprint: h.finish(),
+        n: summary.num_requests(),
+        horizon: base.horizon,
+        slot_micros: base.slot_micros,
+        gamma_bits: base.gamma_bits,
+    }
+}
+
+/// Fingerprints the uniform-prior model every scheduler starts from, so N
+/// fresh sessions over one catalog share a single pristine model until their
+/// first predictions arrive.
+fn fingerprint_uniform(n: usize, horizon: usize, slot_duration: Duration, gamma: f64) -> ModelKey {
+    let mut h = Fnv2::new();
+    h.word(0); // tag: uniform-prior model
+    h.word(n as u64);
+    ModelKey {
+        fingerprint: h.finish(),
+        n,
+        horizon,
+        slot_micros: slot_duration.as_micros(),
+        gamma_bits: gamma.to_bits(),
+    }
+}
+
+/// Shared registry of canonical [`HorizonModel`]s, keyed by content
+/// fingerprint.  Entries are held weakly: a model lives exactly as long as
+/// some scheduler holds it, so a departing session's models are reclaimed
+/// without any explicit eviction protocol.
+///
+/// One instance is shared by every session of a [`SessionManager`]
+/// (`crate::session::SessionManager`) and, under sharding, by every shard of
+/// a [`ShardedSessionManager`](crate::shard::ShardedSessionManager) — the
+/// interior mutex makes cross-thread resolution safe, and the
+/// canonical-build-only rule (module docs) makes it *deterministic*.
+#[derive(Debug, Default)]
+pub struct ModelCache {
+    entries: Mutex<Vec<Entry>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+/// One registered model.  `diff` is present for chain-keyed (diff-derived)
+/// entries so a hitting session can replay the same point updates into its
+/// sampler; it lives exactly as long as the entry (pruned with the weak).
+#[derive(Debug)]
+struct Entry {
+    key: ModelKey,
+    model: Weak<HorizonModel>,
+    diff: Option<Arc<ModelDiff>>,
+}
+
+impl ModelCache {
+    /// Creates an empty cache behind an `Arc`, ready to share.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ModelCache::default())
+    }
+
+    /// Resolves the canonical model for `summary` under the given build
+    /// parameters: returns the live shared instance if one exists, otherwise
+    /// builds, registers, and returns it.
+    pub fn resolve_build(
+        &self,
+        summary: &PredictionSummary,
+        horizon: usize,
+        slot_duration: Duration,
+        gamma: f64,
+    ) -> Arc<HorizonModel> {
+        self.resolve_build_keyed(summary, horizon, slot_duration, gamma)
+            .0
+    }
+
+    /// [`resolve_build`](Self::resolve_build), also returning the key so the
+    /// scheduler can chain later diff updates off it.
+    pub(crate) fn resolve_build_keyed(
+        &self,
+        summary: &PredictionSummary,
+        horizon: usize,
+        slot_duration: Duration,
+        gamma: f64,
+    ) -> (Arc<HorizonModel>, ModelKey) {
+        let key = fingerprint_summary(summary, horizon, slot_duration, gamma);
+        let model = self.resolve_with(key, || {
+            HorizonModel::build(summary, horizon, slot_duration, gamma)
+        });
+        (model, key)
+    }
+
+    /// Resolves the canonical uniform-prior model for the given parameters.
+    pub fn resolve_uniform(
+        &self,
+        n: usize,
+        horizon: usize,
+        slot_duration: Duration,
+        gamma: f64,
+    ) -> Arc<HorizonModel> {
+        self.resolve_uniform_keyed(n, horizon, slot_duration, gamma)
+            .0
+    }
+
+    /// [`resolve_uniform`](Self::resolve_uniform), also returning the key.
+    pub(crate) fn resolve_uniform_keyed(
+        &self,
+        n: usize,
+        horizon: usize,
+        slot_duration: Duration,
+        gamma: f64,
+    ) -> (Arc<HorizonModel>, ModelKey) {
+        let key = fingerprint_uniform(n, horizon, slot_duration, gamma);
+        let model = self.resolve_with(key, || {
+            HorizonModel::uniform(n, horizon, slot_duration, gamma)
+        });
+        (model, key)
+    }
+
+    /// Looks up a diff-derived model by chain key.  On a hit, returns the
+    /// shared model together with the [`ModelDiff`] that produced it (for
+    /// the hitting session's sampler replay).
+    pub(crate) fn lookup_diffed(
+        &self,
+        key: &ModelKey,
+    ) -> Option<(Arc<HorizonModel>, Arc<ModelDiff>)> {
+        use std::sync::atomic::Ordering;
+        let mut entries = self.lock_entries();
+        entries.retain(|e| e.model.strong_count() > 0);
+        for entry in entries.iter() {
+            if entry.key == *key {
+                if let (Some(model), Some(diff)) = (entry.model.upgrade(), entry.diff.clone()) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some((model, diff));
+                }
+            }
+        }
+        None
+    }
+
+    /// Registers a freshly diff-derived model under its chain key, returning
+    /// the winning `(model, diff)` pair: if a concurrent session registered
+    /// the same key first, its (bit-identical) instance is adopted instead.
+    pub(crate) fn register_diffed(
+        &self,
+        key: ModelKey,
+        model: Arc<HorizonModel>,
+        diff: Arc<ModelDiff>,
+    ) -> (Arc<HorizonModel>, Arc<ModelDiff>) {
+        use std::sync::atomic::Ordering;
+        let mut entries = self.lock_entries();
+        for entry in entries.iter() {
+            if entry.key == key {
+                if let (Some(theirs), Some(their_diff)) =
+                    (entry.model.upgrade(), entry.diff.clone())
+                {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (theirs, their_diff);
+                }
+            }
+        }
+        entries.push(Entry {
+            key,
+            model: Arc::downgrade(&model),
+            diff: Some(diff.clone()),
+        });
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (model, diff)
+    }
+
+    fn lock_entries(&self) -> std::sync::MutexGuard<'_, Vec<Entry>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn resolve_with(
+        &self,
+        key: ModelKey,
+        build: impl FnOnce() -> HorizonModel,
+    ) -> Arc<HorizonModel> {
+        use std::sync::atomic::Ordering;
+        {
+            let mut entries = self.lock_entries();
+            entries.retain(|e| e.model.strong_count() > 0);
+            for entry in entries.iter() {
+                if entry.key == key {
+                    if let Some(live) = entry.model.upgrade() {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return live;
+                    }
+                }
+            }
+        }
+        // Build outside the lock: canonical builds are pure functions of the
+        // key, so two threads racing on the same key build identical models
+        // and it does not matter whose registration wins.
+        let built = Arc::new(build());
+        let mut entries = self.lock_entries();
+        for entry in entries.iter() {
+            if entry.key == key {
+                if let Some(live) = entry.model.upgrade() {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return live;
+                }
+            }
+        }
+        entries.push(Entry {
+            key,
+            model: Arc::downgrade(&built),
+            diff: None,
+        });
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        built
+    }
+
+    /// Number of distinct models currently kept alive by some scheduler.
+    /// Prunes dead entries as a side effect.
+    pub fn live_models(&self) -> usize {
+        let mut entries = self.lock_entries();
+        entries.retain(|e| e.model.strong_count() > 0);
+        entries.len()
+    }
+
+    /// Resolutions answered from a live shared instance.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Resolutions that had to build (and register) a fresh model.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{HorizonSlice, SparseDistribution};
+    use crate::types::{RequestId, Time};
+
+    fn summary(entries: &[(u32, f64)]) -> PredictionSummary {
+        let dist = SparseDistribution::from_entries(
+            64,
+            entries
+                .iter()
+                .map(|&(r, p)| (RequestId(r), p))
+                .collect::<Vec<_>>(),
+            0.1,
+        );
+        PredictionSummary::new(
+            64,
+            vec![HorizonSlice {
+                delta: Duration::ZERO,
+                dist,
+            }],
+            Time::ZERO,
+        )
+    }
+
+    #[test]
+    fn identical_summaries_share_one_model() {
+        let cache = ModelCache::new();
+        let a = cache.resolve_build(&summary(&[(3, 0.5)]), 32, Duration::from_millis(1), 0.8);
+        let b = cache.resolve_build(&summary(&[(3, 0.5)]), 32, Duration::from_millis(1), 0.8);
+        assert!(Arc::ptr_eq(&a, &b), "identical inputs must dedup");
+        assert_eq!(cache.live_models(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn different_params_do_not_alias() {
+        let cache = ModelCache::new();
+        let s = summary(&[(3, 0.5)]);
+        let a = cache.resolve_build(&s, 32, Duration::from_millis(1), 0.8);
+        let b = cache.resolve_build(&s, 64, Duration::from_millis(1), 0.8);
+        let c = cache.resolve_build(&s, 32, Duration::from_millis(2), 0.8);
+        let d = cache.resolve_build(&s, 32, Duration::from_millis(1), 0.9);
+        let e = cache.resolve_build(&summary(&[(3, 0.25)]), 32, Duration::from_millis(1), 0.8);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert!(!Arc::ptr_eq(&a, &e));
+        assert_eq!(cache.live_models(), 5);
+    }
+
+    #[test]
+    fn dropped_models_are_reclaimed() {
+        let cache = ModelCache::new();
+        let a = cache.resolve_build(&summary(&[(1, 0.9)]), 16, Duration::from_millis(1), 1.0);
+        assert_eq!(cache.live_models(), 1);
+        drop(a);
+        assert_eq!(cache.live_models(), 0);
+        // A fresh resolve after reclamation is a miss, not a hit on a corpse.
+        let _b = cache.resolve_build(&summary(&[(1, 0.9)]), 16, Duration::from_millis(1), 1.0);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn chained_updates_share_and_split_on_divergence() {
+        use crate::block::ResponseCatalog;
+        use crate::scheduler::{GreedyScheduler, GreedySchedulerConfig};
+        use crate::utility::{LinearUtility, UtilityModel};
+
+        let catalog = Arc::new(ResponseCatalog::uniform(64, 2, 100));
+        let utility = UtilityModel::homogeneous(&LinearUtility, 2);
+        let cache = ModelCache::new();
+        let cfg = GreedySchedulerConfig {
+            cache_blocks: 32,
+            ..Default::default()
+        };
+        let mut a = GreedyScheduler::new(cfg.clone(), utility.clone(), catalog.clone());
+        let mut b = GreedyScheduler::new(cfg, utility, catalog);
+        a.attach_model_cache(cache.clone());
+        b.attach_model_cache(cache.clone());
+        assert!(
+            Arc::ptr_eq(a.model_arc(), b.model_arc()),
+            "pristine sessions share the uniform prior"
+        );
+
+        // Identical update histories stay on one shared instance, whether
+        // each step resolves as a rebuild or as a chain-keyed diff.
+        let s1 = summary(&[(3, 0.5)]);
+        a.update_prediction(&s1, 0);
+        b.update_prediction(&s1, 0);
+        assert!(
+            Arc::ptr_eq(a.model_arc(), b.model_arc()),
+            "identical histories must share after an update"
+        );
+        let s2 = summary(&[(3, 0.4), (7, 0.2)]);
+        a.update_prediction(&s2, 0);
+        b.update_prediction(&s2, 0);
+        assert!(
+            Arc::ptr_eq(a.model_arc(), b.model_arc()),
+            "identical histories must share across chained updates"
+        );
+        assert!(
+            b.diff_applied_updates() >= 1,
+            "same-structure re-predictions should take the diff path"
+        );
+
+        // A divergent prediction is the copy-on-write split: `b` walks away
+        // with its own instance, `a` keeps the shared one.
+        let shared = a.model_arc().clone();
+        b.update_prediction(&summary(&[(9, 0.7)]), 0);
+        assert!(
+            !Arc::ptr_eq(a.model_arc(), b.model_arc()),
+            "divergent prediction must split the shared model"
+        );
+        assert!(
+            Arc::ptr_eq(a.model_arc(), &shared),
+            "the non-divergent session stays on the shared instance"
+        );
+        // Both chain tips are registered: a later session replaying either
+        // history would share, so exactly two live models remain (the
+        // uniform prior died when both sessions moved off it).
+        assert_eq!(cache.live_models(), 2);
+
+        // Convergence: replaying b's full history shares b's instance.
+        let mut c = GreedyScheduler::new(
+            GreedySchedulerConfig {
+                cache_blocks: 32,
+                ..Default::default()
+            },
+            UtilityModel::homogeneous(&LinearUtility, 2),
+            Arc::new(ResponseCatalog::uniform(64, 2, 100)),
+        );
+        c.attach_model_cache(cache.clone());
+        c.update_prediction(&s1, 0);
+        c.update_prediction(&s2, 0);
+        c.update_prediction(&summary(&[(9, 0.7)]), 0);
+        assert!(
+            Arc::ptr_eq(b.model_arc(), c.model_arc()),
+            "replaying the same history must converge onto the shared instance"
+        );
+    }
+
+    #[test]
+    fn uniform_models_dedup_per_parameter_set() {
+        let cache = ModelCache::new();
+        let a = cache.resolve_uniform(100, 32, Duration::from_millis(1), 0.8);
+        let b = cache.resolve_uniform(100, 32, Duration::from_millis(1), 0.8);
+        let c = cache.resolve_uniform(101, 32, Duration::from_millis(1), 0.8);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

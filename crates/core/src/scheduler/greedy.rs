@@ -227,7 +227,22 @@ impl GreedyContext {
 pub struct GreedyScheduler {
     cfg: GreedySchedulerConfig,
     utility: UtilityModel,
-    model: HorizonModel,
+    /// The probability model, behind an `Arc` so sessions with bit-identical
+    /// predictions can share one instance via a [`ModelCache`]
+    /// (`crate::scheduler::ModelCache`).  Reads go through the `Arc`; the
+    /// diff path mutates via [`Arc::make_mut`], which *is* the
+    /// copy-on-write split when the model is shared.
+    model: Arc<HorizonModel>,
+    /// Shared dedup registry; `None` outside multi-session deployments.
+    /// Full rebuilds resolve through it by build-input fingerprint; full
+    /// diff updates resolve through it by *chain key* (base key + summary
+    /// fingerprint), so sessions with identical update histories share one
+    /// model at every step — see [`crate::scheduler::dedup`].
+    model_cache: Option<Arc<crate::scheduler::ModelCache>>,
+    /// The derivation key of `model` in the attached cache; `None` when the
+    /// model is private (no cache, sparse-updated, or pre-attach history),
+    /// which routes the next full update through a canonical rebuild.
+    model_key: Option<crate::scheduler::dedup::ModelKey>,
     rng: StdRng,
     /// Blocks allocated per request during the current schedule (Listing 1's
     /// `B`), kept sparse because only touched requests matter.
@@ -334,14 +349,20 @@ impl GreedyScheduler {
             ctx.utility.same_tables(&utility),
             "shared context derived for a different utility model"
         );
-        let model =
-            HorizonModel::uniform(num_requests, cfg.cache_blocks, cfg.slot_duration, cfg.gamma);
+        let model = Arc::new(HorizonModel::uniform(
+            num_requests,
+            cfg.cache_blocks,
+            cfg.slot_duration,
+            cfg.gamma,
+        ));
         let rng = StdRng::seed_from_u64(cfg.seed);
         let touched_per_class = vec![0; ctx.classes.num_classes()];
         let mut s = GreedyScheduler {
             cfg,
             utility,
             model,
+            model_cache: None,
+            model_key: None,
             rng,
             allocated: HashMap::new(),
             t: 0,
@@ -370,6 +391,33 @@ impl GreedyScheduler {
     /// The shared catalog/utility context backing this scheduler.
     pub fn context(&self) -> &Arc<GreedyContext> {
         &self.ctx
+    }
+
+    /// Attaches a shared [`ModelCache`](crate::scheduler::ModelCache): full
+    /// model rebuilds from now on resolve through it, so sessions fed
+    /// bit-identical predictions share one `HorizonModel`.  When the
+    /// scheduler is still pristine (no prediction applied) its uniform prior
+    /// is itself canonical and is registered immediately, deduplicating even
+    /// sessions that never receive a prediction.
+    pub fn attach_model_cache(&mut self, cache: Arc<crate::scheduler::ModelCache>) {
+        if self.updates == 0 {
+            let (model, key) = cache.resolve_uniform_keyed(
+                self.model.num_requests(),
+                self.cfg.cache_blocks,
+                self.cfg.slot_duration,
+                self.cfg.gamma,
+            );
+            self.model = model;
+            self.model_key = Some(key);
+        }
+        self.model_cache = Some(cache);
+    }
+
+    /// The shared probability model (diagnostic: lets tests observe dedup
+    /// sharing and copy-on-write splits via [`Arc::ptr_eq`]).
+    #[doc(hidden)]
+    pub fn model_arc(&self) -> &Arc<HorizonModel> {
+        &self.model
     }
 
     /// The configuration in use.
@@ -603,14 +651,63 @@ impl GreedyScheduler {
         // Diff the new prediction against the previous one and apply point
         // updates; fall back to the full rebuild when the model can't (too
         // large a diff, changed horizon parameters, bucket-cap pressure).
-        let diff = if self.cfg.prediction_diff
+        let diffable = self.cfg.prediction_diff
             && self.model.horizon() == self.cfg.cache_blocks
             && self.model.slot_duration() == self.cfg.slot_duration
-            && self.model.gamma().to_bits() == self.cfg.gamma.to_bits()
-        {
-            match sparse {
-                Some(changes) => self.model.apply_update_sparse(summary, changes),
-                None => self.model.apply_update(summary),
+            && self.model.gamma().to_bits() == self.cfg.gamma.to_bits();
+        let diff: Option<Arc<crate::scheduler::ModelDiff>> = if diffable {
+            match (self.model_cache.clone(), self.model_key, sparse) {
+                // Cache attached, keyed base, full update: resolve by chain
+                // key so identical-history sessions keep sharing storage.
+                // `apply_update` is a pure function of (base content,
+                // summary), so a hit's adopted instance is bit-identical to
+                // what this session would have computed — determinism never
+                // depends on which other sessions happen to be live.
+                (Some(cache), Some(base_key), None) => {
+                    let key = crate::scheduler::dedup::chain_key(&base_key, summary);
+                    match cache.lookup_diffed(&key) {
+                        Some((model, diff)) => {
+                            self.model = model;
+                            self.model_key = Some(key);
+                            Some(diff)
+                        }
+                        None => {
+                            // `make_mut` is the copy-on-write split: a
+                            // scheduler diverging from a shared model clones
+                            // it privately before the diff lands.
+                            match Arc::make_mut(&mut self.model).apply_update(summary) {
+                                Some(diff) => {
+                                    let (model, diff) = cache.register_diffed(
+                                        key,
+                                        self.model.clone(),
+                                        Arc::new(diff),
+                                    );
+                                    self.model = model;
+                                    self.model_key = Some(key);
+                                    Some(diff)
+                                }
+                                None => {
+                                    self.model_key = None;
+                                    None
+                                }
+                            }
+                        }
+                    }
+                }
+                // No cache, unkeyed model, or sparse (delta-encoded) update:
+                // private in-place diff.  Sparse application is not keyed —
+                // its change list comes off the wire and is not derivable
+                // from the summary alone — so the model drops out of the
+                // share chain until its next full rebuild.
+                _ => {
+                    self.model_key = None;
+                    let model = Arc::make_mut(&mut self.model);
+                    let applied = match sparse {
+                        Some(changes) => model.apply_update_sparse(summary, changes),
+                        None => model.apply_update(summary),
+                    };
+                    applied.map(Arc::new)
+                }
             }
         } else {
             None
@@ -626,12 +723,24 @@ impl GreedyScheduler {
                 self.audit_on_update(summary, true);
             }
             None => {
-                self.model = HorizonModel::build(
-                    summary,
-                    self.cfg.cache_blocks,
-                    self.cfg.slot_duration,
-                    self.cfg.gamma,
-                );
+                self.model = match &self.model_cache {
+                    Some(cache) => {
+                        let (model, key) = cache.resolve_build_keyed(
+                            summary,
+                            self.cfg.cache_blocks,
+                            self.cfg.slot_duration,
+                            self.cfg.gamma,
+                        );
+                        self.model_key = Some(key);
+                        model
+                    }
+                    None => Arc::new(HorizonModel::build(
+                        summary,
+                        self.cfg.cache_blocks,
+                        self.cfg.slot_duration,
+                        self.cfg.gamma,
+                    )),
+                };
                 self.rebuild_touched();
                 #[cfg(feature = "audit")]
                 self.audit_on_update(summary, false);
@@ -1746,6 +1855,18 @@ impl crate::scheduler::Scheduler for GreedyScheduler {
 
     fn prediction_updates(&self) -> u64 {
         self.updates
+    }
+
+    fn diff_applied_updates(&self) -> u64 {
+        self.diff_updates
+    }
+
+    fn rejected_gap_slots(&self) -> u64 {
+        self.gap_slots_rejected
+    }
+
+    fn sampler_entries(&self) -> usize {
+        self.sampler.live_entries()
     }
 
     fn name(&self) -> &'static str {

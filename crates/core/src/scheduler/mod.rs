@@ -19,6 +19,7 @@
 //!   concurrency (§5.4).
 
 pub mod backend_limit;
+pub mod dedup;
 pub mod greedy;
 pub mod optimal;
 
@@ -30,6 +31,7 @@ use crate::utility::UtilityModel;
 
 pub use crate::sampling::SamplerVariant;
 pub use backend_limit::limit_distinct_requests;
+pub use dedup::ModelCache;
 pub use greedy::{GreedyContext, GreedyScheduler, GreedySchedulerConfig};
 pub use optimal::{BruteForceScheduler, OptimalScheduler};
 
@@ -110,6 +112,29 @@ pub trait Scheduler: Send {
 
     /// Number of prediction updates applied so far.
     fn prediction_updates(&self) -> u64;
+
+    /// Prediction updates applied through a model *diff*
+    /// ([`HorizonModel::apply_update`]) rather than a full rebuild; the
+    /// default covers schedulers with no diff path.  Aggregated across
+    /// sessions by [`ShardStats`](crate::shard::ShardStats).
+    fn diff_applied_updates(&self) -> u64 {
+        0
+    }
+
+    /// Sender-ahead gap slots rejected by a per-update creation cap (zero
+    /// for schedulers without the concept).  Aggregated across sessions by
+    /// [`ShardStats`](crate::shard::ShardStats).
+    fn rejected_gap_slots(&self) -> u64 {
+        0
+    }
+
+    /// Live weight entries resident in the scheduler's sampler (zero for
+    /// schedulers without an incremental sampler).  Aggregated across
+    /// sessions by [`ShardStats`](crate::shard::ShardStats) as the
+    /// session layer's per-session memory observable.
+    fn sampler_entries(&self) -> usize {
+        0
+    }
 
     /// Short name used in logs and experiment reports.
     fn name(&self) -> &'static str {

@@ -54,6 +54,11 @@ struct ReplanState {
     /// schedule drain), this count is exact.
     confirmed: usize,
     updates: u64,
+    /// Updates absorbed as a model diff ([`HorizonModel::apply_update`])
+    /// instead of a from-scratch rebuild.  The *plan* is still recomputed
+    /// every update — exact solvers have no incremental plan — but the
+    /// `O(m · horizon)` model materialization is skipped.
+    diff_updates: u64,
 }
 
 impl ReplanState {
@@ -71,7 +76,25 @@ impl ReplanState {
             issued: Vec::new(),
             confirmed: 0,
             updates: 0,
+            diff_updates: 0,
         }
+    }
+
+    /// Brings the model up to date with `summary`: a diff against the
+    /// current model when the parameters still match (the common case — the
+    /// horizon is fixed and the slot duration only changes with the
+    /// bandwidth estimate), a full rebuild otherwise.
+    fn refresh_model(&mut self, summary: &PredictionSummary) {
+        let diffable = self.model.horizon() == self.horizon
+            && self.model.slot_duration() == self.slot_duration
+            && self.model.gamma().to_bits() == self.gamma.to_bits()
+            && self.model.apply_update(summary).is_some();
+        if diffable {
+            self.diff_updates += 1;
+        } else {
+            self.model = HorizonModel::build(summary, self.horizon, self.slot_duration, self.gamma);
+        }
+        self.updates += 1;
     }
 
     /// Records a sender confirmation (see [`Scheduler::note_sent`]).
@@ -236,13 +259,7 @@ macro_rules! impl_replan_scheduler {
                 // schedule drain; the exact schedulers rely on `note_sent`
                 // confirmations instead.
                 self.state.rollback_unsent();
-                self.state.model = HorizonModel::build(
-                    summary,
-                    self.state.horizon,
-                    self.state.slot_duration,
-                    self.state.gamma,
-                );
-                self.state.updates += 1;
+                self.state.refresh_model(summary);
                 let plan = self.schedule(&self.state.model);
                 self.state.adopt(plan);
             }
@@ -277,6 +294,10 @@ macro_rules! impl_replan_scheduler {
 
             fn prediction_updates(&self) -> u64 {
                 self.state.updates
+            }
+
+            fn diff_applied_updates(&self) -> u64 {
+                self.state.diff_updates
             }
 
             fn name(&self) -> &'static str {
@@ -532,6 +553,49 @@ mod tests {
         let for2: Vec<_> = s.iter().filter(|b| b.request == RequestId(2)).collect();
         assert_eq!(for2.len(), 3);
         assert_eq!(s[0], BlockRef::new(RequestId(2), 0));
+    }
+
+    #[test]
+    fn replans_absorb_same_structure_updates_as_diffs() {
+        fn spread(n: usize, weights: &[(u32, f64)]) -> PredictionSummary {
+            PredictionSummary::new(
+                n,
+                vec![crate::distribution::HorizonSlice {
+                    delta: Duration::from_millis(50),
+                    dist: crate::distribution::SparseDistribution::from_weights(
+                        n,
+                        weights
+                            .iter()
+                            .map(|&(r, w)| (RequestId(r), w))
+                            .collect::<Vec<_>>(),
+                    ),
+                }],
+                Time::ZERO,
+            )
+        }
+        let n = 6;
+        let catalog = Arc::new(ResponseCatalog::uniform(n, 3, 100));
+        let utility = UtilityModel::homogeneous(&PowerUtility::new(0.5), 3);
+        let mut incremental = OptimalScheduler::new(utility.clone(), catalog.clone());
+        let mut fresh = OptimalScheduler::new(utility, catalog);
+
+        let s1 = spread(n, &[(0, 0.55), (1, 0.3), (2, 0.15)]);
+        let s2 = spread(n, &[(3, 0.55), (1, 0.3), (0, 0.15)]);
+        Scheduler::update_prediction(&mut incremental, &s1, 0);
+        Scheduler::update_prediction(&mut incremental, &s2, 0);
+        Scheduler::update_prediction(&mut fresh, &s2, 0);
+        assert!(
+            incremental.diff_applied_updates() >= 1,
+            "a same-structure re-prediction must be absorbed as a model diff"
+        );
+        // The diff-updated model must produce the same plan as a fresh
+        // build from the final summary (no blocks issued in between, so
+        // both plans start from an empty cache).
+        assert_eq!(
+            Scheduler::next_batch(&mut incremental, 2 * n),
+            Scheduler::next_batch(&mut fresh, 2 * n),
+            "diff-applied replan diverged from a from-scratch rebuild"
+        );
     }
 
     #[test]

@@ -31,7 +31,9 @@ use crate::distribution::PredictionSummary;
 use crate::predictor::simple::SimpleServerPredictor;
 use crate::predictor::{PredictorState, ServerPredictor};
 use crate::protocol::{ClientMessage, ServerEvent, SessionId};
-use crate::scheduler::{limit_distinct_requests, GreedyContext, GreedyScheduler, Scheduler};
+use crate::scheduler::{
+    limit_distinct_requests, GreedyContext, GreedyScheduler, ModelCache, Scheduler,
+};
 use crate::server::{Backend, ServerConfig};
 use crate::types::{Bandwidth, BlockRef, Duration, RequestId, Time};
 use crate::utility::UtilityModel;
@@ -74,6 +76,18 @@ pub struct Session {
     /// a resync request.
     resync_requests: u64,
     closed: bool,
+    /// Memo that the last unconstrained [`next_block_ref`] returned `None`
+    /// and nothing has since arrived that could create work.  The manager
+    /// skips exhausted sessions when building arbitration candidates, so a
+    /// mostly-drained fleet costs `O(live)` per block instead of the
+    /// policy re-picking (and re-snapshotting) every drained session —
+    /// at 10k sessions that tail was quadratic.  Cleared by every protocol
+    /// message and every slot-duration change (the only inputs that can
+    /// re-open a drained scheduler); never set under a backend concurrency
+    /// limit, whose per-candidate allowance split must see the full set.
+    ///
+    /// [`next_block_ref`]: Session::next_block_ref
+    exhausted: bool,
 }
 
 /// What a protocol message did to the session, as far as the caller's event
@@ -96,6 +110,7 @@ impl Session {
 
     /// Handles one protocol message from this session's client.
     pub fn on_message(&mut self, message: &ClientMessage, now: Time) -> MessageOutcome {
+        self.exhausted = false;
         match message {
             ClientMessage::Predictor(state) => {
                 self.on_predictor_state(state, now);
@@ -192,6 +207,7 @@ impl Session {
     /// backend's limit, applied when the sender queue is refilled.
     pub fn next_block_ref(&mut self, concurrency_limit: Option<usize>) -> Option<BlockRef> {
         if self.closed {
+            self.exhausted = true;
             return None;
         }
         if self.queue.is_empty() {
@@ -203,7 +219,11 @@ impl Session {
             }
             self.refill_queue(concurrency_limit);
         }
-        self.queue.pop_front()
+        let block = self.queue.pop_front();
+        if block.is_none() && concurrency_limit.is_none() {
+            self.exhausted = true;
+        }
+        block
     }
 
     /// Records that `meta` was placed on the wire: advances the sender
@@ -273,6 +293,7 @@ impl Session {
     /// Directly re-calibrates the scheduler's slot duration (used by the
     /// manager when dividing shared bandwidth between sessions).
     pub fn set_slot_duration(&mut self, slot: Duration) {
+        self.exhausted = false;
         self.scheduler.set_slot_duration(slot);
     }
 
@@ -318,6 +339,24 @@ impl Session {
     /// Number of prediction updates the scheduler has applied.
     pub fn prediction_updates(&self) -> u64 {
         self.scheduler.prediction_updates()
+    }
+
+    /// Prediction updates the scheduler absorbed as a model diff instead of
+    /// a full rebuild (see [`Scheduler::diff_applied_updates`]).
+    pub fn diff_applied_updates(&self) -> u64 {
+        self.scheduler.diff_applied_updates()
+    }
+
+    /// Sender-ahead gap slots the scheduler's per-update cap rejected (see
+    /// [`Scheduler::rejected_gap_slots`]).
+    pub fn rejected_gap_slots(&self) -> u64 {
+        self.scheduler.rejected_gap_slots()
+    }
+
+    /// Live weight entries resident in the scheduler's sampler (see
+    /// [`Scheduler::sampler_entries`]).
+    pub fn sampler_entries(&self) -> usize {
+        self.scheduler.sampler_entries()
     }
 
     /// The scheduler driving this session.
@@ -375,6 +414,11 @@ pub struct SessionBuilder {
     /// this from its per-`(utility, catalog)` cache so N sessions share one
     /// `O(n)` context.
     greedy_context: Option<Arc<GreedyContext>>,
+    /// Shared prediction-model dedup registry; when present, the default
+    /// greedy scheduler resolves full model builds through it so sessions
+    /// with bit-identical predictions share one `HorizonModel`.
+    /// [`SessionManager`] fills this from its own cache.
+    model_cache: Option<Arc<ModelCache>>,
     weight: f64,
 }
 
@@ -389,6 +433,7 @@ impl SessionBuilder {
             scheduler: None,
             predictor: None,
             greedy_context: None,
+            model_cache: None,
             weight: 1.0,
         }
     }
@@ -420,6 +465,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Resolves the default greedy scheduler's full model rebuilds through a
+    /// shared [`ModelCache`], deduplicating `HorizonModel`s across sessions
+    /// with bit-identical predictions (see [`crate::scheduler::dedup`]).
+    pub fn model_cache(mut self, cache: Arc<ModelCache>) -> Self {
+        self.model_cache = Some(cache);
+        self
+    }
+
     /// Caps this session's bandwidth estimate.
     pub fn bandwidth_cap(mut self, cap: Bandwidth) -> Self {
         self.cfg.bandwidth_cap = Some(cap);
@@ -448,6 +501,7 @@ impl SessionBuilder {
             scheduler,
             predictor,
             greedy_context,
+            model_cache,
             weight,
         } = self;
         let mut bandwidth = BandwidthEstimator::new(cfg.initial_bandwidth);
@@ -463,12 +517,12 @@ impl SessionBuilder {
                 scheduler_cfg.slot_duration = slot;
                 let ctx = greedy_context
                     .unwrap_or_else(|| Arc::new(GreedyContext::new(&utility, &catalog)));
-                Box::new(GreedyScheduler::with_context(
-                    scheduler_cfg,
-                    utility,
-                    catalog.clone(),
-                    ctx,
-                ))
+                let mut greedy =
+                    GreedyScheduler::with_context(scheduler_cfg, utility, catalog.clone(), ctx);
+                if let Some(cache) = model_cache {
+                    greedy.attach_model_cache(cache);
+                }
+                Box::new(greedy)
             }
         };
         let predictor = predictor
@@ -490,6 +544,7 @@ impl SessionBuilder {
             delta_updates: 0,
             resync_requests: 0,
             closed: false,
+            exhausted: false,
         }
     }
 }
@@ -613,6 +668,22 @@ pub struct SessionManager {
     /// session-independent, so N sessions over the same catalog share one
     /// `O(n)` derivation instead of each computing its own.
     context_cache: Vec<(UtilityModel, Arc<ResponseCatalog>, Arc<GreedyContext>)>,
+    /// Shared prediction-model dedup registry handed to every
+    /// default-scheduler session (see [`crate::scheduler::dedup`]).  Owned
+    /// per manager by default; [`set_model_cache`](Self::set_model_cache)
+    /// replaces it so shards of a
+    /// [`ShardedSessionManager`](crate::shard::ShardedSessionManager) share
+    /// one registry across threads.
+    model_cache: Arc<ModelCache>,
+    /// When set, [`redivide_bandwidth`](Self::redivide_bandwidth) divides by
+    /// this weight denominator instead of the local weight sum — under
+    /// sharding, the *global* weight sum, so per-session slot durations come
+    /// out bit-identical to the single-threaded division.
+    weight_denominator: Option<f64>,
+    /// When true, rate reports update only their session's estimate; the
+    /// shared budget is owned externally (by a shard coordinator) and
+    /// arrives via [`set_shared_budget`](Self::set_shared_budget).
+    external_budget: bool,
     /// Rotates the backend-concurrency remainder between sessions across
     /// [`next_event`](SessionManager::next_event) calls.
     budget_rotor: usize,
@@ -630,6 +701,9 @@ impl SessionManager {
             policy,
             shared_bandwidth: BandwidthEstimator::new(ServerConfig::default().initial_bandwidth),
             context_cache: Vec::new(),
+            model_cache: ModelCache::new(),
+            weight_denominator: None,
+            external_budget: false,
             budget_rotor: 0,
             blocks_sent: 0,
             bytes_sent: 0,
@@ -664,11 +738,26 @@ impl SessionManager {
     /// frontier and would otherwise drag every later joiner's anchor down
     /// with it; active sessions under fair arbitration all sit within one
     /// block of the frontier anyway.
-    pub fn add_session(&mut self, mut builder: SessionBuilder) -> SessionId {
+    pub fn add_session(&mut self, builder: SessionBuilder) -> SessionId {
         let id = SessionId(self.next_id);
-        self.next_id += 1;
+        self.add_session_with_id(id, builder)
+    }
+
+    /// Adds a session under a caller-chosen id (the sharded coordinator
+    /// allocates globally unique ids across shard-local managers).  Panics
+    /// if the id is already live; bumps the internal id allocator past `id`
+    /// so a later [`add_session`](Self::add_session) cannot collide.
+    pub fn add_session_with_id(&mut self, id: SessionId, mut builder: SessionBuilder) -> SessionId {
+        assert!(
+            !self.sessions.iter().any(|(sid, _)| *sid == id),
+            "session id {id} is already live"
+        );
+        self.next_id = self.next_id.max(id.0 + 1);
         if builder.scheduler.is_none() && builder.greedy_context.is_none() {
             builder.greedy_context = Some(self.context_for(&builder.utility, &builder.catalog));
+        }
+        if builder.scheduler.is_none() && builder.model_cache.is_none() {
+            builder.model_cache = Some(self.model_cache.clone());
         }
         let mut session = builder.build();
         let virtual_time = self
@@ -714,6 +803,73 @@ impl SessionManager {
         self.context_cache.len()
     }
 
+    /// Replaces the prediction-model dedup registry.  Sharded deployments
+    /// call this at spawn time so every shard resolves models through one
+    /// shared registry; must be called before sessions are added (models
+    /// already resolved through the old registry are left untouched).
+    pub fn set_model_cache(&mut self, cache: Arc<ModelCache>) {
+        self.model_cache = cache;
+    }
+
+    /// The prediction-model dedup registry serving this manager's sessions.
+    pub fn model_cache(&self) -> &Arc<ModelCache> {
+        &self.model_cache
+    }
+
+    /// Number of distinct live `HorizonModel`s across this manager's
+    /// sessions — under dedup, sublinear in session count.
+    pub fn live_models(&self) -> usize {
+        self.model_cache.live_models()
+    }
+
+    /// Hands ownership of the shared budget to an external coordinator:
+    /// rate reports stop feeding this manager's own shared estimate (the
+    /// coordinator sees every shard's sessions and pushes the corrected
+    /// division via [`set_shared_budget`](Self::set_shared_budget)).
+    pub fn set_external_budget(&mut self, external: bool) {
+        self.external_budget = external;
+    }
+
+    /// Installs an externally computed bandwidth budget: `total` becomes the
+    /// shared estimate and, when `weight_denominator` is given, per-session
+    /// shares divide by it instead of the local weight sum.  With the global
+    /// weight sum as denominator, a shard's division is bit-identical to the
+    /// single-threaded manager's (`slot_i = total · w_i / Σ_global w`) —
+    /// the foundation of the sharded-vs-single parity guarantee.
+    pub fn set_shared_budget(&mut self, total: Bandwidth, weight_denominator: Option<f64>) {
+        self.shared_bandwidth.force_estimate(total);
+        self.weight_denominator = weight_denominator;
+        self.redivide_bandwidth();
+    }
+
+    /// Snapshot of this manager's counters in the cross-shard
+    /// [`ShardSnapshot`](crate::shard::ShardSnapshot) shape — the shard
+    /// worker's reply to a stats request, and equally usable on a
+    /// standalone manager.  Counters of already-removed sessions are not
+    /// included (identically on both paths).
+    pub fn stats_snapshot(&self) -> crate::shard::ShardSnapshot {
+        let mut snap = crate::shard::ShardSnapshot {
+            sessions: self.sessions.len(),
+            blocks_sent: self.blocks_sent,
+            bytes_sent: self.bytes_sent,
+            shared_context_count: self.context_cache.len(),
+            ..Default::default()
+        };
+        for (_, session) in &self.sessions {
+            snap.prediction_updates += session.prediction_updates();
+            snap.diff_applied_updates += session.diff_applied_updates();
+            snap.rejected_gap_slots += session.rejected_gap_slots();
+            snap.sampler_entries += session.sampler_entries();
+            snap.resync_requests += session.resync_requests();
+            snap.delta_updates += session.delta_updates();
+            #[cfg(feature = "audit")]
+            if let Some(report) = session.audit_report() {
+                snap.audit_violations += report.total_violations();
+            }
+        }
+        snap
+    }
+
     /// Removes a session.  Returns `true` if it existed.
     pub fn remove_session(&mut self, id: SessionId) -> bool {
         let before = self.sessions.len();
@@ -752,14 +908,20 @@ impl SessionManager {
                 // only observes its own share of the wire, so the total is
                 // the *sum* of per-session estimates — feeding a single
                 // client's rate in as the total would systematically halve
-                // the estimate with every concurrent session.
-                let total: f64 = self
-                    .sessions
-                    .iter()
-                    .map(|(_, s)| s.bandwidth_estimate().bytes_per_sec())
-                    .sum();
-                self.shared_bandwidth.report_rate(Bandwidth(total));
-                self.redivide_bandwidth();
+                // the estimate with every concurrent session.  Under an
+                // external budget owner (a shard coordinator that sees
+                // *every* shard's sessions), only the per-session estimate
+                // is updated here; the corrected division arrives via
+                // [`set_shared_budget`](Self::set_shared_budget).
+                if !self.external_budget {
+                    let total: f64 = self
+                        .sessions
+                        .iter()
+                        .map(|(_, s)| s.bandwidth_estimate().bytes_per_sec())
+                        .sum();
+                    self.shared_bandwidth.report_rate(Bandwidth(total));
+                    self.redivide_bandwidth();
+                }
                 None
             }
             ClientMessage::Predictor(_)
@@ -782,7 +944,21 @@ impl SessionManager {
     /// the §5.4 schedule-shaping heuristic generalized to many clients, not
     /// an exact in-flight tracker.)
     pub fn next_event(&mut self, _now: Time) -> ServerEvent {
-        let all: Vec<usize> = (0..self.sessions.len()).collect();
+        // Skipping exhausted sessions is outcome-identical to letting the
+        // policy pick and discard them: `WeightedFair` is a stateless min
+        // (absent entries cannot change which live session is minimal) and
+        // `RoundRobin`'s cursor ends at the block recipient either way.
+        // Under a concurrency limit the allowance split depends on the
+        // candidate count, so the full set is kept (and `exhausted` is
+        // never set on that path).
+        let filter_exhausted = self.backend.concurrency_limit().is_none();
+        let all: Vec<usize> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, s))| !filter_exhausted || !s.exhausted)
+            .map(|(i, _)| i)
+            .collect();
         self.next_event_inner(all)
     }
 
@@ -799,11 +975,14 @@ impl SessionManager {
             eligible.windows(2).all(|w| w[0] < w[1]),
             "eligible session list must be ascending"
         );
+        let filter_exhausted = self.backend.concurrency_limit().is_none();
         let picked: Vec<usize> = self
             .sessions
             .iter()
             .enumerate()
-            .filter(|(_, (id, _))| eligible.binary_search(id).is_ok())
+            .filter(|(_, (id, s))| {
+                (!filter_exhausted || !s.exhausted) && eligible.binary_search(id).is_ok()
+            })
             .map(|(i, _)| i)
             .collect();
         self.next_event_inner(picked)
@@ -866,9 +1045,13 @@ impl SessionManager {
     }
 
     /// Re-divides the shared bandwidth estimate between sessions by weight,
-    /// updating each scheduler's slot duration.
+    /// updating each scheduler's slot duration.  The weight denominator is
+    /// the local weight sum, unless an external budget owner supplied the
+    /// global one (see [`set_shared_budget`](Self::set_shared_budget)).
     fn redivide_bandwidth(&mut self) {
-        let total_weight: f64 = self.sessions.iter().map(|(_, s)| s.weight()).sum();
+        let total_weight: f64 = self
+            .weight_denominator
+            .unwrap_or_else(|| self.sessions.iter().map(|(_, s)| s.weight()).sum());
         if total_weight <= 0.0 {
             return;
         }

@@ -74,6 +74,15 @@ pub struct ExperimentConfig {
     /// the crate is built with the `audit` feature; ignored (and free)
     /// otherwise.
     pub audit: bool,
+    /// Session-layer worker shards for fleet runs
+    /// ([`run_session_fleet`](crate::fleet::run_session_fleet)): sessions
+    /// are partitioned round-robin across this many scheduler threads
+    /// sharing one global bandwidth budget and one model-dedup cache.  `1`
+    /// (the default) serves the whole fleet from a single shard; the
+    /// single-client simulators ignore this knob.  Fixed-seed fleet runs
+    /// produce per-session block-identical schedules at any shard count
+    /// (see `docs/SHARDING.md`).
+    pub shards: usize,
     /// RNG seed for the scheduler / baselines.
     pub seed: u64,
 }
@@ -92,6 +101,7 @@ impl ExperimentConfig {
             prediction_diff: true,
             prediction_delta: false,
             audit: false,
+            shards: 1,
             seed: 0x5eed,
         }
     }
@@ -193,6 +203,14 @@ impl ExperimentConfig {
         self.audit = audit;
         self
     }
+
+    /// Sets the session-layer shard count for fleet runs (default 1; see
+    /// [`ExperimentConfig::shards`]).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "a fleet needs at least one shard");
+        self.shards = shards;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -228,12 +246,15 @@ mod tests {
             .with_cache_bytes(1_000_000)
             .with_request_latency(Duration::from_millis(400))
             .with_prediction_interval(Duration::from_millis(50))
-            .with_sampler(SamplerVariant::Scan);
+            .with_sampler(SamplerVariant::Scan)
+            .with_shards(4);
         assert_eq!(c.bandwidth.nominal().as_mbps(), 2.0);
         assert_eq!(c.cache_bytes, 1_000_000);
         assert_eq!(c.request_latency, Duration::from_millis(400));
         assert_eq!(c.prediction_interval, Duration::from_millis(50));
         assert_eq!(c.sampler, SamplerVariant::Scan);
+        assert_eq!(c.shards, 4);
+        assert_eq!(ExperimentConfig::paper_default().shards, 1);
         assert_eq!(
             ExperimentConfig::paper_default().sampler,
             SamplerVariant::Lazy

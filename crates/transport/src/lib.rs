@@ -39,5 +39,5 @@ pub mod server;
 pub mod wire;
 
 pub use client::{TransportClient, UplinkReport};
-pub use server::{ServerStats, TransportConfig, TransportServer};
+pub use server::{ServerStats, ShardedTransportServer, TransportConfig, TransportServer};
 pub use wire::{ClientFrame, FrameBuffer, WireError, MAX_FRAME_LEN, WIRE_VERSION};

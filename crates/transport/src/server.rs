@@ -19,16 +19,29 @@
 //! * **Clean disconnects.**  EOF or a socket error tears the connection
 //!   down through [`SessionManager::remove_session`], which tombstones the
 //!   session's sampler state; no further blocks are planned for it.
+//!
+//! For deployments with more connections than one readiness loop should
+//! own, [`ShardedTransportServer`] runs one acceptor thread plus N of these
+//! event loops: accepted sockets are fanned round-robin across per-shard
+//! loops over an unbounded handoff queue (a busy shard can never stall the
+//! accept path), every shard's `SessionManager` shares one
+//! [`ModelCache`] so identical predictors resolve to one `HorizonModel`
+//! across shards, and a disconnect is torn down entirely on the owning
+//! shard — its session *and* its model refcounts are released there, with
+//! no cross-shard coordination.  See `docs/SHARDING.md`.
 
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
+use crossbeam::channel::{self, Receiver};
 use khameleon_core::protocol::{ServerEvent, SessionId};
+use khameleon_core::scheduler::ModelCache;
 use khameleon_core::session::{SessionBuilder, SessionManager};
+use khameleon_core::shard::{ShardSnapshot, ShardStats};
 use khameleon_core::types::Time;
 
 use crate::wire::{encode_server_event, ClientFrame, FrameBuffer};
@@ -144,7 +157,7 @@ impl TransportServer {
             .name("khameleon-transport".into())
             .spawn(move || {
                 EventLoop {
-                    listener,
+                    source: ConnSource::Listen(listener),
                     manager,
                     factory: Box::new(factory),
                     config,
@@ -154,6 +167,7 @@ impl TransportServer {
                     scratch: vec![0u8; 64 * 1024],
                     clock: ClockSource::new(),
                     next_send: Time::ZERO,
+                    snapshot_out: None,
                 }
                 .run();
             })?;
@@ -193,6 +207,192 @@ impl Drop for TransportServer {
     }
 }
 
+/// A sharded transport server: one acceptor thread fanning connections
+/// round-robin across `N` independent event loops, each owning its own
+/// [`SessionManager`] and the subset of sockets routed to it.
+///
+/// All shard managers share one [`ModelCache`], so sessions with
+/// bit-identical predictor histories resolve to a single `HorizonModel`
+/// regardless of which shard they landed on.  Session ids are drawn from a
+/// server-global counter, so an id names one session across the whole
+/// deployment.
+///
+/// Teardown is shard-local by construction: a disconnect (EOF, socket
+/// error, or protocol `Close`) is observed by the owning shard's loop,
+/// which removes the session from *its* manager — releasing the session's
+/// sampler slot and its model refcounts in the shared cache — while the
+/// acceptor thread keeps accepting, never touching any shard's session
+/// state.
+pub struct ShardedTransportServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    shard_stats: Vec<Arc<Mutex<ServerStats>>>,
+    snapshots: Vec<Arc<Mutex<ShardSnapshot>>>,
+    model_cache: Arc<ModelCache>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ShardedTransportServer {
+    /// Binds `addr` and spawns the acceptor plus `num_shards` event loops.
+    ///
+    /// `manager_factory` builds one manager per shard (called with the
+    /// shard index); each is attached to the server's shared model cache
+    /// before its loop starts.  `session_factory` builds one session per
+    /// accepted connection, on whichever shard the connection lands.
+    pub fn spawn<M, F>(
+        addr: impl ToSocketAddrs,
+        num_shards: usize,
+        mut manager_factory: M,
+        session_factory: F,
+        config: TransportConfig,
+    ) -> std::io::Result<ShardedTransportServer>
+    where
+        M: FnMut(usize) -> SessionManager,
+        F: Fn() -> SessionBuilder + Send + Sync + 'static,
+    {
+        assert!(num_shards >= 1, "a sharded server needs at least one shard");
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let model_cache = ModelCache::new();
+        let ids = Arc::new(AtomicU64::new(0));
+        let session_factory = Arc::new(session_factory);
+        let mut handles = Vec::with_capacity(num_shards + 1);
+        let mut senders = Vec::with_capacity(num_shards);
+        let mut shard_stats = Vec::with_capacity(num_shards);
+        let mut snapshots = Vec::with_capacity(num_shards);
+        for i in 0..num_shards {
+            let (tx, rx) = channel::unbounded();
+            senders.push(tx);
+            let mut manager = manager_factory(i);
+            manager.set_model_cache(Arc::clone(&model_cache));
+            let stats = Arc::new(Mutex::new(ServerStats::default()));
+            let snapshot = Arc::new(Mutex::new(ShardSnapshot::default()));
+            shard_stats.push(Arc::clone(&stats));
+            snapshots.push(Arc::clone(&snapshot));
+            let factory = Arc::clone(&session_factory);
+            let loop_shutdown = Arc::clone(&shutdown);
+            let loop_ids = Arc::clone(&ids);
+            let loop_config = config.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("khameleon-shard-io-{i}"))
+                .spawn(move || {
+                    EventLoop {
+                        source: ConnSource::Shard {
+                            streams: rx,
+                            ids: loop_ids,
+                        },
+                        manager,
+                        factory: Box::new(move || factory()),
+                        config: loop_config,
+                        conns: Vec::new(),
+                        shutdown: loop_shutdown,
+                        stats,
+                        scratch: vec![0u8; 64 * 1024],
+                        clock: ClockSource::new(),
+                        next_send: Time::ZERO,
+                        snapshot_out: Some(snapshot),
+                    }
+                    .run();
+                })?;
+            handles.push(handle);
+        }
+        let accept_shutdown = Arc::clone(&shutdown);
+        let idle_wait = config.idle_wait;
+        let acceptor = std::thread::Builder::new()
+            .name("khameleon-shard-accept".into())
+            .spawn(move || {
+                let mut next = 0usize;
+                while !accept_shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            // Round-robin fan-out over an unbounded handoff
+                            // queue: a shard busy tearing sessions down (or
+                            // wedged on slow peers) can never stall accepts.
+                            let _ = senders[next % senders.len()].send(stream);
+                            next = next.wrapping_add(1);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(idle_wait);
+                        }
+                        Err(_) => std::thread::sleep(idle_wait),
+                    }
+                }
+            })?;
+        handles.push(acceptor);
+        Ok(ShardedTransportServer {
+            local_addr,
+            shutdown,
+            shard_stats,
+            snapshots,
+            model_cache,
+            handles,
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of shard event loops.
+    pub fn num_shards(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Transport counters summed across every shard loop.
+    pub fn stats(&self) -> ServerStats {
+        let mut total = ServerStats::default();
+        for stats in &self.shard_stats {
+            let s = stats.lock().unwrap_or_else(PoisonError::into_inner).clone();
+            total.accepted += s.accepted;
+            total.disconnected += s.disconnected;
+            total.active += s.active;
+            total.frames_in += s.frames_in;
+            total.frames_out += s.frames_out;
+            total.blocks_sent += s.blocks_sent;
+            total.resyncs += s.resyncs;
+            total.backpressure_skips += s.backpressure_skips;
+            total.peak_queue_frames = total.peak_queue_frames.max(s.peak_queue_frames);
+            total.decode_errors += s.decode_errors;
+        }
+        total
+    }
+
+    /// Session-layer counters merged across shards, with the shared model
+    /// cache's live-model count — the same shape the in-process
+    /// [`ShardedSessionManager`](khameleon_core::ShardedSessionManager)
+    /// reports.
+    pub fn shard_stats(&self) -> ShardStats {
+        let per_shard: Vec<ShardSnapshot> = self
+            .snapshots
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).clone())
+            .collect();
+        ShardStats::merge(per_shard, self.model_cache.live_models())
+    }
+
+    /// The model cache shared by every shard's manager.
+    pub fn model_cache(&self) -> &Arc<ModelCache> {
+        &self.model_cache
+    }
+
+    /// Stops the acceptor and every shard loop, joining their threads.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ShardedTransportServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 /// Wall-clock microseconds since loop start, used as the session layer's
 /// logical `now` outside lockstep mode.
 struct ClockSource {
@@ -219,8 +419,39 @@ impl ClockSource {
     }
 }
 
+/// Where an event loop gets its connections from: its own listener
+/// (standalone mode), or a handoff queue fed by a shared acceptor thread
+/// (one shard of a [`ShardedTransportServer`]).
+enum ConnSource {
+    Listen(TcpListener),
+    Shard {
+        streams: Receiver<TcpStream>,
+        /// Globally unique session ids, shared by every shard so a session
+        /// id names one session across the whole server.
+        ids: Arc<AtomicU64>,
+    },
+}
+
+impl ConnSource {
+    /// Nonblocking poll for the next incoming stream, if any.
+    fn poll(&mut self) -> Option<TcpStream> {
+        match self {
+            ConnSource::Listen(listener) => listener.accept().ok().map(|(stream, _peer)| stream),
+            ConnSource::Shard { streams, .. } => streams.try_recv().ok(),
+        }
+    }
+
+    /// In sharded mode, draws the next globally unique session id.
+    fn forced_id(&self) -> Option<SessionId> {
+        match self {
+            ConnSource::Listen(_) => None,
+            ConnSource::Shard { ids, .. } => Some(SessionId(ids.fetch_add(1, Ordering::Relaxed))),
+        }
+    }
+}
+
 struct EventLoop {
-    listener: TcpListener,
+    source: ConnSource,
     manager: SessionManager,
     factory: Box<dyn FnMut() -> SessionBuilder + Send>,
     config: TransportConfig,
@@ -231,6 +462,9 @@ struct EventLoop {
     clock: ClockSource,
     /// Earliest loop time (µs since start) the pacing gate opens again.
     next_send: Time,
+    /// In sharded mode, where this shard publishes its session-layer
+    /// counters each tick (merged by `ShardedTransportServer::shard_stats`).
+    snapshot_out: Option<Arc<Mutex<ShardSnapshot>>>,
 }
 
 impl EventLoop {
@@ -250,32 +484,30 @@ impl EventLoop {
         // Final flush attempt so Closed frames reach clients that are still
         // reading, then let the sockets drop.
         self.flush_sockets();
+        self.publish_stats();
     }
 
     fn accept_new(&mut self) -> bool {
         let mut progressed = false;
-        loop {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
-                        continue;
-                    }
-                    let session = self.manager.add_session((self.factory)());
-                    self.conns.push(Conn {
-                        stream,
-                        session,
-                        inbuf: FrameBuffer::new(),
-                        outbuf: VecDeque::new(),
-                        front_written: 0,
-                        credits: 0,
-                        dying: false,
-                    });
-                    self.with_stats(|s| s.accepted += 1);
-                    progressed = true;
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(_) => break,
+        while let Some(stream) = self.source.poll() {
+            if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                continue;
             }
+            let session = match self.source.forced_id() {
+                Some(id) => self.manager.add_session_with_id(id, (self.factory)()),
+                None => self.manager.add_session((self.factory)()),
+            };
+            self.conns.push(Conn {
+                stream,
+                session,
+                inbuf: FrameBuffer::new(),
+                outbuf: VecDeque::new(),
+                front_written: 0,
+                credits: 0,
+                dying: false,
+            });
+            self.with_stats(|s| s.accepted += 1);
+            progressed = true;
         }
         progressed
     }
@@ -509,7 +741,16 @@ impl EventLoop {
 
     fn publish_stats(&mut self) {
         let active = self.conns.iter().filter(|c| !c.dying).count() as u64;
-        self.with_stats(|s| s.active = active);
+        let mut backpressure_skips = 0;
+        self.with_stats(|s| {
+            s.active = active;
+            backpressure_skips = s.backpressure_skips;
+        });
+        if let Some(out) = &self.snapshot_out {
+            let mut snap = self.manager.stats_snapshot();
+            snap.backpressure_skips = backpressure_skips;
+            *out.lock().unwrap_or_else(PoisonError::into_inner) = snap;
+        }
     }
 
     fn with_stats(&self, f: impl FnOnce(&mut ServerStats)) {

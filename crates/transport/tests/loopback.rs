@@ -18,7 +18,9 @@ use khameleon_core::server::{Backend, CatalogBackend};
 use khameleon_core::session::{Session, SessionBuilder, SessionManager};
 use khameleon_core::types::{BlockRef, Duration, RequestId, Time};
 use khameleon_core::utility::{LinearUtility, UtilityModel};
-use khameleon_transport::{TransportClient, TransportConfig, TransportServer};
+use khameleon_transport::{
+    ShardedTransportServer, TransportClient, TransportConfig, TransportServer,
+};
 
 fn catalog(requests: usize, blocks: u32, block_size: u64) -> Arc<ResponseCatalog> {
     Arc::new(ResponseCatalog::uniform(requests, blocks, block_size))
@@ -223,6 +225,95 @@ fn generation_mismatch_triggers_resync_then_recovers() {
         other => panic!("expected block, got {other:?}"),
     }
     assert_eq!(server.stats().resyncs, 1);
+}
+
+/// Sharded server end-to-end: connections fan out across shard loops,
+/// identical predictors dedup to one model *across* shards, and a departed
+/// connection is torn down entirely on its owning shard — freeing both the
+/// session and its model refcounts — without wedging the accept path.
+#[test]
+fn sharded_server_fans_out_dedups_and_tears_down_per_shard() {
+    let cat = catalog(40, 4, 2_000);
+    let manager_cat = cat.clone();
+    let factory_cat = cat.clone();
+    let server = ShardedTransportServer::spawn(
+        "127.0.0.1:0",
+        2,
+        move |_shard| {
+            SessionManager::round_robin(Box::new(CatalogBackend::new(manager_cat.clone())))
+        },
+        move || builder(&factory_cat, 4),
+        TransportConfig::default(),
+    )
+    .expect("bind");
+    assert_eq!(server.num_shards(), 2);
+
+    let mut clients: Vec<TransportClient> = (0..4)
+        .map(|i| {
+            TransportClient::connect(server.local_addr())
+                .unwrap_or_else(|e| panic!("connect client {i}: {e}"))
+        })
+        .collect();
+    wait_until(|| server.stats().accepted == 4, "all four sessions");
+
+    // Identical predictor histories: every session must resolve to the same
+    // shared HorizonModel even though they live on different shards.
+    let shared = summary(40, &[(3, 0.7), (9, 0.25)], 0.05);
+    for client in &mut clients {
+        client.send_prediction(&shared).expect("send prediction");
+        let mut got = 0;
+        while got < 3 {
+            if let ServerEvent::Block { .. } = client.recv_event().expect("event") {
+                got += 1;
+            }
+        }
+    }
+
+    wait_until(
+        || {
+            let stats = server.shard_stats();
+            stats.totals.sessions == 4 && stats.live_models <= 2
+        },
+        "cross-shard model dedup",
+    );
+    let stats = server.shard_stats();
+    assert_eq!(stats.shards, 2);
+    // Round-robin fan-out: both shards own sessions.
+    for (shard, snap) in stats.per_shard.iter().enumerate() {
+        assert!(snap.sessions >= 1, "shard {shard} got no sessions");
+    }
+    assert!(
+        stats.live_models < stats.totals.sessions,
+        "identical predictors did not share models: {} models for {} sessions",
+        stats.live_models,
+        stats.totals.sessions
+    );
+    assert!(stats.totals.blocks_sent >= 12);
+
+    // Teardown through both paths — protocol Close and abrupt EOF — must be
+    // handled on the owning shard: sessions and model refcounts all freed.
+    let mut dropped = clients.split_off(2);
+    for client in &mut clients {
+        client.send_close().expect("close");
+    }
+    drop(dropped.drain(..));
+    wait_until(
+        || {
+            let stats = server.shard_stats();
+            stats.totals.sessions == 0 && stats.live_models == 0
+        },
+        "shard-local teardown to zero sessions and models",
+    );
+
+    // The accept loop survived the churn: a fresh client still gets blocks.
+    let mut late = TransportClient::connect(server.local_addr()).expect("late connect");
+    late.send_prediction(&shared).expect("late prediction");
+    match late.recv_event().expect("late block") {
+        ServerEvent::Block { .. } => {}
+        other => panic!("expected block, got {other:?}"),
+    }
+    assert_eq!(server.stats().accepted, 5);
+    assert!(server.stats().disconnected >= 4);
 }
 
 /// Backend that attaches real payload bytes, so frames are big enough to
