@@ -144,7 +144,7 @@ fn run_concurrency(conns: usize, rounds: usize) -> ConcurrencyResult {
                                     break;
                                 }
                                 ServerEvent::Resync { .. } | ServerEvent::Idle => continue,
-                                ServerEvent::Closed { .. } => {
+                                ServerEvent::Closed { .. } | ServerEvent::Busy => {
                                     return Err(std::io::Error::other("unexpected close"))
                                 }
                             }

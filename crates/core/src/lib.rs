@@ -113,6 +113,7 @@ pub mod cache;
 pub mod client;
 pub mod delta;
 pub mod distribution;
+pub mod fault;
 pub mod metrics;
 pub mod predictor;
 pub mod protocol;
@@ -129,6 +130,7 @@ pub use block::{Block, BlockMeta, ResponseCatalog, ResponseLayout};
 pub use cache::{LruCache, RingCache};
 pub use client::{CacheManager, Upcall};
 pub use distribution::{HorizonSlice, PredictionSummary, SparseDistribution};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{MetricsCollector, MetricsSummary};
 pub use predictor::{
     ClientPredictor, InteractionEvent, PredictorManager, PredictorState, RequestLayout,

@@ -95,6 +95,10 @@ pub enum ServerEvent {
         /// The session whose delta could not be applied.
         session: SessionId,
     },
+    /// The server is shedding load and refused to admit a new session
+    /// (its session or park table is full).  The connection is closed
+    /// after this event; the client should back off and retry later.
+    Busy,
 }
 
 impl ServerEvent {
@@ -104,7 +108,7 @@ impl ServerEvent {
             ServerEvent::Block { session, .. }
             | ServerEvent::Closed { session }
             | ServerEvent::Resync { session } => Some(*session),
-            ServerEvent::Idle => None,
+            ServerEvent::Idle | ServerEvent::Busy => None,
         }
     }
 
@@ -128,6 +132,8 @@ mod tests {
     fn events_expose_their_session() {
         assert_eq!(ServerEvent::Idle.session(), None);
         assert!(ServerEvent::Idle.is_idle());
+        assert_eq!(ServerEvent::Busy.session(), None);
+        assert!(!ServerEvent::Busy.is_idle());
         assert_eq!(
             ServerEvent::Closed {
                 session: SessionId(9)

@@ -659,6 +659,21 @@ impl SharePolicy for WeightedFair {
 /// weight.
 pub struct SessionManager {
     sessions: Vec<(SessionId, Session)>,
+    /// Sessions detached from scheduling but kept alive for a resumable
+    /// reconnect: `(id, session, expires_at)`.  A parked session holds its
+    /// scheduler state, shadow summary, and model-cache refcounts, but is
+    /// invisible to arbitration, bandwidth division, and `stats_snapshot`'s
+    /// per-session sums until it is resumed or TTL-evicted.
+    parked: Vec<(SessionId, Session, Time)>,
+    /// How long a parked session survives on the *logical* clock before
+    /// [`evict_expired_parks`](Self::evict_expired_parks) reclaims it.
+    park_ttl: Duration,
+    /// Monotone count of park operations (for
+    /// [`ShardSnapshot`](crate::shard::ShardSnapshot)).
+    parked_total: u64,
+    /// Monotone count of successful resumes (for
+    /// [`ShardSnapshot`](crate::shard::ShardSnapshot)).
+    resumed_total: u64,
     next_id: u64,
     backend: Box<dyn Backend>,
     policy: Box<dyn SharePolicy>,
@@ -696,6 +711,10 @@ impl SessionManager {
     pub fn new(backend: Box<dyn Backend>, policy: Box<dyn SharePolicy>) -> Self {
         SessionManager {
             sessions: Vec::new(),
+            parked: Vec::new(),
+            park_ttl: Duration::from_secs(30),
+            parked_total: 0,
+            resumed_total: 0,
             next_id: 0,
             backend,
             policy,
@@ -751,6 +770,10 @@ impl SessionManager {
         assert!(
             !self.sessions.iter().any(|(sid, _)| *sid == id),
             "session id {id} is already live"
+        );
+        assert!(
+            !self.parked.iter().any(|(sid, _, _)| *sid == id),
+            "session id {id} is parked"
         );
         self.next_id = self.next_id.max(id.0 + 1);
         if builder.scheduler.is_none() && builder.greedy_context.is_none() {
@@ -853,6 +876,8 @@ impl SessionManager {
             blocks_sent: self.blocks_sent,
             bytes_sent: self.bytes_sent,
             shared_context_count: self.context_cache.len(),
+            parked_sessions: self.parked_total,
+            resumed_sessions: self.resumed_total,
             ..Default::default()
         };
         for (_, session) in &self.sessions {
@@ -879,6 +904,119 @@ impl SessionManager {
             self.redivide_bandwidth();
         }
         removed
+    }
+
+    /// Sets how long a parked session survives on the logical clock before
+    /// [`evict_expired_parks`](Self::evict_expired_parks) reclaims it.  A
+    /// zero TTL makes every park expire immediately — the deterministic
+    /// "park expired" lever for tests.
+    pub fn set_park_ttl(&mut self, ttl: Duration) {
+        self.park_ttl = ttl;
+    }
+
+    /// Detaches session `id` from scheduling without destroying it: the
+    /// session keeps its scheduler state, prediction history, shadow
+    /// summary, and model-cache refcounts, but stops receiving wire slots
+    /// and bandwidth shares.  Returns `true` if the session was live.
+    ///
+    /// The park expires `park_ttl` after `now` on the logical clock; under
+    /// a frozen clock (lockstep transport) parks never expire, which is the
+    /// deterministic-replay-friendly default.
+    pub fn park_session(&mut self, id: SessionId, now: Time) -> bool {
+        let Some(pos) = self.sessions.iter().position(|(sid, _)| *sid == id) else {
+            return false;
+        };
+        let (_, session) = self.sessions.remove(pos);
+        let expires = now.saturating_add(self.park_ttl);
+        self.parked.push((id, session, expires));
+        self.parked_total += 1;
+        self.redivide_bandwidth();
+        true
+    }
+
+    /// Re-attaches a parked session to scheduling.  Returns `true` on
+    /// success; `false` if `id` is unknown or its park has expired (an
+    /// expired entry is reclaimed on the spot).
+    ///
+    /// The resumed session's fair-queueing anchor is re-based *upward only*:
+    /// if the live service frontier moved past it while parked, its counter
+    /// jumps to the frontier so it cannot monopolize the wire replaying its
+    /// deficit; if it is alone (or already at the frontier) the anchor is
+    /// untouched, so a single-session park/resume cycle is bit-exact with an
+    /// uninterrupted run.
+    pub fn resume_session(&mut self, id: SessionId, now: Time) -> bool {
+        let Some(pos) = self.parked.iter().position(|(sid, _, _)| *sid == id) else {
+            return false;
+        };
+        if self.parked[pos].2 <= now {
+            self.parked.remove(pos);
+            return false;
+        }
+        let (_, mut session, _) = self.parked.remove(pos);
+        let frontier = self
+            .sessions
+            .iter()
+            .map(|(_, s)| s.service() as f64 / s.weight().max(f64::EPSILON))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if frontier.is_finite() {
+            let target = (frontier * session.weight()).floor() as u64;
+            let current = session.service();
+            if current < target {
+                session.service_base += target - current;
+            }
+        }
+        // The sessions vec is ascending by id (ids are allocated
+        // monotonically and appended); `RoundRobin` and
+        // `next_event_among`'s binary search both rely on that, so the
+        // resumed session goes back at its sorted position.
+        let at = self.sessions.partition_point(|(sid, _)| *sid < id);
+        self.sessions.insert(at, (id, session));
+        self.resumed_total += 1;
+        self.redivide_bandwidth();
+        true
+    }
+
+    /// Reclaims every parked session whose TTL has passed at `now`,
+    /// returning their ids.  Dropping the `Session` releases its
+    /// model-cache refcounts and scheduler state.
+    pub fn evict_expired_parks(&mut self, now: Time) -> Vec<SessionId> {
+        let mut evicted = Vec::new();
+        self.parked.retain(|(id, _, expires)| {
+            if *expires <= now {
+                evicted.push(*id);
+                false
+            } else {
+                true
+            }
+        });
+        evicted
+    }
+
+    /// Drops one parked session unconditionally (shed-load path).  Returns
+    /// `true` if it existed.
+    pub fn drop_parked(&mut self, id: SessionId) -> bool {
+        let before = self.parked.len();
+        self.parked.retain(|(sid, _, _)| *sid != id);
+        self.parked.len() != before
+    }
+
+    /// The parked session closest to expiry, if any — the shed-load victim
+    /// when the park table is full.
+    pub fn earliest_expiring_park(&self) -> Option<SessionId> {
+        self.parked
+            .iter()
+            .min_by_key(|(id, _, expires)| (*expires, *id))
+            .map(|(id, _, _)| *id)
+    }
+
+    /// Whether session `id` is currently parked.
+    pub fn is_parked(&self, id: SessionId) -> bool {
+        self.parked.iter().any(|(sid, _, _)| *sid == id)
+    }
+
+    /// Number of currently parked sessions.
+    pub fn num_parked(&self) -> usize {
+        self.parked.len()
     }
 
     /// Routes one protocol message to its session.  Returns the resulting
@@ -1177,7 +1315,7 @@ mod tests {
             match mgr.next_event(Time::ZERO) {
                 ServerEvent::Block { session, .. } => *counts.entry(session).or_insert(0) += 1,
                 ServerEvent::Idle => break,
-                ServerEvent::Closed { .. } | ServerEvent::Resync { .. } => {}
+                ServerEvent::Closed { .. } | ServerEvent::Resync { .. } | ServerEvent::Busy => {}
             }
         }
         counts
@@ -1528,7 +1666,7 @@ mod tests {
                         .insert(block.meta.block.request);
                 }
                 ServerEvent::Idle => break,
-                ServerEvent::Closed { .. } | ServerEvent::Resync { .. } => {}
+                ServerEvent::Closed { .. } | ServerEvent::Resync { .. } | ServerEvent::Busy => {}
             }
         }
         // Every session eventually gets service despite 4 of 6 having a zero
@@ -1596,5 +1734,139 @@ mod tests {
         let cat = catalog(4, 2);
         let result = std::panic::catch_unwind(|| Session::builder(utility(2), cat).weight(0.0));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn parked_session_is_invisible_until_resumed() {
+        let (mut mgr, ids) = manager_with(Box::new(RoundRobin::new()), &[1.0, 1.0], 50, 4);
+        mgr.on_message(
+            ids[0],
+            &ClientMessage::Predictor(PredictorState::LastRequest(RequestId(7))),
+            Time::ZERO,
+        );
+        assert!(mgr.park_session(ids[0], Time::ZERO));
+        assert!(mgr.is_parked(ids[0]));
+        assert_eq!(mgr.num_sessions(), 1);
+        assert_eq!(mgr.num_parked(), 1);
+        // While parked, the session gets no wire slots.
+        for _ in 0..10 {
+            if let ServerEvent::Block { session, .. } = mgr.next_event(Time::ZERO) {
+                assert_ne!(session, ids[0], "parked session must not be scheduled");
+            }
+        }
+        // Resume re-attaches with prediction state intact: its first blocks
+        // still target the request it predicted before parking.
+        assert!(mgr.resume_session(ids[0], Time::ZERO));
+        assert!(!mgr.is_parked(ids[0]));
+        assert_eq!(mgr.num_sessions(), 2);
+        let mut served = Vec::new();
+        for _ in 0..8 {
+            if let ServerEvent::Block { session, block } = mgr.next_event(Time::ZERO) {
+                if session == ids[0] {
+                    served.push(block.meta.block.request);
+                }
+            }
+        }
+        assert!(
+            served.contains(&RequestId(7)),
+            "resumed session lost its prediction state: {served:?}"
+        );
+        let snap = mgr.stats_snapshot();
+        assert_eq!(snap.parked_sessions, 1);
+        assert_eq!(snap.resumed_sessions, 1);
+    }
+
+    #[test]
+    fn park_ttl_evicts_on_the_logical_clock() {
+        let (mut mgr, ids) = manager_with(Box::new(RoundRobin::new()), &[1.0, 1.0], 20, 2);
+        mgr.set_park_ttl(Duration::from_millis(5));
+        assert!(mgr.park_session(ids[0], Time::ZERO));
+        // Before the TTL nothing is evicted and a resume still works.
+        assert!(mgr.evict_expired_parks(Time::from_millis(4)).is_empty());
+        assert!(mgr.is_parked(ids[0]));
+        // At/after the TTL the park is reclaimed.
+        assert_eq!(mgr.evict_expired_parks(Time::from_millis(5)), vec![ids[0]]);
+        assert!(!mgr.is_parked(ids[0]));
+        assert!(!mgr.resume_session(ids[0], Time::from_millis(5)));
+        // A resume attempt past the TTL on a still-parked entry fails and
+        // reclaims the entry on the spot.
+        assert!(mgr.park_session(ids[1], Time::ZERO));
+        assert!(!mgr.resume_session(ids[1], Time::from_millis(9)));
+        assert!(!mgr.is_parked(ids[1]));
+        assert_eq!(mgr.num_sessions(), 0);
+    }
+
+    #[test]
+    fn zero_ttl_parks_expire_immediately() {
+        let (mut mgr, ids) = manager_with(Box::new(RoundRobin::new()), &[1.0], 20, 2);
+        mgr.set_park_ttl(Duration::ZERO);
+        assert!(mgr.park_session(ids[0], Time::ZERO));
+        assert!(!mgr.resume_session(ids[0], Time::ZERO));
+        assert!(!mgr.is_parked(ids[0]));
+    }
+
+    #[test]
+    fn park_holds_model_cache_refcounts() {
+        // Two sessions with identical prediction histories share one model.
+        // Parking one must keep the shared model alive; dropping the park
+        // releases it.
+        let (mut mgr, ids) = manager_with(Box::new(RoundRobin::new()), &[1.0, 1.0], 50, 4);
+        for &id in &ids {
+            mgr.on_message(
+                id,
+                &ClientMessage::Predictor(PredictorState::LastRequest(RequestId(3))),
+                Time::ZERO,
+            );
+        }
+        let live_before = mgr.live_models();
+        assert!(live_before >= 1);
+        assert!(mgr.park_session(ids[0], Time::ZERO));
+        assert_eq!(
+            mgr.live_models(),
+            live_before,
+            "parking must hold model refcounts"
+        );
+        assert!(mgr.drop_parked(ids[0]));
+        assert!(mgr.live_models() <= live_before);
+        assert_eq!(mgr.num_parked(), 0);
+    }
+
+    #[test]
+    fn resume_reanchors_service_upward_only() {
+        let (mut mgr, ids) = manager_with(Box::new(WeightedFair::new()), &[1.0, 1.0], 100, 10);
+        // Let both run, then park A and let B pull far ahead.
+        drive(&mut mgr, 40);
+        let service_at_park = mgr.session(ids[0]).unwrap().service();
+        assert!(mgr.park_session(ids[0], Time::ZERO));
+        drive(&mut mgr, 60);
+        assert!(mgr.resume_session(ids[0], Time::ZERO));
+        let resumed = mgr.session(ids[0]).unwrap().service();
+        let frontier = mgr.session(ids[1]).unwrap().service();
+        assert!(
+            resumed >= service_at_park,
+            "anchor must never move backwards"
+        );
+        assert!(
+            resumed + 1 >= frontier,
+            "resumed session must be re-anchored at the frontier ({resumed} vs {frontier})"
+        );
+        // A lone session resumes bit-exactly: no frontier, no re-anchor.
+        let (mut solo, solo_ids) = manager_with(Box::new(RoundRobin::new()), &[1.0], 20, 2);
+        drive(&mut solo, 5);
+        let before = solo.session(solo_ids[0]).unwrap().service();
+        assert!(solo.park_session(solo_ids[0], Time::ZERO));
+        assert!(solo.resume_session(solo_ids[0], Time::ZERO));
+        assert_eq!(solo.session(solo_ids[0]).unwrap().service(), before);
+    }
+
+    #[test]
+    fn earliest_expiring_park_is_the_shed_victim() {
+        let (mut mgr, ids) = manager_with(Box::new(RoundRobin::new()), &[1.0, 1.0, 1.0], 20, 2);
+        mgr.set_park_ttl(Duration::from_millis(10));
+        assert!(mgr.park_session(ids[1], Time::ZERO));
+        assert!(mgr.park_session(ids[0], Time::from_millis(3)));
+        assert_eq!(mgr.earliest_expiring_park(), Some(ids[1]));
+        assert!(mgr.drop_parked(ids[1]));
+        assert_eq!(mgr.earliest_expiring_park(), Some(ids[0]));
     }
 }

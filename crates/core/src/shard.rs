@@ -115,6 +115,19 @@ pub struct ShardSnapshot {
     /// Runtime invariant-auditor violations (zero unless the `audit`
     /// feature is enabled and an auditor is attached).
     pub audit_violations: u64,
+    /// Sessions parked for a resumable reconnect (monotone total).
+    pub parked_sessions: u64,
+    /// Parked sessions successfully resumed (monotone total).
+    pub resumed_sessions: u64,
+    /// Frames replayed from a resume ring after a reconnect (transport
+    /// layer only).
+    pub replayed_events: u64,
+    /// Pending frames shed under replay-ring or park-table pressure
+    /// (transport layer only).
+    pub shed_blocks: u64,
+    /// Connections refused with a `Busy` event because the session table
+    /// was full (transport layer only).
+    pub refused_sessions: u64,
 }
 
 impl ShardSnapshot {
@@ -132,6 +145,11 @@ impl ShardSnapshot {
         self.shared_context_count += other.shared_context_count;
         self.backpressure_skips += other.backpressure_skips;
         self.audit_violations += other.audit_violations;
+        self.parked_sessions += other.parked_sessions;
+        self.resumed_sessions += other.resumed_sessions;
+        self.replayed_events += other.replayed_events;
+        self.shed_blocks += other.shed_blocks;
+        self.refused_sessions += other.refused_sessions;
     }
 }
 
@@ -786,7 +804,7 @@ mod tests {
                     got.entry(session).or_default().push(block.meta.block);
                 }
                 ServerEvent::Idle => return got,
-                ServerEvent::Closed { .. } | ServerEvent::Resync { .. } => {}
+                ServerEvent::Closed { .. } | ServerEvent::Resync { .. } | ServerEvent::Busy => {}
             }
         }
         panic!("single-threaded drain did not reach idle");

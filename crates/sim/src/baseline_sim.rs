@@ -201,6 +201,7 @@ pub fn run_baseline(
         bytes_sent,
         uplink_full_updates: 0,
         uplink_delta_updates: 0,
+        faults_injected: 0,
         #[cfg(feature = "audit")]
         audit: None,
     }

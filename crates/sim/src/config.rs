@@ -6,6 +6,7 @@
 //! knobs the paper sweeps (bandwidth 1.5–15 MB/s, cache 10–100 MB, request
 //! latency 20–400 ms, think time 10–200 ms).
 
+use khameleon_core::fault::FaultPlan;
 use khameleon_core::sampling::SamplerVariant;
 use khameleon_core::types::{Bandwidth, Bytes, Duration};
 use khameleon_net::cellular::RateTrace;
@@ -83,6 +84,11 @@ pub struct ExperimentConfig {
     /// produce per-session block-identical schedules at any shard count
     /// (see `docs/SHARDING.md`).
     pub shards: usize,
+    /// Deterministic uplink fault schedule, keyed by
+    /// `(session index, uplink message index)`: `Drop`/`Truncate`/`Corrupt`
+    /// lose the prediction update, `Delay` adds propagation, `Stall`
+    /// freezes the sender.  `None` (the default) injects nothing.
+    pub faults: Option<FaultPlan>,
     /// RNG seed for the scheduler / baselines.
     pub seed: u64,
 }
@@ -102,6 +108,7 @@ impl ExperimentConfig {
             prediction_delta: false,
             audit: false,
             shards: 1,
+            faults: None,
             seed: 0x5eed,
         }
     }
@@ -211,6 +218,13 @@ impl ExperimentConfig {
         self.shards = shards;
         self
     }
+
+    /// Installs a deterministic uplink fault schedule (none by default; see
+    /// [`ExperimentConfig::faults`]).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +273,15 @@ mod tests {
             ExperimentConfig::paper_default().sampler,
             SamplerVariant::Lazy
         );
+    }
+
+    #[test]
+    fn with_faults_installs_a_plan() {
+        use khameleon_core::fault::FaultKind;
+        let plan = FaultPlan::new().with(0, 2, FaultKind::Drop);
+        let c = ExperimentConfig::paper_default().with_faults(plan.clone());
+        assert_eq!(c.faults, Some(plan));
+        assert!(ExperimentConfig::paper_default().faults.is_none());
     }
 
     #[test]

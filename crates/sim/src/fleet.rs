@@ -35,6 +35,7 @@ use khameleon_core::types::{BlockRef, RequestId, Time};
 use khameleon_core::utility::UtilityModel;
 
 use crate::config::ExperimentConfig;
+use crate::khameleon_sim::UplinkFaults;
 
 /// Fleet-shape knobs beyond the shared [`ExperimentConfig`].
 #[derive(Debug, Clone)]
@@ -71,6 +72,11 @@ pub struct FleetRunResult {
     pub stats: ShardStats,
     /// Every block scheduled for every session, in per-session wire order.
     pub schedules: BTreeMap<SessionId, Vec<BlockRef>>,
+    /// Uplink faults injected from the run's configured
+    /// [`FaultPlan`](khameleon_core::fault::FaultPlan), keyed by fleet
+    /// session index (shard-count invariant; zero when no plan was
+    /// installed).
+    pub faults_injected: u64,
 }
 
 impl FleetRunResult {
@@ -125,9 +131,21 @@ pub fn run_session_fleet(
     }
 
     let profiles = options.predictor_profiles.max(1);
+    let mut faults_injected = 0;
     for (i, &id) in ids.iter().enumerate() {
         let state = profile_prediction((i % profiles) as u32, num_requests);
-        let _ = fleet.on_message(id, &ClientMessage::Predictor(state), Time::ZERO);
+        // Route each session's single prediction upload through the fault
+        // plan, keyed by fleet index (not shard) so a fixed plan hits the
+        // same sessions at any shard count.  The pump model is timing-free,
+        // so Delay/Stall deliver normally; lossy kinds lose the upload and
+        // the session schedules nothing.
+        let mut faults = UplinkFaults::new(cfg.faults.clone(), i);
+        if let Some((_, message)) =
+            faults.offer(Time::ZERO, Time::ZERO, ClientMessage::Predictor(state))
+        {
+            let _ = fleet.on_message(id, &message, Time::ZERO);
+        }
+        faults_injected += faults.injected();
     }
 
     let mut schedules: BTreeMap<SessionId, Vec<BlockRef>> = BTreeMap::new();
@@ -137,7 +155,11 @@ pub fn run_session_fleet(
         }
     }
     let stats = fleet.stats();
-    FleetRunResult { stats, schedules }
+    FleetRunResult {
+        stats,
+        schedules,
+        faults_injected,
+    }
 }
 
 #[cfg(test)]
@@ -207,5 +229,56 @@ mod tests {
             run.stats.totals.sessions
         );
         assert!(run.stats.totals.prediction_updates >= 30);
+    }
+
+    #[test]
+    fn fleet_faults_silence_targeted_sessions_at_any_shard_count() {
+        use khameleon_core::fault::{FaultKind, FaultPlan};
+        let (catalog, utility) = setup();
+        let options = FleetOptions {
+            sessions: 16,
+            predictor_profiles: 2,
+            // The whole catalog (12 requests x 2 blocks) must fit one
+            // session's schedule depth: a session whose prediction upload is
+            // lost keeps hedging on the uniform prior, and a hedge that
+            // cannot cache the full catalog cycles evictions forever instead
+            // of draining to idle.
+            cache_blocks: 24,
+            ..FleetOptions::default()
+        };
+        // Lose the (single) prediction upload of sessions 2 and 9; each
+        // fleet session has exactly one uplink message (index 0).
+        let plan = FaultPlan::new().with(2, 0, FaultKind::Drop).with(
+            9,
+            0,
+            FaultKind::Corrupt {
+                offset: 5,
+                xor: 0xff,
+            },
+        );
+        let cfg = ExperimentConfig::paper_default().with_faults(plan);
+        let one = run_session_fleet(catalog.clone(), utility.clone(), &cfg, &options);
+        assert_eq!(one.faults_injected, 2);
+        assert_eq!(one.stats.totals.sessions, 16);
+        // Only 14 uploads arrive; the silenced sessions never update.
+        assert_eq!(one.stats.totals.prediction_updates, 14);
+        // A lost upload degrades, it does not kill: the silenced sessions
+        // hedge the whole catalog from the uniform prior, while predicted
+        // sessions fetch only their concentrated top-3 sets.
+        assert_eq!(one.schedules.len(), 16);
+        let ids: Vec<SessionId> = one.schedules.keys().copied().collect();
+        let predicted_len = one.schedules[&ids[0]].len();
+        for silenced in [ids[2], ids[9]] {
+            assert!(
+                one.schedules[&silenced].len() > predicted_len,
+                "silenced session {silenced:?} did not hedge wider ({} vs {predicted_len})",
+                one.schedules[&silenced].len(),
+            );
+        }
+        // Faults are keyed by fleet index, not shard: the run is invariant
+        // to the shard count like every other fleet experiment.
+        let four = run_session_fleet(catalog, utility, &cfg.clone().with_shards(4), &options);
+        assert_eq!(four.faults_injected, 2);
+        assert_eq!(one.schedules, four.schedules);
     }
 }

@@ -88,6 +88,74 @@ enum Event {
     BlockArrive(BlockMeta),
 }
 
+/// Applies an [`ExperimentConfig::faults`] plan to the simulated uplink.
+///
+/// Messages are keyed by `(lane, index)` where the lane is the session index
+/// (always 0 for the single-client simulators) and the index counts every
+/// uplink message the client emits — predictions and rate reports alike —
+/// in emission order, so a fixed seed pins faults to the same messages on
+/// every run.  Lossy kinds (`Drop`, `Truncate`, `Corrupt`) lose the message
+/// outright: a truncated or corrupt frame never clears a strict decoder.
+/// `Delay` adds propagation; `Stall` freezes the *sender* (block pushes)
+/// while the message itself still crosses.
+pub(crate) struct UplinkFaults {
+    plan: Option<khameleon_core::fault::FaultPlan>,
+    lane: usize,
+    next_index: u64,
+    stall_until: Time,
+    injected: u64,
+}
+
+impl UplinkFaults {
+    pub(crate) fn new(plan: Option<khameleon_core::fault::FaultPlan>, lane: usize) -> Self {
+        UplinkFaults {
+            plan,
+            lane,
+            next_index: 0,
+            stall_until: Time::ZERO,
+            injected: 0,
+        }
+    }
+
+    /// Consumes the next uplink message slot.  Returns `Some((deliver_at,
+    /// message))` when the message survives (possibly delayed), `None` when
+    /// the fault lost it.
+    pub(crate) fn offer(
+        &mut self,
+        at: Time,
+        now: Time,
+        message: ClientMessage,
+    ) -> Option<(Time, ClientMessage)> {
+        use khameleon_core::fault::FaultKind;
+        let index = self.next_index;
+        self.next_index += 1;
+        let Some(kind) = self.plan.as_ref().and_then(|p| p.lookup(self.lane, index)) else {
+            return Some((at, message));
+        };
+        self.injected += 1;
+        match kind {
+            FaultKind::Delay { ticks } => Some((at + Duration::from_micros(ticks), message)),
+            FaultKind::Stall { ticks } => {
+                let resume = now + Duration::from_micros(ticks);
+                if resume > self.stall_until {
+                    self.stall_until = resume;
+                }
+                Some((at, message))
+            }
+            FaultKind::Drop | FaultKind::Truncate { .. } | FaultKind::Corrupt { .. } => None,
+        }
+    }
+
+    /// When the sender is frozen by an injected stall, the time it thaws.
+    pub(crate) fn stalled_until(&self, now: Time) -> Option<Time> {
+        (now < self.stall_until).then_some(self.stall_until)
+    }
+
+    pub(crate) fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
 /// Runs one Khameleon simulation over `trace` and returns the collected
 /// metrics.
 #[allow(clippy::too_many_arguments)]
@@ -160,6 +228,7 @@ pub fn run_khameleon(
     // used to live here, pre-dating the meter's late-joiner fix).
     let mut rate_meter = ReceiveRateMeter::with_start(cfg.prediction_interval, Time::ZERO);
     let mut delta_tracker = DeltaTracker::new();
+    let mut faults = UplinkFaults::new(cfg.faults.clone(), 0);
     let mut uplink_full_updates = 0u64;
     let mut uplink_delta_updates = 0u64;
     let mut sample_idx = 0usize;
@@ -225,7 +294,9 @@ pub fn run_khameleon(
                         _ => 0,
                     };
                     client.note_prediction_sent(bytes);
-                    queue.schedule(now + propagation, Event::Uplink(message));
+                    if let Some((at, message)) = faults.offer(now + propagation, now, message) {
+                        queue.schedule(at, Event::Uplink(message));
+                    }
                 }
                 queue.schedule(now + cfg.prediction_interval, Event::PredictionPoll);
             }
@@ -240,6 +311,11 @@ pub fn run_khameleon(
                 }
             }
             Event::SenderWake => {
+                // An injected stall freezes the sender until it thaws.
+                if let Some(thaw) = faults.stalled_until(now) {
+                    queue.schedule(thaw, Event::SenderWake);
+                    continue;
+                }
                 // Pace the sender by the link: only hand the link a new block
                 // once it has drained the previous one.
                 if !downlink.is_idle(now) {
@@ -287,10 +363,11 @@ pub fn run_khameleon(
                 // One receive-rate report per elapsed meter interval, sent
                 // over the same uplink path as the predictions (§5.4).
                 if let Some(rate) = rate_meter.on_receive(meta.size, now) {
-                    queue.schedule(
-                        now + propagation,
-                        Event::Uplink(ClientMessage::RateReport(rate)),
-                    );
+                    if let Some((at, message)) =
+                        faults.offer(now + propagation, now, ClientMessage::RateReport(rate))
+                    {
+                        queue.schedule(at, Event::Uplink(message));
+                    }
                 }
                 let request = meta.block.request;
                 let _ = client.on_block(meta, now);
@@ -313,6 +390,7 @@ pub fn run_khameleon(
         bytes_sent: server.bytes_sent(),
         uplink_full_updates,
         uplink_delta_updates,
+        faults_injected: faults.injected(),
         #[cfg(feature = "audit")]
         audit: server.audit_report(),
     }
@@ -545,5 +623,57 @@ mod tests {
             full.summary.prediction_bytes
         );
         assert!(delta.uplink_bytes_per_update() < full.uplink_bytes_per_update());
+    }
+
+    #[test]
+    fn fault_plan_drops_uplink_messages_deterministically() {
+        use khameleon_core::fault::{FaultKind, FaultPlan};
+        let (app, trace) = small_setup();
+        let base = ExperimentConfig::paper_default();
+        // Drop the first 20 uplink messages: the server schedules off stale
+        // (initial) predictions for the first three seconds of the trace.
+        let mut plan = FaultPlan::new();
+        for frame in 0..20 {
+            plan = plan.with(0, frame, FaultKind::Drop);
+        }
+        let clean = run(&app, &trace, &base, PredictorKind::Kalman);
+        let faulty = run(
+            &app,
+            &trace,
+            &base.clone().with_faults(plan.clone()),
+            PredictorKind::Kalman,
+        );
+        assert_eq!(clean.faults_injected, 0);
+        assert_eq!(faulty.faults_injected, 20);
+        // The client still sent every update; the plan lost them in flight.
+        assert_eq!(
+            clean.summary.predictions_sent,
+            faulty.summary.predictions_sent
+        );
+        // Deterministic: the same plan reproduces the same run bit-for-bit.
+        let again = run(
+            &app,
+            &trace,
+            &base.clone().with_faults(plan),
+            PredictorKind::Kalman,
+        );
+        assert_eq!(faulty.summary.to_csv_row(), again.summary.to_csv_row());
+        assert_eq!(faulty.blocks_sent, again.blocks_sent);
+        assert_eq!(faulty.faults_injected, again.faults_injected);
+    }
+
+    #[test]
+    fn delay_and_stall_faults_keep_the_run_alive() {
+        use khameleon_core::fault::{FaultKind, FaultPlan};
+        let (app, trace) = small_setup();
+        let plan = FaultPlan::new()
+            .with(0, 1, FaultKind::Delay { ticks: 250_000 })
+            .with(0, 3, FaultKind::Stall { ticks: 400_000 });
+        let cfg = ExperimentConfig::paper_default().with_faults(plan);
+        let r = run(&app, &trace, &cfg, PredictorKind::Kalman);
+        // Timing faults disturb the run without losing messages.
+        assert_eq!(r.faults_injected, 2);
+        assert!(r.summary.requests > 20);
+        assert!(r.blocks_sent > 0);
     }
 }

@@ -23,6 +23,10 @@ pub struct RunResult {
     /// only when the run was configured with
     /// [`ExperimentConfig::prediction_delta`](crate::config::ExperimentConfig::prediction_delta)).
     pub uplink_delta_updates: u64,
+    /// Uplink faults injected from the run's configured
+    /// [`FaultPlan`](khameleon_core::fault::FaultPlan) (zero when no plan
+    /// was installed).
+    pub faults_injected: u64,
     /// The scheduler's audit report, when the run was configured with
     /// [`ExperimentConfig::audit`](crate::config::ExperimentConfig::audit)
     /// (Khameleon runs only; `None` for baselines).
@@ -67,6 +71,7 @@ mod tests {
             bytes_sent: 0,
             uplink_full_updates: 0,
             uplink_delta_updates: 0,
+            faults_injected: 0,
             #[cfg(feature = "audit")]
             audit: None,
         };

@@ -26,6 +26,15 @@
 //!   full summary, re-predictions ship as deltas and a server `Resync`
 //!   transparently falls back to a full resend.
 //!
+//! Sessions are **fault tolerant**: a client that completes the
+//! `Hello`/`Welcome` handshake holds a resume token, the server parks (not
+//! tears down) its session when the socket dies, and
+//! [`TransportClient::recv_event_resilient`] reconnects with exponential
+//! backoff and replays exactly the frames the client missed.  A seeded
+//! [`FaultPlan`](khameleon_core::fault::FaultPlan) can be injected into the
+//! server's flush path to exercise all of this deterministically.  See
+//! `docs/RESILIENCE.md`.
+//!
 //! The loopback stress harness (`transport_stress` in `khameleon-bench`)
 //! drives thousands of concurrent connections through this stack and emits
 //! `BENCH_transport.json`; see `docs/TRANSPORT.md` for the wire format
@@ -38,6 +47,6 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{TransportClient, UplinkReport};
+pub use client::{ReconnectPolicy, TransportClient, TransportError, UplinkReport};
 pub use server::{ServerStats, ShardedTransportServer, TransportConfig, TransportServer};
-pub use wire::{ClientFrame, FrameBuffer, WireError, MAX_FRAME_LEN, WIRE_VERSION};
+pub use wire::{ClientFrame, FrameBuffer, ServerFrame, WireError, MAX_FRAME_LEN, WIRE_VERSION};

@@ -27,10 +27,20 @@
 //! | `0x04` | up        | `PredictorFull { .. }`          |
 //! | `0x05` | up        | `PredictorDelta(..)` (O(Δ))     |
 //! | `0x06` | up        | `Credit(n)` (transport-level)   |
+//! | `0x07` | up        | `Hello` (request resumability)  |
+//! | `0x08` | up        | `Resume { token, last_seq }`    |
 //! | `0x80` | down      | `Idle`                          |
 //! | `0x81` | down      | `Block { .. }`                  |
 //! | `0x82` | down      | `Closed { .. }`                 |
 //! | `0x83` | down      | `Resync { .. }`                 |
+//! | `0x84` | down      | `Busy` (load shed)              |
+//! | `0x85` | down      | `Welcome { token, epoch, .. }`  |
+//!
+//! Every `0x80..=0x84` server frame carries a leading **sequence number**
+//! varint right after the tag.  Connections that never handshake see `0` —
+//! the legacy wrappers [`encode_server_event`]/[`decode_server_event`] hide
+//! it entirely — while resumable sessions use it to deduplicate the overlap
+//! replayed after a [`ClientFrame::Resume`].
 //!
 //! Decoding is strict: unknown versions/tags, truncated bodies, trailing
 //! bytes, non-finite or negative probabilities, unsorted explicit entries and
@@ -93,6 +103,49 @@ pub enum ClientFrame {
     /// connection.  Purely transport-level flow control: lockstep tests and
     /// the stress harness use it to pull blocks one at a time.
     Credit(u32),
+    /// Opts this connection into resumable sessions.  The server answers
+    /// with a [`ServerFrame::Welcome`] carrying the resume token; on
+    /// EOF/error the session is then *parked* instead of torn down.
+    Hello,
+    /// Re-attaches to a parked session.  `token` is the value from the
+    /// original `Welcome`; `last_seq` is the highest server-frame sequence
+    /// number the client processed, so the server replays only the events
+    /// after it.
+    Resume {
+        /// The resume token issued in the `Welcome`.
+        token: u64,
+        /// Highest server sequence number already processed.
+        last_seq: u64,
+    },
+}
+
+/// Everything a server puts on the wire: sequenced protocol events plus the
+/// transport-level `Welcome` handshake reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerFrame {
+    /// A protocol event, stamped with this connection's send sequence
+    /// number (0 on non-resumable connections).
+    Event {
+        /// Monotone per-session sequence number.
+        seq: u64,
+        /// The event itself.
+        event: ServerEvent,
+    },
+    /// Reply to [`ClientFrame::Hello`] or a successful/failed
+    /// [`ClientFrame::Resume`]: the token to resume with later, the attach
+    /// epoch (0 for a fresh session, +1 per successful re-attach), and the
+    /// server-side session id.  A `Resume` that could not be honoured
+    /// (expired park, unknown token) yields a `Welcome` with a *different*
+    /// token and epoch 0 — the client detects the fresh session by the
+    /// token change and resets its delta tracker.
+    Welcome {
+        /// Token identifying the (parked) session on reconnect.
+        token: u64,
+        /// Attach epoch: 0 fresh, incremented per successful resume.
+        epoch: u64,
+        /// The server-side session id.
+        session: SessionId,
+    },
 }
 
 // --- primitive writers -----------------------------------------------------
@@ -405,17 +458,34 @@ pub fn encode_client_frame(frame: &ClientFrame) -> Vec<u8> {
             body.push(0x06);
             put_varint(&mut body, u64::from(*n));
         }
+        ClientFrame::Hello => body.push(0x07),
+        ClientFrame::Resume { token, last_seq } => {
+            body.push(0x08);
+            put_varint(&mut body, *token);
+            put_varint(&mut body, *last_seq);
+        }
     }
     finish_frame(body)
 }
 
-/// Encodes a server event as one wire frame (length prefix included).
+/// Encodes a server event as one wire frame with sequence number 0 — the
+/// legacy shape used by non-resumable connections and existing tests.
 pub fn encode_server_event(event: &ServerEvent) -> Vec<u8> {
+    encode_server_event_frame(0, event)
+}
+
+/// Encodes a server event stamped with `seq` as one wire frame (length
+/// prefix included).
+pub fn encode_server_event_frame(seq: u64, event: &ServerEvent) -> Vec<u8> {
     let mut body = vec![WIRE_VERSION];
     match event {
-        ServerEvent::Idle => body.push(0x80),
+        ServerEvent::Idle => {
+            body.push(0x80);
+            put_varint(&mut body, seq);
+        }
         ServerEvent::Block { session, block } => {
             body.push(0x81);
+            put_varint(&mut body, seq);
             put_varint(&mut body, session.0);
             put_varint(&mut body, u64::from(block.meta.block.request.0));
             put_varint(&mut body, u64::from(block.meta.block.index));
@@ -431,13 +501,28 @@ pub fn encode_server_event(event: &ServerEvent) -> Vec<u8> {
         }
         ServerEvent::Closed { session } => {
             body.push(0x82);
+            put_varint(&mut body, seq);
             put_varint(&mut body, session.0);
         }
         ServerEvent::Resync { session } => {
             body.push(0x83);
+            put_varint(&mut body, seq);
             put_varint(&mut body, session.0);
         }
+        ServerEvent::Busy => {
+            body.push(0x84);
+            put_varint(&mut body, seq);
+        }
     }
+    finish_frame(body)
+}
+
+/// Encodes the `Welcome` handshake reply as one wire frame.
+pub fn encode_welcome(token: u64, epoch: u64, session: SessionId) -> Vec<u8> {
+    let mut body = vec![WIRE_VERSION, 0x85];
+    put_varint(&mut body, token);
+    put_varint(&mut body, epoch);
+    put_varint(&mut body, session.0);
     finish_frame(body)
 }
 
@@ -509,17 +594,45 @@ pub fn decode_client_frame(body: &[u8]) -> Result<ClientFrame, WireError> {
             let n = u32::try_from(n).map_err(|_| WireError::Malformed("credit exceeds u32"))?;
             ClientFrame::Credit(n)
         }
+        0x07 => ClientFrame::Hello,
+        0x08 => {
+            let token = r.varint()?;
+            let last_seq = r.varint()?;
+            ClientFrame::Resume { token, last_seq }
+        }
         t => return Err(WireError::BadTag(t)),
     };
     r.finish()?;
     Ok(frame)
 }
 
-/// Decodes one server event body (the payload after the length prefix).
+/// Decodes one server event body, discarding the sequence number — the
+/// legacy shape used by non-resumable clients and existing tests.
 pub fn decode_server_event(body: &[u8]) -> Result<ServerEvent, WireError> {
+    match decode_server_frame(body)? {
+        ServerFrame::Event { event, .. } => Ok(event),
+        ServerFrame::Welcome { .. } => Err(WireError::Malformed("unexpected welcome frame")),
+    }
+}
+
+/// Decodes one server frame body (the payload after the length prefix).
+pub fn decode_server_frame(body: &[u8]) -> Result<ServerFrame, WireError> {
     let mut r = Reader::new(body);
     check_version(&mut r)?;
-    let event = match r.u8()? {
+    let tag = r.u8()?;
+    if tag == 0x85 {
+        let token = r.varint()?;
+        let epoch = r.varint()?;
+        let session = SessionId(r.varint()?);
+        r.finish()?;
+        return Ok(ServerFrame::Welcome {
+            token,
+            epoch,
+            session,
+        });
+    }
+    let seq = r.varint()?;
+    let event = match tag {
         0x80 => ServerEvent::Idle,
         0x81 => {
             let session = SessionId(r.varint()?);
@@ -546,10 +659,11 @@ pub fn decode_server_event(body: &[u8]) -> Result<ServerEvent, WireError> {
         0x83 => ServerEvent::Resync {
             session: SessionId(r.varint()?),
         },
+        0x84 => ServerEvent::Busy,
         t => return Err(WireError::BadTag(t)),
     };
     r.finish()?;
-    Ok(event)
+    Ok(ServerFrame::Event { seq, event })
 }
 
 fn check_version(r: &mut Reader<'_>) -> Result<(), WireError> {
@@ -615,6 +729,17 @@ impl FrameBuffer {
     /// Bytes buffered but not yet consumed as frames.
     pub fn pending_bytes(&self) -> usize {
         self.buf.len() - self.start
+    }
+
+    /// Drains every unconsumed byte, leaving the buffer empty.  Used when a
+    /// connection is handed to another event loop (cross-shard resume): the
+    /// receiving loop seeds its own buffer with exactly these bytes so no
+    /// partially read frame is lost in transit.
+    pub fn take_remaining(&mut self) -> Vec<u8> {
+        let rest = self.buf.split_off(self.start);
+        self.buf.clear();
+        self.start = 0;
+        rest
     }
 }
 
@@ -722,6 +847,88 @@ mod tests {
         }
         assert_eq!(out.len(), 3);
         assert_eq!(fb.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn hello_and_resume_round_trip() {
+        for f in [
+            ClientFrame::Hello,
+            ClientFrame::Resume {
+                token: 0,
+                last_seq: 0,
+            },
+            ClientFrame::Resume {
+                token: u64::MAX,
+                last_seq: 1 << 40,
+            },
+        ] {
+            let enc = encode_client_frame(&f);
+            assert_eq!(decode_client_frame(strip_prefix(&enc)), Ok(f));
+        }
+    }
+
+    #[test]
+    fn sequenced_server_frames_round_trip() {
+        let events = [
+            ServerEvent::Idle,
+            ServerEvent::Busy,
+            ServerEvent::Resync {
+                session: SessionId(9),
+            },
+            ServerEvent::Block {
+                session: SessionId(4),
+                block: Block::with_payload(
+                    BlockRef {
+                        request: RequestId(1),
+                        index: 0,
+                    },
+                    2,
+                    3,
+                    vec![7, 8, 9],
+                ),
+            },
+        ];
+        for (i, ev) in events.into_iter().enumerate() {
+            let seq = (i as u64) * 1_000_003;
+            let enc = encode_server_event_frame(seq, &ev);
+            assert_eq!(
+                decode_server_frame(strip_prefix(&enc)),
+                Ok(ServerFrame::Event { seq, event: ev })
+            );
+        }
+    }
+
+    #[test]
+    fn welcome_round_trips_and_legacy_decoder_rejects_it() {
+        let enc = encode_welcome(0xdead_beef_cafe, 3, SessionId(42));
+        assert_eq!(
+            decode_server_frame(strip_prefix(&enc)),
+            Ok(ServerFrame::Welcome {
+                token: 0xdead_beef_cafe,
+                epoch: 3,
+                session: SessionId(42),
+            })
+        );
+        assert_eq!(
+            decode_server_event(strip_prefix(&enc)),
+            Err(WireError::Malformed("unexpected welcome frame"))
+        );
+    }
+
+    #[test]
+    fn legacy_event_wrappers_stamp_seq_zero() {
+        let enc = encode_server_event(&ServerEvent::Idle);
+        assert_eq!(
+            decode_server_frame(strip_prefix(&enc)),
+            Ok(ServerFrame::Event {
+                seq: 0,
+                event: ServerEvent::Idle
+            })
+        );
+        assert_eq!(
+            decode_server_event(strip_prefix(&enc)),
+            Ok(ServerEvent::Idle)
+        );
     }
 
     #[test]
