@@ -1,0 +1,601 @@
+//! Wire-protocol conformance: statically extract the frame grammar from
+//! `crates/transport/src/wire.rs` and check it for internal consistency and
+//! agreement with the spec table in `docs/TRANSPORT.md`.
+//!
+//! The extractor leans on the codec's fixed shape (one encoder and one
+//! strict decoder per direction, tags pushed as hex literals, match-arm
+//! decoding, a leading seq varint on sequenced downlink frames):
+//!
+//! * `encode_client_frame` / `decode_client_frame` — uplink (`0x01..=0x7f`)
+//! * `encode_server_event_frame`, `encode_welcome` / `decode_server_frame`
+//!   — downlink (`0x80..=0xff`)
+//!
+//! Checks: every encoded tag must have a strict-decode arm (and vice
+//! versa), no tag may be assigned twice in one direction, every frame the
+//! event encoder emits must stamp the leading sequence varint, and the
+//! extracted table must match the `## Tags` table in the transport spec.
+//!
+//! Conformance findings are **not** suppressible with `lint:allow`: a
+//! protocol hole is fixed in `wire.rs`, not waved through.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::parser::{close_brace, index_file, FnItem};
+use crate::Diagnostic;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Missing strict-decode arm for an encoded tag.
+pub const WIRE_MISSING_DECODE: &str = "wire-missing-decode";
+/// Decode arm for a tag no encoder produces.
+pub const WIRE_ORPHAN_DECODE: &str = "wire-orphan-decode";
+/// Tag byte assigned twice in one direction.
+pub const WIRE_DUP_TAG: &str = "wire-dup-tag";
+/// Sequenced downlink frame skips the leading seq varint.
+pub const WIRE_MISSING_SEQ: &str = "wire-missing-seq";
+/// Extracted grammar disagrees with `docs/TRANSPORT.md`.
+pub const WIRE_DOC_DRIFT: &str = "wire-doc-drift";
+/// Encoder/decoder function missing or unparseable.
+pub const WIRE_STRUCTURE: &str = "wire-structure";
+
+/// The conformance rule catalogue for `--list-rules`.  Unlike the lint
+/// rules, these are not `lint:allow`-suppressible: a grammar defect is a
+/// build failure, not a convention.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        WIRE_MISSING_DECODE,
+        "every encoded tag byte needs a strict-decode arm in the matching decoder",
+    ),
+    (
+        WIRE_ORPHAN_DECODE,
+        "no decode arm for a tag byte no encoder produces",
+    ),
+    (
+        WIRE_DUP_TAG,
+        "no tag byte assigned to two frames in one direction",
+    ),
+    (
+        WIRE_MISSING_SEQ,
+        "every sequenced downlink frame leads with the seq varint",
+    ),
+    (
+        WIRE_DOC_DRIFT,
+        "the extracted grammar and docs/TRANSPORT.md's tag table must agree",
+    ),
+    (
+        WIRE_STRUCTURE,
+        "the five codec functions must exist and parse (extractor sanity)",
+    ),
+];
+
+/// What the extractor learned about one tag byte.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TagInfo {
+    /// Line of the encoder site (`body.push(tag)` / welcome literal).
+    pub enc_line: Option<u32>,
+    /// Line of the decode arm (match arm or special-case compare).
+    pub dec_line: Option<u32>,
+    /// The encoder stamps a leading sequence varint after the tag.
+    pub sequenced: bool,
+    /// Encoded by `encode_welcome` (the unsequenced handshake reply).
+    pub handshake: bool,
+}
+
+/// The frame grammar extracted from `wire.rs`.
+#[derive(Debug, Clone, Default)]
+pub struct WireGrammar {
+    /// Uplink tags (client -> server), `0x01..=0x7f`.
+    pub uplink: BTreeMap<u8, TagInfo>,
+    /// Downlink tags (server -> client), `0x80..=0xff`.
+    pub downlink: BTreeMap<u8, TagInfo>,
+    /// Structural problems found during extraction (duplicate assignments,
+    /// missing codec functions): `(line, rule, message)`.
+    pub problems: Vec<(u32, &'static str, String)>,
+}
+
+/// Parse an integer literal token (`0x81`, `7`, `1_000`).
+fn int_value(t: &Tok) -> Option<u64> {
+    if t.kind != TokKind::Int {
+        return None;
+    }
+    let text = t.text.replace('_', "");
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else if let Some(oct) = text.strip_prefix("0o") {
+        u64::from_str_radix(oct, 8).ok()
+    } else if let Some(bin) = text.strip_prefix("0b") {
+        u64::from_str_radix(bin, 2).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+/// Extract the grammar from `wire.rs` source.
+pub fn extract_grammar(src: &str) -> WireGrammar {
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+    let index = index_file(toks);
+    let mut g = WireGrammar::default();
+
+    let mut require = |name: &str| -> Option<FnItem> {
+        match index.fn_named(name) {
+            Some(f) if f.body.is_some() => Some(f.clone()),
+            _ => {
+                g.problems.push((
+                    1,
+                    WIRE_STRUCTURE,
+                    format!("codec function `{name}` not found (or has no body)"),
+                ));
+                None
+            }
+        }
+    };
+    let enc_client = require("encode_client_frame");
+    let enc_event = require("encode_server_event_frame");
+    let enc_welcome = require("encode_welcome");
+    let dec_client = require("decode_client_frame");
+    let dec_server = require("decode_server_frame");
+
+    if let Some(f) = enc_client {
+        for (tag, line, _) in push_tags(toks, &f, 0x01..=0x7f) {
+            record_enc(&mut g.uplink, &mut g.problems, tag, line, false, false);
+        }
+    }
+    if let Some(f) = enc_event {
+        for (tag, line, sequenced) in push_tags(toks, &f, 0x80..=0xff) {
+            record_enc(
+                &mut g.downlink,
+                &mut g.problems,
+                tag,
+                line,
+                sequenced,
+                false,
+            );
+        }
+    }
+    if let Some(f) = enc_welcome {
+        for (tag, line) in welcome_tags(toks, &f) {
+            record_enc(&mut g.downlink, &mut g.problems, tag, line, false, true);
+        }
+    }
+    if let Some(f) = dec_client {
+        for (tag, line) in decode_tags(toks, &f, 0x01..=0x7f) {
+            record_dec(&mut g.uplink, &mut g.problems, tag, line);
+        }
+    }
+    if let Some(f) = dec_server {
+        for (tag, line) in decode_tags(toks, &f, 0x80..=0xff) {
+            record_dec(&mut g.downlink, &mut g.problems, tag, line);
+        }
+    }
+    g
+}
+
+fn record_enc(
+    side: &mut BTreeMap<u8, TagInfo>,
+    problems: &mut Vec<(u32, &'static str, String)>,
+    tag: u8,
+    line: u32,
+    sequenced: bool,
+    handshake: bool,
+) {
+    let info = side.entry(tag).or_default();
+    if let Some(prev) = info.enc_line {
+        problems.push((
+            line,
+            WIRE_DUP_TAG,
+            format!("tag {tag:#04x} encoded twice (also at line {prev})"),
+        ));
+        return;
+    }
+    info.enc_line = Some(line);
+    info.sequenced = sequenced;
+    info.handshake = handshake;
+}
+
+fn record_dec(
+    side: &mut BTreeMap<u8, TagInfo>,
+    problems: &mut Vec<(u32, &'static str, String)>,
+    tag: u8,
+    line: u32,
+) {
+    let info = side.entry(tag).or_default();
+    if let Some(prev) = info.dec_line {
+        problems.push((
+            line,
+            WIRE_DUP_TAG,
+            format!("tag {tag:#04x} decoded twice (also at line {prev})"),
+        ));
+        return;
+    }
+    info.dec_line = Some(line);
+}
+
+/// Tag pushes in an encoder body: `.push(<int in range>)`, plus whether a
+/// `put_varint(.., seq)` follows within the same arm (the seq stamp).
+fn push_tags(
+    toks: &[Tok],
+    f: &FnItem,
+    range: std::ops::RangeInclusive<u64>,
+) -> Vec<(u8, u32, bool)> {
+    let (open, close) = f.body.expect("callers checked body");
+    let mut out = Vec::new();
+    let mut i = open;
+    while i + 3 < close {
+        if toks[i].is(".")
+            && toks[i + 1].is_ident("push")
+            && toks[i + 2].is("(")
+            && toks.get(i + 4).is_some_and(|t| t.is(")"))
+        {
+            if let Some(v) = int_value(&toks[i + 3]) {
+                if range.contains(&v) {
+                    // Sequenced iff `put_varint` naming `seq` appears in the
+                    // dozen tokens after the push statement.
+                    let window = &toks[(i + 5).min(close)..(i + 17).min(close)];
+                    let sequenced = window.iter().any(|t| t.is_ident("put_varint"))
+                        && window.iter().any(|t| t.is_ident("seq"));
+                    out.push((v as u8, toks[i + 3].line, sequenced));
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Tags in the welcome encoder: `vec![WIRE_VERSION, <tag>]` or a push.
+fn welcome_tags(toks: &[Tok], f: &FnItem) -> Vec<(u8, u32)> {
+    let (open, close) = f.body.expect("callers checked body");
+    let mut out = Vec::new();
+    for i in open..close.saturating_sub(1) {
+        let lit_after_version = toks[i].is_ident("WIRE_VERSION") && toks[i + 1].is(",");
+        if lit_after_version {
+            if let Some(v) = toks.get(i + 2).and_then(int_value) {
+                if (0x80..=0xff).contains(&v) {
+                    out.push((v as u8, toks[i + 2].line));
+                }
+            }
+        }
+    }
+    out.extend(
+        push_tags(toks, f, 0x80..=0xff)
+            .into_iter()
+            .map(|(t, l, _)| (t, l)),
+    );
+    out
+}
+
+/// Decode coverage in a decoder body: match arms `<int> =>` of the
+/// *outermost* match (sub-tag matches nest deeper), plus special-case
+/// `== <int>` compares, filtered to the direction's tag range.
+fn decode_tags(toks: &[Tok], f: &FnItem, range: std::ops::RangeInclusive<u64>) -> Vec<(u8, u32)> {
+    let (open, close) = f.body.expect("callers checked body");
+    let mut out: Vec<(u8, u32)> = Vec::new();
+    // Special-case compares anywhere in the body: `== 0x85`.
+    for i in open..close {
+        if toks[i].is("==") {
+            if let Some(v) = toks.get(i + 1).and_then(int_value) {
+                if range.contains(&v) {
+                    out.push((v as u8, toks[i + 1].line));
+                }
+            }
+        }
+    }
+    // Arms of the outermost match.
+    let Some(m) = (open..close).find(|&i| toks[i].is_ident("match")) else {
+        return out;
+    };
+    let Some(arms_open) = (m..close).find(|&i| toks[i].is("{")) else {
+        return out;
+    };
+    let arms_close = close_brace(toks, arms_open);
+    let mut depth = 0usize;
+    for i in arms_open..arms_close {
+        if toks[i].is("{") {
+            depth += 1;
+        } else if toks[i].is("}") {
+            depth -= 1;
+        } else if depth == 1 && toks.get(i + 1).is_some_and(|t| t.is("=>")) {
+            if let Some(v) = int_value(&toks[i]) {
+                if range.contains(&v) {
+                    out.push((v as u8, toks[i].line));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run the internal-consistency checks over an extracted grammar.
+pub fn check_grammar(g: &WireGrammar, wire_path: &str) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = g
+        .problems
+        .iter()
+        .map(|(line, rule, message)| Diagnostic {
+            rule: (*rule).to_string(),
+            file: wire_path.to_string(),
+            line: *line,
+            message: message.clone(),
+        })
+        .collect();
+    for (dir, side) in [("uplink", &g.uplink), ("downlink", &g.downlink)] {
+        for (tag, info) in side {
+            match (info.enc_line, info.dec_line) {
+                (Some(line), None) => out.push(Diagnostic {
+                    rule: WIRE_MISSING_DECODE.to_string(),
+                    file: wire_path.to_string(),
+                    line,
+                    message: format!(
+                        "{dir} tag {tag:#04x} is encoded but has no strict-decode arm"
+                    ),
+                }),
+                (None, Some(line)) => out.push(Diagnostic {
+                    rule: WIRE_ORPHAN_DECODE.to_string(),
+                    file: wire_path.to_string(),
+                    line,
+                    message: format!("{dir} tag {tag:#04x} is decoded but no encoder produces it"),
+                }),
+                _ => {}
+            }
+            if dir == "downlink" && !info.handshake && info.enc_line.is_some() && !info.sequenced {
+                out.push(Diagnostic {
+                    rule: WIRE_MISSING_SEQ.to_string(),
+                    file: wire_path.to_string(),
+                    line: info.enc_line.unwrap_or(1),
+                    message: format!(
+                        "sequenced downlink tag {tag:#04x} skips the leading seq varint"
+                    ),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    out
+}
+
+/// One row of the spec's `## Tags` markdown table.
+#[derive(Debug, Clone, Copy)]
+pub struct DocTag {
+    /// Tag byte.
+    pub tag: u8,
+    /// True for uplink (`up`), false for downlink (`down`).
+    pub up: bool,
+    /// 1-based line in the doc.
+    pub line: u32,
+}
+
+/// Parse `| `0xNN` | up/down | ... |` rows out of a markdown spec.
+pub fn doc_tags(doc: &str) -> Vec<DocTag> {
+    let mut out = Vec::new();
+    for (idx, line) in doc.lines().enumerate() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        if cells.len() < 4 {
+            continue;
+        }
+        let tag_cell = cells[1].trim_matches('`').trim();
+        let Some(hex) = tag_cell.strip_prefix("0x") else {
+            continue;
+        };
+        let Ok(tag) = u8::from_str_radix(hex, 16) else {
+            continue;
+        };
+        let up = match cells[2] {
+            "up" => true,
+            "down" => false,
+            _ => continue,
+        };
+        out.push(DocTag {
+            tag,
+            up,
+            line: idx as u32 + 1,
+        });
+    }
+    out
+}
+
+/// Cross-check the extracted grammar against the spec table.
+pub fn check_doc(g: &WireGrammar, doc: &str, doc_path: &str, wire_path: &str) -> Vec<Diagnostic> {
+    let rows = doc_tags(doc);
+    let mut out = Vec::new();
+    for row in &rows {
+        let side = if row.up { &g.uplink } else { &g.downlink };
+        let dir = if row.up { "uplink" } else { "downlink" };
+        if side.get(&row.tag).is_none_or(|i| i.enc_line.is_none()) {
+            out.push(Diagnostic {
+                rule: WIRE_DOC_DRIFT.to_string(),
+                file: doc_path.to_string(),
+                line: row.line,
+                message: format!(
+                    "spec table lists {dir} tag {:#04x} but wire.rs has no encoder for it",
+                    row.tag
+                ),
+            });
+        }
+    }
+    for (up, side) in [(true, &g.uplink), (false, &g.downlink)] {
+        let dir = if up { "uplink" } else { "downlink" };
+        for (tag, info) in side.iter() {
+            if info.enc_line.is_some() && !rows.iter().any(|r| r.tag == *tag && r.up == up) {
+                out.push(Diagnostic {
+                    rule: WIRE_DOC_DRIFT.to_string(),
+                    file: wire_path.to_string(),
+                    line: info.enc_line.unwrap_or(1),
+                    message: format!(
+                        "{dir} tag {tag:#04x} is encoded but missing from the spec table in {doc_path}"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Conformance-check one wire source, optionally against a spec doc.
+pub fn check_conformance(
+    wire_path: &str,
+    wire_src: &str,
+    doc: Option<(&str, &str)>,
+) -> (WireGrammar, Vec<Diagnostic>) {
+    let g = extract_grammar(wire_src);
+    let mut diags = check_grammar(&g, wire_path);
+    if let Some((doc_path, doc_src)) = doc {
+        diags.extend(check_doc(&g, doc_src, doc_path, wire_path));
+    }
+    (g, diags)
+}
+
+/// Conformance-check the real workspace: `crates/transport/src/wire.rs`
+/// against `docs/TRANSPORT.md`.
+pub fn check_workspace(root: &Path) -> std::io::Result<(WireGrammar, Vec<Diagnostic>)> {
+    let wire_path = "crates/transport/src/wire.rs";
+    let doc_path = "docs/TRANSPORT.md";
+    let wire_src = std::fs::read_to_string(root.join(wire_path))?;
+    let doc_src = std::fs::read_to_string(root.join(doc_path))?;
+    Ok(check_conformance(
+        wire_path,
+        &wire_src,
+        Some((doc_path, &doc_src)),
+    ))
+}
+
+/// Render the extracted grammar as a markdown table (kept in sync with the
+/// one in `docs/ANALYSIS.md`).
+pub fn grammar_markdown(g: &WireGrammar) -> String {
+    let mut out = String::from("| tag | direction | encoded | decoded | seq prefix |\n");
+    out.push_str("|-----|-----------|---------|---------|------------|\n");
+    for (dir, side) in [("up", &g.uplink), ("down", &g.downlink)] {
+        for (tag, info) in side {
+            out.push_str(&format!(
+                "| `{tag:#04x}` | {dir} | {} | {} | {} |\n",
+                if info.enc_line.is_some() { "yes" } else { "no" },
+                if info.dec_line.is_some() { "yes" } else { "no" },
+                if info.sequenced { "yes" } else { "-" },
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"
+pub fn encode_client_frame(f: &F) -> Vec<u8> {
+    let mut body = vec![WIRE_VERSION];
+    match f {
+        F::A => body.push(0x01),
+        F::B(n) => {
+            body.push(0x02);
+            put_varint(&mut body, *n);
+        }
+    }
+    body
+}
+pub fn encode_server_event_frame(seq: u64, e: &E) -> Vec<u8> {
+    let mut body = vec![WIRE_VERSION];
+    match e {
+        E::X => {
+            body.push(0x80);
+            put_varint(&mut body, seq);
+        }
+        E::Y => {
+            body.push(0x81);
+        }
+    }
+    body
+}
+pub fn encode_welcome(token: u64) -> Vec<u8> {
+    let mut body = vec![WIRE_VERSION, 0x85];
+    put_varint(&mut body, token);
+    body
+}
+pub fn decode_client_frame(body: &[u8]) -> Result<F, E> {
+    let mut r = Reader::new(body);
+    Ok(match r.u8()? {
+        0x01 => F::A,
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+pub fn decode_server_frame(body: &[u8]) -> Result<SF, E> {
+    let mut r = Reader::new(body);
+    let tag = r.u8()?;
+    if tag == 0x85 {
+        return Ok(SF::Welcome);
+    }
+    let seq = r.varint()?;
+    Ok(match tag {
+        0x80 => SF::X,
+        0x81 => SF::Y,
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+"#;
+
+    #[test]
+    fn extracts_and_checks_the_mini_codec() {
+        let (g, diags) = check_conformance("wire.rs", MINI, None);
+        assert!(g.uplink[&0x01].enc_line.is_some() && g.uplink[&0x01].dec_line.is_some());
+        assert!(g.downlink[&0x85].handshake);
+        assert!(g.downlink[&0x80].sequenced);
+        // 0x02 encoded, never decoded; 0x81 unsequenced.
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == WIRE_MISSING_DECODE && d.message.contains("0x02")));
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == WIRE_MISSING_SEQ && d.message.contains("0x81")));
+        assert_eq!(diags.len(), 2, "{diags:?}");
+    }
+
+    #[test]
+    fn doc_table_drift_is_flagged_both_ways() {
+        let doc = "| tag | direction | meaning |\n|---|---|---|\n| `0x01` | up | A |\n| `0x03` | up | ghost |\n";
+        let (g, _) = check_conformance("wire.rs", MINI, None);
+        let drift = check_doc(&g, doc, "doc.md", "wire.rs");
+        // 0x03 documented but unencoded; 0x02/0x80/0x81/0x85 encoded but
+        // undocumented.
+        assert!(drift
+            .iter()
+            .any(|d| d.file == "doc.md" && d.message.contains("0x03")));
+        assert_eq!(
+            drift.iter().filter(|d| d.file == "wire.rs").count(),
+            4,
+            "{drift:?}"
+        );
+    }
+
+    #[test]
+    fn sub_tag_matches_do_not_pollute_the_grammar() {
+        // An inner `match r.u8()?` with arms 0..=5 must not register as
+        // uplink decode coverage for tags 0x01..=0x05.
+        let src = r#"
+pub fn encode_client_frame(f: &F) -> Vec<u8> { let mut body = vec![WIRE_VERSION]; body.push(0x01); body }
+pub fn encode_server_event_frame(seq: u64, e: &E) -> Vec<u8> { let mut body = vec![WIRE_VERSION]; body.push(0x80); put_varint(&mut body, seq); body }
+pub fn encode_welcome(t: u64) -> Vec<u8> { vec![WIRE_VERSION, 0x85] }
+pub fn decode_client_frame(b: &[u8]) -> Result<F, E> {
+    let mut r = Reader::new(b);
+    Ok(match r.u8()? {
+        0x01 => {
+            match r.u8()? {
+                2 => F::Sub2,
+                5 => F::Sub5,
+                t => return Err(WireError::BadTag(t)),
+            }
+        }
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+pub fn decode_server_frame(b: &[u8]) -> Result<SF, E> {
+    let mut r = Reader::new(b);
+    let tag = r.u8()?;
+    if tag == 0x85 { return Ok(SF::Welcome); }
+    let seq = r.varint()?;
+    Ok(match tag { 0x80 => SF::X, t => return Err(WireError::BadTag(t)) })
+}
+"#;
+        let (g, diags) = check_conformance("wire.rs", src, None);
+        assert!(!g.uplink.contains_key(&0x02));
+        assert!(!g.uplink.contains_key(&0x05));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

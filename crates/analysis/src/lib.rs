@@ -11,10 +11,15 @@
 //! syntax.  Rules are defined in [`rules`]; each ships with a negative-test
 //! fixture under `tests/fixtures/` proving it fires.
 
+pub mod conformance;
+pub mod dataflow;
+pub mod explore;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 use lexer::{lex, Lexed, Tok};
+use parser::RefCorpus;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
@@ -60,13 +65,30 @@ impl Ctx<'_> {
 
 /// Scan one file's source under its workspace-relative `path` (the path
 /// decides which rules are in scope) and return post-allowlist diagnostics.
+///
+/// Single-file mode: the reference corpus for the cross-file rules is built
+/// from this file's own test regions.  `scan_workspace` uses the same engine
+/// with the workspace-wide corpus.
 pub fn scan_source(path: &str, src: &str) -> Vec<Diagnostic> {
     let lexed = lex(src);
     let test_line = test_line_mask(&lexed.tokens, src.lines().count());
+    let mut corpus = RefCorpus::default();
+    corpus.add_tokens(&lexed.tokens, &test_line);
+    scan_lexed(path, &lexed, &test_line, &corpus)
+}
+
+/// Run every token rule and every index rule over one lexed file, then apply
+/// the allowlist.  `corpus` supplies the cross-file reference graph.
+fn scan_lexed(
+    path: &str,
+    lexed: &Lexed,
+    test_line: &[bool],
+    corpus: &RefCorpus,
+) -> Vec<Diagnostic> {
     let ctx = Ctx {
         path,
         tokens: &lexed.tokens,
-        test_line: &test_line,
+        test_line,
     };
 
     let mut diags: Vec<Diagnostic> = Vec::new();
@@ -89,7 +111,34 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Diagnostic> {
         }
     }
 
-    apply_allows(path, &lexed, &mut diags);
+    let index = parser::index_file(&lexed.tokens);
+    let ictx = dataflow::IndexCtx {
+        path,
+        tokens: &lexed.tokens,
+        test_line,
+        index: &index,
+        corpus,
+    };
+    for rule in dataflow::INDEX_RULES {
+        if !(rule.in_scope)(path) {
+            continue;
+        }
+        for raw in (rule.check)(&ictx) {
+            // Index rules are all test-exempt: test-only helpers may hold
+            // guards across sends, block on recv, or go unreferenced.
+            if ctx.is_test_line(raw.line) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                rule: rule.id.to_string(),
+                file: path.to_string(),
+                line: raw.line,
+                message: raw.message,
+            });
+        }
+    }
+
+    apply_allows(path, lexed, &mut diags);
     diags.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
     diags
 }
@@ -97,7 +146,11 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Diagnostic> {
 /// Apply `// lint:allow(...)` directives: suppress covered diagnostics and
 /// emit meta-diagnostics for malformed or unused directives.
 fn apply_allows(path: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
-    let known: BTreeSet<&str> = rules::ALL_RULES.iter().map(|r| r.id).collect();
+    let known: BTreeSet<&str> = rules::ALL_RULES
+        .iter()
+        .map(|r| r.id)
+        .chain(dataflow::INDEX_RULES.iter().map(|r| r.id))
+        .collect();
     let mut meta: Vec<Diagnostic> = Vec::new();
 
     for allow in &lexed.allows {
@@ -251,30 +304,80 @@ pub fn test_line_mask(tokens: &[Tok], line_count: usize) -> Vec<bool> {
     mask
 }
 
-/// The crates the workspace pass walks (source dirs only; test/bench crates
-/// under `crates/vendor` and `crates/bench` are exempt by construction).
-pub const SCANNED_CRATES: &[&str] = &["core", "net", "backend", "apps", "sim", "transport"];
+/// The crates the workspace pass walks (vendored stubs under `crates/vendor`
+/// stay exempt; `bench` joined the scan set in analysis v2).
+pub const SCANNED_CRATES: &[&str] = &[
+    "core",
+    "net",
+    "backend",
+    "apps",
+    "sim",
+    "transport",
+    "bench",
+];
 
-/// Scan every `.rs` file under `crates/{core,net,backend,apps,sim,transport}/src` of
-/// the workspace rooted at `root`.  Returns (files scanned, diagnostics).
+/// One file prepared for the workspace pass.
+struct PreparedFile {
+    rel: String,
+    lexed: Lexed,
+    test_line: Vec<bool>,
+}
+
+/// Scan every `.rs` file under `crates/<k>/src` and `crates/<k>/tests` for
+/// the crates in [`SCANNED_CRATES`], rooted at `root`.  Integration-test
+/// files are treated as all-test regions (only the unsafe inventory and the
+/// allowlist audit apply), and their identifiers feed the reference corpus
+/// that powers the cross-file `untested-pub-fn` rule.  Returns
+/// (files scanned, diagnostics).
 pub fn scan_workspace(root: &Path) -> std::io::Result<(usize, Vec<Diagnostic>)> {
     let mut files: Vec<PathBuf> = Vec::new();
     for krate in SCANNED_CRATES {
-        let src = root.join("crates").join(krate).join("src");
-        collect_rs_files(&src, &mut files)?;
+        let dir = root.join("crates").join(krate);
+        collect_rs_files(&dir.join("src"), &mut files)?;
+        collect_rs_files(&dir.join("tests"), &mut files)?;
     }
+    // The analysis crate's own integration tests reference the explorer and
+    // conformance surfaces; they join the corpus (fixtures excluded — they
+    // are deliberately broken inputs, not references).
+    let mut corpus_only: Vec<PathBuf> = Vec::new();
+    collect_rs_files(&root.join("crates/analysis/tests"), &mut corpus_only)?;
+    corpus_only.retain(|p| !p.to_string_lossy().contains("fixtures"));
     files.sort();
-    let mut diags = Vec::new();
-    for file in &files {
+    files.dedup();
+
+    // Pass 1: lex everything and build the workspace reference corpus.
+    let mut corpus = RefCorpus::default();
+    let mut prepared: Vec<PreparedFile> = Vec::new();
+    for file in files.iter().chain(corpus_only.iter()) {
         let rel = file
             .strip_prefix(root)
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(file)?;
-        diags.extend(scan_source(&rel, &src));
+        let lexed = lex(&src);
+        let is_test_file = rel.contains("/tests/");
+        let test_line = if is_test_file {
+            vec![true; src.lines().count() + 2]
+        } else {
+            test_line_mask(&lexed.tokens, src.lines().count())
+        };
+        corpus.add_tokens(&lexed.tokens, &test_line);
+        if files.binary_search(file).is_ok() {
+            prepared.push(PreparedFile {
+                rel,
+                lexed,
+                test_line,
+            });
+        }
     }
-    Ok((files.len(), diags))
+
+    // Pass 2: scan with the global corpus.
+    let mut diags = Vec::new();
+    for p in &prepared {
+        diags.extend(scan_lexed(&p.rel, &p.lexed, &p.test_line, &corpus));
+    }
+    Ok((prepared.len(), diags))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -1,34 +1,122 @@
-//! `cargo run -p khameleon-analysis` — the workspace lint pass.
+//! `cargo run -p khameleon-analysis` — the workspace correctness toolchain.
 //!
-//! With no arguments, scans `crates/{core,net,backend,apps,sim}/src` of the
-//! enclosing workspace and exits non-zero if any diagnostic survives the
-//! allowlist.  Individual files can be scanned with an overridden scope path
-//! (used by CI to prove the negative-test fixtures fire):
+//! With no arguments, scans the lint roots (`crates/<k>/{src,tests}` for the
+//! scanned crates) and exits non-zero if any diagnostic survives the
+//! allowlist.  Analysis v2 adds the wire-protocol conformance checker and
+//! the DPOR interleaving explorer; all three layers compose into one run
+//! and one report:
 //!
 //! ```text
-//! khameleon-analysis                        # scan the workspace
+//! khameleon-analysis                        # lint scan of the workspace
 //! khameleon-analysis --list-rules           # print the rule catalogue
+//! khameleon-analysis --conformance          # + wire-grammar conformance
+//! khameleon-analysis --explore              # + exhaustive park/resume sweep
+//! khameleon-analysis --json                 # machine-readable report
+//! khameleon-analysis --conformance path/to/wire_fixture.rs
 //! khameleon-analysis --as crates/core/src/scheduler/fx.rs path/to/file.rs
 //! ```
+//!
+//! `--conformance` with a file argument checks that file as a wire codec
+//! (no doc cross-check) — used by CI to prove the seeded
+//! missing-decode-arm fixture fails.
 
-use khameleon_analysis::{rules, scan_source, scan_workspace, scope_from_header, workspace_root};
+use khameleon_analysis::{
+    conformance, dataflow, explore, rules, scan_source, scan_workspace, scope_from_header,
+    workspace_root, Diagnostic,
+};
+use khameleon_core::model::{ParkModel, SeededBug};
 use std::process::ExitCode;
+
+struct ExplorerSummary {
+    interleavings: u64,
+    transitions: u64,
+    max_depth: usize,
+    violations: Vec<explore::Violation>,
+    seeded_bugs_caught: usize,
+    seeded_bugs_total: usize,
+}
+
+fn run_explorer() -> ExplorerSummary {
+    let clean = explore::explore(&ParkModel::two_shard(), 8);
+    let seeded = [
+        SeededBug::LeakDirectoryOnEvict,
+        SeededBug::DoubleRefOnResume,
+        SeededBug::ResetSeqOnResume,
+    ];
+    let caught = seeded
+        .iter()
+        .filter(|&&bug| !explore::explore(&ParkModel::two_shard().with_bug(bug), 1).is_clean())
+        .count();
+    ExplorerSummary {
+        interleavings: clean.interleavings,
+        transitions: clean.transitions,
+        max_depth: clean.max_depth,
+        violations: clean.violations,
+        seeded_bugs_caught: caught,
+        seeded_bugs_total: seeded.len(),
+    }
+}
+
+/// Minimal JSON string escaping (the report has no exotic content).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_diags(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+                json_str(&d.rule),
+                json_str(&d.file),
+                d.line,
+                json_str(&d.message)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
     if args.iter().any(|a| a == "--list-rules") {
         for rule in rules::ALL_RULES {
-            println!("{:<14} {}", rule.id, rule.desc);
+            println!("{:<20} {}", rule.id, rule.desc);
+        }
+        for rule in dataflow::INDEX_RULES {
+            println!("{:<20} {}", rule.id, rule.desc);
+        }
+        for (id, desc) in conformance::RULES {
+            println!("{id:<20} {desc}");
         }
         return ExitCode::SUCCESS;
     }
+
+    let json = args.iter().any(|a| a == "--json");
+    let want_conformance = args.iter().any(|a| a == "--conformance");
+    let want_explore = args.iter().any(|a| a == "--explore");
 
     let mut pretend: Option<String> = None;
     let mut files: Vec<(String, String)> = Vec::new(); // (scope path, fs path)
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--json" | "--conformance" | "--explore" => {}
             "--as" => match it.next() {
                 Some(p) => pretend = Some(p.clone()),
                 None => {
@@ -41,6 +129,37 @@ fn main() -> ExitCode {
                 files.push((scope, path.to_string()));
             }
         }
+    }
+
+    // File arguments under --conformance are checked as wire codecs (the
+    // fixture path); otherwise they are lint-scanned.
+    if want_conformance && !files.is_empty() {
+        let mut diags = Vec::new();
+        for (scope, path) in &files {
+            match std::fs::read_to_string(path) {
+                Ok(src) => {
+                    let (_, d) = conformance::check_conformance(scope, &src, None);
+                    diags.extend(d);
+                }
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        for d in &diags {
+            println!("{d}");
+        }
+        println!(
+            "khameleon-analysis: conformance: {} file(s), {} violation(s)",
+            files.len(),
+            diags.len()
+        );
+        return if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
 
     let mut diags = Vec::new();
@@ -78,17 +197,93 @@ fn main() -> ExitCode {
         }
     }
 
-    for d in &diags {
-        println!("{d}");
+    // Conformance over the real workspace wire codec + protocol doc.
+    let mut grammar_table = None;
+    if want_conformance {
+        match conformance::check_workspace(&workspace_root()) {
+            Ok((grammar, d)) => {
+                diags.extend(d);
+                grammar_table = Some(conformance::grammar_markdown(&grammar));
+            }
+            Err(e) => {
+                eprintln!("conformance check failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
-    if diags.is_empty() {
-        println!("khameleon-analysis: {scanned} file(s) scanned, 0 violations");
-        ExitCode::SUCCESS
+
+    let explorer = want_explore.then(run_explorer);
+    let explorer_failed = explorer
+        .as_ref()
+        .is_some_and(|e| !e.violations.is_empty() || e.seeded_bugs_caught != e.seeded_bugs_total);
+
+    if json {
+        let mut obj = format!(
+            "{{\"files_scanned\":{scanned},\"violations\":{},\"diagnostics\":{}",
+            diags.len(),
+            json_diags(&diags)
+        );
+        if let Some(e) = &explorer {
+            let v: Vec<String> = e
+                .violations
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{{\"error\":{},\"schedule\":[{}]}}",
+                        json_str(&v.error),
+                        v.schedule
+                            .iter()
+                            .map(|s| json_str(s))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    )
+                })
+                .collect();
+            obj.push_str(&format!(
+                ",\"explorer\":{{\"interleavings\":{},\"transitions\":{},\"max_depth\":{},\"seeded_bugs_caught\":{},\"seeded_bugs_total\":{},\"violations\":[{}]}}",
+                e.interleavings,
+                e.transitions,
+                e.max_depth,
+                e.seeded_bugs_caught,
+                e.seeded_bugs_total,
+                v.join(",")
+            ));
+        }
+        if let Some(table) = &grammar_table {
+            obj.push_str(&format!(",\"wire_grammar\":{}", json_str(table)));
+        }
+        obj.push('}');
+        println!("{obj}");
     } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if let Some(table) = &grammar_table {
+            println!("\nextracted wire grammar:\n{table}");
+        }
+        if let Some(e) = &explorer {
+            println!(
+                "explorer: {} interleavings ({} transitions, depth {}), {} violation(s), {}/{} seeded bugs caught",
+                e.interleavings,
+                e.transitions,
+                e.max_depth,
+                e.violations.len(),
+                e.seeded_bugs_caught,
+                e.seeded_bugs_total
+            );
+            for v in &e.violations {
+                println!("  violation: {} via {:?}", v.error, v.schedule);
+            }
+        }
         println!(
             "khameleon-analysis: {scanned} file(s) scanned, {} violation(s)",
             diags.len()
         );
+    }
+
+    if diags.is_empty() && !explorer_failed {
+        ExitCode::SUCCESS
+    } else {
         ExitCode::FAILURE
     }
 }

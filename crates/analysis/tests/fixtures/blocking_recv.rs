@@ -1,0 +1,15 @@
+//! scope: crates/backend/src/fixture.rs
+//! Fixture: blocking-recv fires on a parameterless .recv() in a file that
+//! drives a nonblocking event loop; try_recv and recv_timeout stay clean.
+use std::net::TcpListener;
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
+
+fn event_loop(listener: TcpListener, commands: Receiver<u8>) {
+    listener.set_nonblocking(true).ok();
+    loop {
+        let _ = commands.recv(); //~ blocking-recv
+        let _ = commands.try_recv();
+        let _ = commands.recv_timeout(Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,32 @@
+//! scope: crates/core/src/fixture.rs
+//! Fixture: send-in-shared-iter fires on a channel send inside a loop that
+//! iterates state under a lock/borrow guard; unguarded loops stay clean.
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+struct Hub {
+    directory: Mutex<Vec<(u64, Sender<u64>)>>,
+    workers: Vec<Sender<u64>>,
+}
+
+impl Hub {
+    fn bad_broadcast(&self) {
+        for (token, tx) in self.directory.lock().unwrap().iter() { // lint:allow(unwrap) -- fixture targets the send rule
+            tx.send(*token).ok(); //~ send-in-shared-iter
+        }
+    }
+
+    fn good_broadcast(&self) {
+        // No guard held: iterating an owned snapshot is fine.
+        for tx in self.workers.iter() {
+            tx.send(7).ok();
+        }
+    }
+
+    fn good_collect_then_send(&self) {
+        let snapshot: Vec<(u64, Sender<u64>)> = Vec::new();
+        for (token, tx) in snapshot.iter() {
+            tx.send(*token).ok();
+        }
+    }
+}

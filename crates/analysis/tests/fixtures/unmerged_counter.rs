@@ -1,0 +1,38 @@
+//! scope: crates/backend/src/fixture.rs
+//! Fixture: unmerged-counter fires on a stats-struct field the absorb/merge
+//! function never touches; fully-merged structs stay clean.
+
+struct Snapshot {
+    blocks_sent: u64,
+    bytes_sent: u64,
+    shed_blocks: u64, //~ unmerged-counter
+}
+
+impl Snapshot {
+    fn absorb(&mut self, other: &Snapshot) {
+        self.blocks_sent += other.blocks_sent;
+        self.bytes_sent += other.bytes_sent;
+        // shed_blocks forgotten: every aggregate silently under-reports it.
+    }
+}
+
+struct Complete {
+    hits: u64,
+    misses: u64,
+}
+
+impl Complete {
+    fn merge(&mut self, other: &Complete) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+fn fold_totals(parts: &[Complete]) -> Complete {
+    let mut total = Complete::default();
+    for p in parts {
+        total.hits += p.hits;
+        total.misses += p.misses;
+    }
+    total
+}

@@ -1,0 +1,73 @@
+//! Conformance fixture: a miniature wire codec with a seeded grammar bug —
+//! the `0x03` uplink frame is encoded but has no strict-decode arm, so a
+//! peer speaking the documented protocol gets `BadTag` on a legal frame.
+//! `khameleon-analysis --conformance <this file>` must exit non-zero with a
+//! `wire-missing-decode` diagnostic.  Checked by the fixture harness, never
+//! compiled.
+
+pub fn encode_client_frame(frame: &ClientFrame) -> Vec<u8> {
+    let mut body = vec![WIRE_VERSION];
+    match frame {
+        ClientFrame::Hello => body.push(0x01),
+        ClientFrame::Credit(n) => {
+            body.push(0x02);
+            put_varint(&mut body, u64::from(*n));
+        }
+        ClientFrame::Resume { token } => {
+            body.push(0x03);
+            put_varint(&mut body, *token);
+        }
+    }
+    body
+}
+
+pub fn encode_server_event_frame(seq: u64, event: &ServerEvent) -> Vec<u8> {
+    let mut body = vec![WIRE_VERSION];
+    match event {
+        ServerEvent::Idle => {
+            body.push(0x80);
+            put_varint(&mut body, seq);
+        }
+        ServerEvent::Closed => {
+            body.push(0x81);
+            put_varint(&mut body, seq);
+        }
+    }
+    body
+}
+
+pub fn encode_welcome(token: u64) -> Vec<u8> {
+    let mut body = vec![WIRE_VERSION, 0x85];
+    put_varint(&mut body, token);
+    body
+}
+
+pub fn decode_client_frame(body: &[u8]) -> Result<ClientFrame, WireError> {
+    let mut r = Reader::new(body)?;
+    let frame = match r.u8()? {
+        0x01 => ClientFrame::Hello,
+        0x02 => ClientFrame::Credit(r.varint()? as u32),
+        // 0x03 (Resume) forgotten: a legal frame now decodes as BadTag.
+        t => return Err(WireError::BadTag(t)),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+pub fn decode_server_frame(body: &[u8]) -> Result<ServerFrame, WireError> {
+    let mut r = Reader::new(body)?;
+    let tag = r.u8()?;
+    if tag == 0x85 {
+        let token = r.varint()?;
+        r.finish()?;
+        return Ok(ServerFrame::Welcome { token });
+    }
+    let seq = r.varint()?;
+    let event = match tag {
+        0x80 => ServerEvent::Idle,
+        0x81 => ServerEvent::Closed,
+        t => return Err(WireError::BadTag(t)),
+    };
+    r.finish()?;
+    Ok(ServerFrame::Event { seq, event })
+}
